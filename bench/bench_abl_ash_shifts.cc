@@ -1,0 +1,36 @@
+// Ablation A3: shift count of the average shifted histogram.
+//
+// The paper's final comparison fixes 10 shifts. This sweep shows the MRE
+// as the number of shifts grows.
+//
+// Expected: a clear improvement from 1 shift (plain equi-width) to a
+// handful, then quickly diminishing returns — 10 is safely on the plateau.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Ablation A3 — ASH shift count (1% queries)",
+              "Expected: large gain over 1 shift, plateau by ~8–10 shifts.");
+
+  TextTable table({"data file", "1 shift", "2", "4", "8", "10", "16", "32"});
+  for (const char* name : {"n(20)", "e(20)", "arap2"}) {
+    const Dataset data = MustLoad(name);
+    ProtocolConfig protocol;
+    protocol.seed = 29;
+    const ExperimentSetup setup = MakeSetup(data, protocol);
+    std::vector<std::string> row{name};
+    for (int shifts : {1, 2, 4, 8, 10, 16, 32}) {
+      EstimatorConfig config;
+      config.kind = EstimatorKind::kAverageShifted;
+      config.ash_shifts = shifts;
+      row.push_back(FormatPercent(MustMre(setup, config)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation A2: how many direct plug-in stages are enough?
+//
+// §4.3: "In general, two or three iteration steps are sufficient." This
+// sweep compares 1–3 stages (plus the normal scale rule as stage 0) on a
+// smooth and on a rough data file.
+//
+// Expected: stage 1 already recovers most of the gain on rough data;
+// stages 2 and 3 change little (the paper settles on 2).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/smoothing/direct_plug_in.h"
+#include "src/smoothing/normal_scale.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Ablation A2 — direct plug-in stage count (1% queries)",
+              "Expected: gains saturate at 2 stages.");
+
+  TextTable table({"data file", "MRE h-NS (0 stages)", "MRE h-DPI1",
+                   "MRE h-DPI2", "MRE h-DPI3"});
+  for (const char* name : {"n(20)", "e(20)", "arap1", "rr2(22)"}) {
+    const Dataset data = MustLoad(name);
+    ProtocolConfig protocol;
+    protocol.seed = 23;
+    const ExperimentSetup setup = MakeSetup(data, protocol);
+    EstimatorConfig config;
+    config.kind = EstimatorKind::kKernel;
+    config.boundary = BoundaryPolicy::kBoundaryKernel;
+    auto objective = MakeBandwidthObjective(setup, config);
+    std::vector<std::string> row{name};
+    row.push_back(FormatPercent(
+        objective(NormalScaleBandwidth(setup.sample, setup.domain()))));
+    for (int stages = 1; stages <= 3; ++stages) {
+      const double h = DirectPlugInBandwidth(setup.sample, setup.domain(),
+                                             Kernel(), stages);
+      row.push_back(FormatPercent(objective(h)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

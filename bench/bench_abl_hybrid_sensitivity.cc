@@ -1,0 +1,63 @@
+// Ablation A4: sensitivity of the hybrid estimator to its two knobs — the
+// change-point budget and the minimum bin mass (merge threshold).
+//
+// §3.3 leaves change-point detection quality as the key driver of hybrid
+// accuracy. Expected: too few change points degenerate toward the pure
+// kernel estimator; an overly aggressive merge threshold does the same;
+// a moderate budget (4–8 points, a few percent minimum mass) is robust.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/est/hybrid_estimator.h"
+#include "src/eval/metrics.h"
+#include "src/query/ground_truth.h"
+
+namespace {
+
+double HybridMre(const selest::ExperimentSetup& setup,
+                 const selest::HybridEstimatorOptions& options) {
+  auto est = selest::HybridEstimator::Create(setup.sample, setup.domain(),
+                                             options);
+  if (!est.ok()) {
+    std::fprintf(stderr, "hybrid failed: %s\n",
+                 est.status().ToString().c_str());
+    std::exit(1);
+  }
+  const selest::GroundTruth truth(*setup.data);
+  return selest::Evaluate(*est, setup.queries, truth).mean_relative_error;
+}
+
+}  // namespace
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Ablation A4 — hybrid estimator sensitivity (1% queries)",
+              "Expected: 0 change points ≈ pure kernel; moderate budgets "
+              "robust; extreme merging hurts on rough data.");
+
+  for (const char* name : {"arap1", "rr2(22)"}) {
+    const Dataset data = MustLoad(name);
+    ProtocolConfig protocol;
+    protocol.seed = 31;
+    const ExperimentSetup setup = MakeSetup(data, protocol);
+
+    std::printf("data file %s\n", name);
+    TextTable table({"max change points", "MRE (min mass 2%)",
+                     "MRE (min mass 10%)", "MRE (min mass 25%)"});
+    for (int budget : {0, 2, 4, 8, 16}) {
+      std::vector<std::string> row{std::to_string(budget)};
+      for (double min_mass : {0.02, 0.10, 0.25}) {
+        HybridEstimatorOptions options;
+        options.change_points.max_change_points = budget;
+        options.min_bin_fraction = min_mass;
+        row.push_back(FormatPercent(HybridMre(setup, options)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

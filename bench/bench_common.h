@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the data series of one paper figure/table. The
+// absolute numbers depend on the synthetic stand-ins for the paper's real
+// data (DESIGN.md §1.3); the *shape* of each series is the reproduction
+// target recorded in EXPERIMENTS.md.
+#ifndef SELEST_BENCH_BENCH_COMMON_H_
+#define SELEST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/eval/experiment.h"
+#include "src/eval/paper_data.h"
+#include "src/eval/report.h"
+
+namespace selest {
+namespace bench {
+
+// Loads a registered paper data file or aborts with a message.
+inline Dataset MustLoad(const std::string& name) {
+  auto data = MakePaperDataset(name);
+  if (!data.ok()) {
+    std::fprintf(stderr, "loading %s failed: %s\n", name.c_str(),
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(data).value();
+}
+
+// Runs a config and returns the MRE, aborting on build failure.
+inline double MustMre(const ExperimentSetup& setup,
+                      const EstimatorConfig& config) {
+  auto report = RunConfig(setup, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "estimator %s failed: %s\n",
+                 EstimatorKindName(config.kind),
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return report->mean_relative_error;
+}
+
+inline void PrintHeader(const char* artifact, const char* claim) {
+  std::printf("== %s ==\n%s\n\n", artifact, claim);
+}
+
+}  // namespace bench
+}  // namespace selest
+
+#endif  // SELEST_BENCH_BENCH_COMMON_H_

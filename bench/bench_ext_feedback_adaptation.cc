@@ -1,0 +1,62 @@
+// Extension E3 (paper §6, future work): adaptive estimation from query
+// feedback [1].
+//
+// A feedback histogram starts from the uniform assumption (no sample at
+// all) and learns from the true result sizes of executed queries. Tracked:
+// workload MRE after each feedback round, against static baselines.
+//
+// Expected: the feedback histogram starts as bad as the uniform estimator
+// and, within a few rounds, matches or beats the sample-built equi-width
+// histogram on the recurring workload — without ever drawing a sample.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/feedback/feedback_histogram.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Extension E3 — query-feedback adaptation (e(20), 1% queries)",
+              "Expected: MRE falls steeply over the first rounds, ending "
+              "near the sampled-histogram baseline.");
+
+  const Dataset data = MustLoad("e(20)");
+  ProtocolConfig protocol;
+  protocol.seed = 99;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  const GroundTruth truth(*setup.data);
+
+  // Static baselines.
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kUniform;
+  const double uniform_mre = MustMre(setup, config);
+  config.kind = EstimatorKind::kEquiWidth;
+  const double ewh_mre = MustMre(setup, config);
+
+  FeedbackHistogramOptions options;
+  options.num_bins = 64;
+  options.learning_rate = 0.5;
+  auto feedback = FeedbackHistogram::Create(setup.domain(), options);
+  if (!feedback.ok()) return 1;
+
+  const auto workload_mre = [&] {
+    return Evaluate(*feedback, setup.queries, truth).mean_relative_error;
+  };
+
+  TextTable table({"feedback round", "feedback-histogram MRE",
+                   "uniform (static)", "equi-width from sample (static)"});
+  table.AddRow({"0 (uniform start)", FormatPercent(workload_mre()),
+                FormatPercent(uniform_mre), FormatPercent(ewh_mre)});
+  for (int round = 1; round <= 8; ++round) {
+    for (const RangeQuery& q : setup.queries) {
+      feedback->Observe(q, truth.Selectivity(q));
+    }
+    table.AddRow({std::to_string(round), FormatPercent(workload_mre()),
+                  FormatPercent(uniform_mre), FormatPercent(ewh_mre)});
+  }
+  table.Print();
+  std::printf("\nfeedback observations consumed: %zu\n",
+              feedback->observations());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Extension E1 (paper §6, future work): multidimensional kernel estimators
+// for multidimensional range queries.
+//
+// Window queries on the 2-D street network: product-Epanechnikov kernel
+// estimator vs. grid histogram vs. sampling vs. the uniform/independence
+// assumption, from a 2,000-point sample.
+//
+// Expected: kernel2d and the grid histogram clearly beat sampling and
+// crush the uniform assumption on clustered spatial data; the kernel keeps
+// its 1-D advantage on the smoother workloads (larger windows).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/multidim/basic2d.h"
+#include "src/multidim/grid_histogram.h"
+#include "src/multidim/kernel2d.h"
+#include "src/multidim/workload2d.h"
+#include "src/smoothing/direct_plug_in.h"
+
+namespace {
+
+using namespace selest;
+
+double Mre2d(const Selectivity2dEstimator& estimator,
+             const std::vector<WindowQuery>& queries, const Dataset2d& data) {
+  double total = 0.0;
+  size_t counted = 0;
+  for (const WindowQuery& q : queries) {
+    const size_t exact = data.CountInWindow(q);
+    if (exact == 0) continue;
+    const double estimate =
+        estimator.EstimateSelectivity(q) * static_cast<double>(data.size());
+    total += std::fabs(estimate - static_cast<double>(exact)) /
+             static_cast<double>(exact);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace
+
+int main() {
+  using namespace selest::bench;
+
+  PrintHeader("Extension E1 — 2-D window-query selectivity (street network)",
+              "Expected: kernel2d & grid >> sampling >> uniform on clustered "
+              "spatial data.");
+
+  Rng rng(77);
+  StreetNetworkConfig network;
+  const auto unit_points = GenerateStreetNetwork(network, 52120, rng);
+  const Dataset2d data =
+      MakeQuantizedDataset2d("arap-2d", unit_points, 21, 21, 52120);
+  Rng sample_rng = rng.Fork();
+  const auto sample =
+      SamplePointsWithoutReplacement(data.points(), 2000, sample_rng);
+
+  // Per-axis plug-in bandwidths: the 1-D DPI rule on each marginal,
+  // rescaled from the 1-D rate n^(−1/5) to the 2-D rate n^(−1/6). The
+  // normal scale rule oversmooths this clustered data as badly as it did in
+  // Fig. 11, so the plug-in variant is the interesting one.
+  Kernel2dOptions dpi_options;
+  {
+    std::vector<double> xs(sample.size());
+    std::vector<double> ys(sample.size());
+    for (size_t i = 0; i < sample.size(); ++i) {
+      xs[i] = sample[i].x;
+      ys[i] = sample[i].y;
+    }
+    const double rate_fix =
+        std::pow(static_cast<double>(sample.size()), 0.2 - 1.0 / 6.0);
+    dpi_options.x_bandwidth =
+        DirectPlugInBandwidth(xs, data.x_domain()) * rate_fix;
+    dpi_options.y_bandwidth =
+        DirectPlugInBandwidth(ys, data.y_domain()) * rate_fix;
+  }
+
+  TextTable table({"window side", "uniform2d", "sampling2d", "grid(32x32)",
+                   "kernel2d (h-NS)", "kernel2d (h-DPI2)"});
+  for (double side : {0.02, 0.05, 0.10, 0.20}) {
+    Rng query_rng(1000 + static_cast<uint64_t>(side * 1000));
+    Workload2dConfig workload;
+    workload.side_fraction = side;
+    workload.num_queries = 500;
+    const auto queries = GenerateWorkload2d(data, workload, query_rng);
+
+    const Uniform2dEstimator uniform(data.x_domain(), data.y_domain());
+    auto sampling = Sampling2dEstimator::Create(sample);
+    auto grid = GridHistogram::Create(sample, data.x_domain(),
+                                      data.y_domain(), 32, 32);
+    auto kernel_ns =
+        Kernel2dEstimator::Create(sample, data.x_domain(), data.y_domain(),
+                                  Kernel2dOptions{});
+    auto kernel_dpi = Kernel2dEstimator::Create(sample, data.x_domain(),
+                                                data.y_domain(), dpi_options);
+    if (!sampling.ok() || !grid.ok() || !kernel_ns.ok() || !kernel_dpi.ok()) {
+      return 1;
+    }
+
+    table.AddRow({FormatPercent(side, 0) + " of each axis",
+                  FormatPercent(Mre2d(uniform, queries, data)),
+                  FormatPercent(Mre2d(*sampling, queries, data)),
+                  FormatPercent(Mre2d(*grid, queries, data)),
+                  FormatPercent(Mre2d(*kernel_ns, queries, data)),
+                  FormatPercent(Mre2d(*kernel_dpi, queries, data))});
+  }
+  table.Print();
+  return 0;
+}

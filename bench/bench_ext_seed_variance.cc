@@ -1,0 +1,59 @@
+// Extension E5: robustness of the Fig. 12 conclusions to experimental
+// randomness.
+//
+// Repeats the headline comparison over several independent seeds (sample
+// and workload redrawn each time) and reports mean ± stddev of the MRE.
+//
+// Expected: the orderings of Fig. 12 (kernel best on smooth synthetic
+// files, hybrid best on rough spatial files) hold beyond one-seed noise.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/stats.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Extension E5 — Fig. 12 across seeds (mean ± sd of MRE)",
+              "Expected: the per-file winners of Fig. 12 are stable across "
+              "seeds.");
+
+  const EstimatorKind kinds[] = {EstimatorKind::kEquiWidth,
+                                 EstimatorKind::kKernel,
+                                 EstimatorKind::kHybrid,
+                                 EstimatorKind::kAverageShifted};
+  const char* labels[] = {"EWH", "Kernel", "Hybrid", "ASH"};
+  constexpr int kSeeds = 5;
+
+  TextTable table({"data file", "EWH", "Kernel", "Hybrid", "ASH", "winner"});
+  for (const char* name : {"n(20)", "e(20)", "arap1", "rr2(22)"}) {
+    const Dataset data = MustLoad(name);
+    RunningStat stats[4];
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      ProtocolConfig protocol;
+      protocol.seed = static_cast<uint64_t>(seed);
+      protocol.num_queries = 500;
+      const ExperimentSetup setup = MakeSetup(data, protocol);
+      for (int k = 0; k < 4; ++k) {
+        EstimatorConfig config;
+        config.kind = kinds[k];
+        if (kinds[k] == EstimatorKind::kKernel) {
+          config.smoothing = SmoothingRule::kDirectPlugIn;
+        }
+        stats[k].Add(MustMre(setup, config));
+      }
+    }
+    std::vector<std::string> row{name};
+    int winner = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (stats[k].mean() < stats[winner].mean()) winner = k;
+      row.push_back(FormatPercent(stats[k].mean()) + " ± " +
+                    FormatPercent(stats[k].stddev()));
+    }
+    row.push_back(labels[winner]);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

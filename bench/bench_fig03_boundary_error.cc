@@ -1,0 +1,70 @@
+// Fig. 3: absolute estimation error of 1% queries as a function of the
+// query position, uniform data, kernel estimator WITHOUT boundary
+// treatment.
+//
+// Expected shape: error near zero through the middle of the domain, large
+// underestimation spikes (hundreds of records out of the exact 1,000) for
+// queries touching either boundary.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/est/kernel_estimator.h"
+#include "src/eval/metrics.h"
+#include "src/query/workload.h"
+#include "src/sample/sampler.h"
+#include "src/smoothing/normal_scale.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Fig. 3 — absolute error of 1% queries vs. query position "
+              "(uniform data, no boundary treatment)",
+              "Expected: |error| small mid-domain, hundreds of records near "
+              "the boundaries.");
+
+  const Dataset data = MustLoad("u(20)");
+  Rng rng(2025);
+  const std::vector<double> sample =
+      SampleWithoutReplacement(data.values(), 2000, rng);
+
+  KernelEstimatorOptions options;
+  options.boundary = BoundaryPolicy::kNone;
+  options.bandwidth = NormalScaleBandwidth(sample, data.domain());
+  auto estimator = KernelEstimator::Create(sample, data.domain(), options);
+  if (!estimator.ok()) return 1;
+
+  const auto queries = GeneratePositionSweep(data, 0.01, 201);
+  const GroundTruth truth(data);
+  const auto errors = EvaluateByPosition(*estimator, queries, truth);
+
+  TextTable table({"position (% of domain)", "exact |Q|", "estimated",
+                   "signed error (records)"});
+  for (size_t i = 0; i < errors.size(); i += 10) {
+    const auto& e = errors[i];
+    table.AddRow({FormatDouble(100.0 * e.position / data.domain().width(), 1),
+                  std::to_string(e.exact_count),
+                  FormatDouble(static_cast<double>(e.exact_count) +
+                                   e.signed_error, 0),
+                  FormatDouble(e.signed_error, 1)});
+  }
+  table.Print();
+
+  // Summary: boundary strip (within one bandwidth) vs. center.
+  double boundary_max = 0.0;
+  double center_max = 0.0;
+  const double h = options.bandwidth;
+  for (const auto& e : errors) {
+    const bool near_boundary = e.position - data.domain().lo < h ||
+                               data.domain().hi - e.position < h;
+    double& bucket = near_boundary ? boundary_max : center_max;
+    bucket = std::max(bucket, std::fabs(e.signed_error));
+  }
+  std::printf(
+      "\nmax |error| within one bandwidth of a boundary: %.0f records\n"
+      "max |error| elsewhere:                            %.0f records\n"
+      "(paper: up to ~500 vs. near 0 for |Q| = 1000)\n",
+      boundary_max, center_max);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 7: MRE of equi-width histograms (normal scale rule) for the four
+// size-separated query files (1%, 2%, 5%, 10%) across data files.
+//
+// Expected shape: within every data file the error falls as the query
+// grows (paper example arap2: 17.5% at 1% queries down to 4.5% at 10%).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Fig. 7 — MRE of equi-width histograms (h-NS) per query size",
+              "Expected: monotone decline with query size in every file.");
+
+  const char* files[] = {"u(20)", "n(20)", "e(20)", "arap1", "arap2", "iw"};
+  const double sizes[] = {0.01, 0.02, 0.05, 0.10};
+
+  TextTable table({"data file", "1% queries", "2% queries", "5% queries",
+                   "10% queries"});
+  for (const char* name : files) {
+    const Dataset data = MustLoad(name);
+    std::vector<std::string> row{name};
+    for (double size : sizes) {
+      ProtocolConfig protocol;
+      protocol.query_fraction = size;
+      protocol.seed = 3;
+      const ExperimentSetup setup = MakeSetup(data, protocol);
+      EstimatorConfig config;
+      config.kind = EstimatorKind::kEquiWidth;
+      row.push_back(FormatPercent(MustMre(setup, config)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 11: MRE of kernel estimators (boundary kernels) under three
+// bandwidth selection techniques — best observed (h-opt), normal scale
+// (h-NS) and two-stage direct plug-in (h-DPI2); 1% queries.
+//
+// Expected shape: h-NS near-optimal on the synthetic (Gaussian-like)
+// files; on the rough "real" files h-NS oversmooths badly and h-DPI2
+// clearly beats it, landing within a few points of h-opt (§5.2.5).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/smoothing/direct_plug_in.h"
+#include "src/smoothing/normal_scale.h"
+#include "src/smoothing/oracle.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Fig. 11 — kernel bandwidth rules: h-opt vs. h-NS vs. h-DPI2; "
+              "1% queries",
+              "Expected: h-NS good on synthetic files, bad on real ones; "
+              "h-DPI2 better there.");
+
+  TextTable table({"data file", "MRE h-opt", "MRE h-NS", "MRE h-DPI2"});
+  for (const std::string& name : HeadlineFileNames()) {
+    const Dataset data = MustLoad(name);
+    ProtocolConfig protocol;
+    protocol.seed = 13;
+    const ExperimentSetup setup = MakeSetup(data, protocol);
+    EstimatorConfig config;
+    config.kind = EstimatorKind::kKernel;
+    config.boundary = BoundaryPolicy::kBoundaryKernel;
+    auto objective = MakeBandwidthObjective(setup, config);
+    const double width = setup.domain().width();
+    const double h_opt =
+        FindOptimalSmoothing(objective, width * 1e-5, width * 0.25);
+    const double h_ns = NormalScaleBandwidth(setup.sample, setup.domain());
+    const double h_dpi2 =
+        DirectPlugInBandwidth(setup.sample, setup.domain(), Kernel(), 2);
+    table.AddRow({name, FormatPercent(objective(h_opt)),
+                  FormatPercent(objective(h_ns)),
+                  FormatPercent(objective(h_dpi2))});
+  }
+  table.Print();
+  return 0;
+}

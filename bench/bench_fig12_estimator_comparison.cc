@@ -1,0 +1,54 @@
+// Fig. 12: the final comparison of the most promising estimators on 1%
+// queries — equi-width histogram (h-NS bins), kernel estimator (boundary
+// kernels, h-DPI2 bandwidth), hybrid estimator (boundary kernels), and the
+// average shifted histogram with ten shifts.
+//
+// Expected shape: kernel estimator most accurate on the smooth synthetic
+// files (ASH close behind); the hybrid most accurate on the rough spatial
+// "real" files; on iw/ci all methods bunch together (§5.2.6).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace selest;
+  using namespace selest::bench;
+
+  PrintHeader("Fig. 12 — most promising estimators; 1% queries",
+              "Expected: kernel wins on u/n/e files; hybrid wins on the "
+              "spatial files; near-tie on iw.");
+
+  TextTable table({"data file", "EWH (h-NS)", "Kernel (h-DPI2)",
+                   "Hybrid", "ASH (10 shifts)"});
+  for (const std::string& name : HeadlineFileNames()) {
+    const Dataset data = MustLoad(name);
+    ProtocolConfig protocol;
+    protocol.seed = 17;
+    const ExperimentSetup setup = MakeSetup(data, protocol);
+    std::vector<std::string> row{name};
+
+    EstimatorConfig ewh;
+    ewh.kind = EstimatorKind::kEquiWidth;
+    row.push_back(FormatPercent(MustMre(setup, ewh)));
+
+    EstimatorConfig kernel;
+    kernel.kind = EstimatorKind::kKernel;
+    kernel.smoothing = SmoothingRule::kDirectPlugIn;
+    kernel.boundary = BoundaryPolicy::kBoundaryKernel;
+    row.push_back(FormatPercent(MustMre(setup, kernel)));
+
+    EstimatorConfig hybrid;
+    hybrid.kind = EstimatorKind::kHybrid;
+    hybrid.boundary = BoundaryPolicy::kBoundaryKernel;
+    row.push_back(FormatPercent(MustMre(setup, hybrid)));
+
+    EstimatorConfig ash;
+    ash.kind = EstimatorKind::kAverageShifted;
+    ash.ash_shifts = 10;
+    row.push_back(FormatPercent(MustMre(setup, ash)));
+
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Micro-benchmark: estimator construction cost from a sample.
+//
+// Catalog maintenance rebuilds estimators when statistics refresh; this
+// measures build cost as a function of the sample size for each family,
+// including the smoothing-rule cost (the O(n²) direct plug-in is the
+// expensive outlier).
+#include <benchmark/benchmark.h>
+
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/smoothing/direct_plug_in.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 1.0e6);
+
+std::vector<double> MakeSample(size_t n) {
+  Rng rng(7);
+  std::vector<double> sample(n);
+  for (double& x : sample) {
+    x = 0.5e6 + 1.2e5 * rng.NextGaussian();
+    x = kDomain.Clamp(x);
+  }
+  return sample;
+}
+
+void BuildBenchmark(benchmark::State& state, EstimatorKind kind) {
+  const auto sample = MakeSample(static_cast<size_t>(state.range(0)));
+  EstimatorConfig config;
+  config.kind = kind;
+  for (auto _ : state) {
+    auto est = BuildEstimator(sample, kDomain, config);
+    benchmark::DoNotOptimize(est);
+  }
+}
+
+void BM_BuildEquiWidth(benchmark::State& state) {
+  BuildBenchmark(state, EstimatorKind::kEquiWidth);
+}
+BENCHMARK(BM_BuildEquiWidth)->Range(1 << 8, 1 << 15);
+
+void BM_BuildEquiDepth(benchmark::State& state) {
+  BuildBenchmark(state, EstimatorKind::kEquiDepth);
+}
+BENCHMARK(BM_BuildEquiDepth)->Range(1 << 8, 1 << 15);
+
+void BM_BuildMaxDiff(benchmark::State& state) {
+  BuildBenchmark(state, EstimatorKind::kMaxDiff);
+}
+BENCHMARK(BM_BuildMaxDiff)->Range(1 << 8, 1 << 15);
+
+void BM_BuildKernel(benchmark::State& state) {
+  BuildBenchmark(state, EstimatorKind::kKernel);
+}
+BENCHMARK(BM_BuildKernel)->Range(1 << 8, 1 << 15);
+
+void BM_BuildHybrid(benchmark::State& state) {
+  BuildBenchmark(state, EstimatorKind::kHybrid);
+}
+BENCHMARK(BM_BuildHybrid)->Range(1 << 8, 1 << 13);
+
+void BM_BuildAsh(benchmark::State& state) {
+  BuildBenchmark(state, EstimatorKind::kAverageShifted);
+}
+BENCHMARK(BM_BuildAsh)->Range(1 << 8, 1 << 15);
+
+void BM_DirectPlugInBandwidth(benchmark::State& state) {
+  const auto sample = MakeSample(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DirectPlugInBandwidth(sample, kDomain, Kernel(), 2));
+  }
+}
+BENCHMARK(BM_DirectPlugInBandwidth)->Range(1 << 8, 1 << 12);
+
+}  // namespace
+}  // namespace selest

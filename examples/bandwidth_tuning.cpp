@@ -1,0 +1,57 @@
+// Bandwidth tuning: how the smoothing-parameter rules of §4 compare.
+//
+// Builds one smooth and one rough dataset, then reports the bandwidth and
+// the resulting error for the normal scale rule, the direct plug-in rule
+// (1–3 stages) and the oracle search — the comparison behind Fig. 11.
+#include <cstdio>
+
+#include "src/data/distribution.h"
+#include "src/eval/experiment.h"
+#include "src/eval/paper_data.h"
+#include "src/eval/report.h"
+#include "src/smoothing/direct_plug_in.h"
+#include "src/smoothing/normal_scale.h"
+#include "src/smoothing/oracle.h"
+
+int main() {
+  using namespace selest;
+
+  for (const char* name : {"n(20)", "arap1"}) {
+    auto data = MakePaperDataset(name);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("data file %s (%zu records)\n", name, data->size());
+
+    ProtocolConfig protocol;
+    protocol.num_queries = 500;
+    const ExperimentSetup setup = MakeSetup(*data, protocol);
+
+    EstimatorConfig kernel_config;
+    kernel_config.kind = EstimatorKind::kKernel;
+    auto objective = MakeBandwidthObjective(setup, kernel_config);
+
+    TextTable table({"rule", "bandwidth", "MRE of 1% queries"});
+    const double h_ns = NormalScaleBandwidth(setup.sample, setup.domain());
+    table.AddRow({"normal scale", FormatDouble(h_ns, 1),
+                  FormatPercent(objective(h_ns))});
+    for (int stages = 1; stages <= 3; ++stages) {
+      const double h = DirectPlugInBandwidth(setup.sample, setup.domain(),
+                                             Kernel(), stages);
+      table.AddRow({"direct plug-in, " + std::to_string(stages) + " stage(s)",
+                    FormatDouble(h, 1), FormatPercent(objective(h))});
+    }
+    const double h_opt = FindOptimalSmoothing(
+        objective, setup.domain().width() * 1e-4, setup.domain().width() * 0.2);
+    table.AddRow({"oracle (h-opt)", FormatDouble(h_opt, 1),
+                  FormatPercent(objective(h_opt))});
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "the normal scale rule is near-optimal on Gaussian-like data but\n"
+      "oversmooths rough data; the plug-in rule adapts by estimating the\n"
+      "curvature functional R(f'') from the sample itself (paper §4.3).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Spatial-catalog scenario: estimators on rough street-map marginals.
+//
+// Spatial databases are the paper's motivating domain for metric attributes
+// with large domains. This example builds the synthetic Arapahoe-style
+// street network, projects both coordinates, and compares the final four
+// estimators of Fig. 12 on 1% window queries — showing the hybrid
+// estimator's advantage on rough "real" densities.
+#include <cstdio>
+
+#include "src/data/spatial.h"
+#include "src/eval/experiment.h"
+#include "src/eval/report.h"
+#include "src/util/random.h"
+
+int main() {
+  using namespace selest;
+
+  Rng rng(1234);
+  StreetNetworkConfig network;
+  const std::vector<Point2> points =
+      GenerateStreetNetwork(network, 52120, rng);
+  std::printf("street network: %d clusters, %zu endpoints\n\n",
+              network.num_clusters, points.size());
+
+  const struct {
+    const char* name;
+    Axis axis;
+    int bits;
+  } columns[] = {{"x-coordinate", Axis::kX, 21},
+                 {"y-coordinate", Axis::kY, 18}};
+
+  for (const auto& column : columns) {
+    const Dataset data =
+        MarginalDataset(column.name, points, column.axis, column.bits, 52120);
+    std::printf("column %s: p=%d, %zu records, %zu distinct values\n",
+                column.name, column.bits, data.size(), data.CountDistinct());
+
+    ProtocolConfig protocol;  // 2,000 samples, 1,000 1%-queries
+    protocol.seed = 99;
+    const ExperimentSetup setup = MakeSetup(data, protocol);
+
+    TextTable table({"estimator", "mean relative error", "max rel. error"});
+    for (EstimatorKind kind :
+         {EstimatorKind::kEquiWidth, EstimatorKind::kKernel,
+          EstimatorKind::kHybrid, EstimatorKind::kAverageShifted}) {
+      EstimatorConfig config;
+      config.kind = kind;
+      auto report = RunConfig(setup, config);
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", EstimatorKindName(kind),
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({EstimatorKindName(kind),
+                    FormatPercent(report->mean_relative_error),
+                    FormatPercent(report->max_relative_error)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "rough, clustered marginals violate the smoothness assumption of the\n"
+      "pure kernel estimator; the hybrid splits at the detected change\n"
+      "points and estimates each piece separately (paper §3.3, Fig. 12).\n");
+  return 0;
+}

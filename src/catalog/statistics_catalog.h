@@ -1,0 +1,100 @@
+// A statistics catalog: the system-level home of selectivity estimators.
+//
+// Database systems keep per-column statistics in a catalog that the
+// optimizer consults; this module provides that layer for selest. A
+// catalog entry stores what a system would persist — the column's domain,
+// the drawn sample and the estimator configuration — and rebuilds the
+// estimator deterministically from them. Entries serialize to bytes for
+// persistence, track staleness, and can be refreshed from the live column.
+#ifndef SELEST_CATALOG_STATISTICS_CATALOG_H_
+#define SELEST_CATALOG_STATISTICS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/est/estimator_factory.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// Persisted statistics of one column.
+struct ColumnStatistics {
+  std::string column;
+  Domain domain;
+  size_t num_records = 0;  // records in the relation when stats were built
+  EstimatorConfig config;
+  std::vector<double> sample;
+
+  // Encodes/decodes the persisted form (versioned).
+  void Serialize(ByteWriter& writer) const;
+  static StatusOr<ColumnStatistics> Deserialize(ByteReader& reader);
+};
+
+class StatisticsCatalog {
+ public:
+  StatisticsCatalog() = default;
+
+  // Catalogs are registries with identity; moving them around invites
+  // dangling references from optimizers.
+  StatisticsCatalog(const StatisticsCatalog&) = delete;
+  StatisticsCatalog& operator=(const StatisticsCatalog&) = delete;
+
+  // Draws a sample of `sample_size` records from `column` and builds the
+  // configured estimator. Replaces any previous statistics for the column.
+  Status AnalyzeColumn(const Dataset& column, const EstimatorConfig& config,
+                       size_t sample_size, Rng& rng);
+
+  // Installs externally produced statistics (e.g. loaded ones) and builds
+  // the estimator.
+  Status InstallStatistics(ColumnStatistics statistics);
+
+  // Estimated selectivity of a range predicate on a cataloged column.
+  StatusOr<double> EstimateSelectivity(const std::string& column,
+                                       const RangeQuery& query) const;
+
+  // Estimated result size, scaled by the record count seen at analyze time
+  // plus any modifications reported since.
+  StatusOr<double> EstimateResultSize(const std::string& column,
+                                      const RangeQuery& query) const;
+
+  // Reports records inserted/deleted since the last analyze; drives
+  // staleness.
+  Status RecordModifications(const std::string& column, size_t count);
+
+  // Modified-fraction since the last analyze (0 when fresh). Typical
+  // systems re-analyze beyond a threshold like 0.2.
+  StatusOr<double> Staleness(const std::string& column) const;
+
+  bool HasColumn(const std::string& column) const;
+  std::vector<std::string> ColumnNames() const;
+  size_t size() const { return entries_.size(); }
+
+  // The persisted statistics of a column (for inspection/tests).
+  StatusOr<const ColumnStatistics*> Statistics(const std::string& column) const;
+
+  // Serializes every entry; LoadFromBytes rebuilds a full catalog.
+  std::vector<uint8_t> SaveToBytes() const;
+  static StatusOr<std::unique_ptr<StatisticsCatalog>> LoadFromBytes(
+      std::vector<uint8_t> bytes);
+
+ private:
+  struct Entry {
+    ColumnStatistics statistics;
+    std::unique_ptr<SelectivityEstimator> estimator;
+    size_t modifications = 0;
+  };
+
+  const Entry* Find(const std::string& column) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_CATALOG_STATISTICS_CATALOG_H_

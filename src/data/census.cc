@@ -1,0 +1,65 @@
+#include "src/data/census.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+Dataset GenerateInstanceWeights(std::string name,
+                                const InstanceWeightConfig& config,
+                                size_t count, Rng& rng) {
+  SELEST_CHECK_GT(count, 0u);
+  SELEST_CHECK_GT(config.num_spikes, 0);
+  const Domain domain = BitDomain(config.bits);
+
+  // Spike positions: log-normal over the domain, clustered low with a long
+  // right tail like survey weights.
+  std::vector<double> spike_positions(config.num_spikes);
+  for (double& position : spike_positions) {
+    const double log_normal =
+        std::exp(std::log(config.log_mean) +
+                 config.log_sigma * rng.NextGaussian());
+    position = domain.Clamp(domain.Quantize(log_normal * domain.hi));
+  }
+
+  // Zipf frequencies over the spikes (spike 0 heaviest).
+  std::vector<double> cumulative(config.num_spikes);
+  double total = 0.0;
+  for (int k = 0; k < config.num_spikes; ++k) {
+    total += std::pow(k + 1.0, -config.spike_skew);
+    cumulative[k] = total;
+  }
+  for (double& c : cumulative) c /= total;
+
+  std::vector<double> values;
+  values.reserve(count);
+  while (values.size() < count) {
+    if (rng.NextDouble() < config.background_fraction) {
+      // Thin continuous background: uniform over the lower half of the
+      // domain where weights live.
+      values.push_back(
+          domain.Quantize(rng.NextDouble() * 0.5 * domain.hi));
+    } else {
+      const double u = rng.NextDouble();
+      int index = 0;
+      // Binary search over the cumulative frequencies.
+      int lo = 0;
+      int hi = config.num_spikes - 1;
+      while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (cumulative[mid] < u) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      index = lo;
+      values.push_back(spike_positions[index]);
+    }
+  }
+  return Dataset(std::move(name), domain, std::move(values));
+}
+
+}  // namespace selest

@@ -1,0 +1,60 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+Dataset::Dataset(std::string name, Domain domain, std::vector<double> values)
+    : name_(std::move(name)),
+      domain_(domain),
+      values_(std::move(values)) {
+  SELEST_CHECK(!values_.empty());
+  for (double v : values_) SELEST_CHECK(domain_.Contains(v));
+}
+
+const std::vector<double>& Dataset::sorted_values() const {
+  if (sorted_.empty()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  return sorted_;
+}
+
+size_t Dataset::CountDistinct() const {
+  const std::vector<double>& sorted = sorted_values();
+  size_t distinct = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+size_t Dataset::CountInRange(double a, double b) const {
+  if (a > b) return 0;
+  const std::vector<double>& sorted = sorted_values();
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), a);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), b);
+  return static_cast<size_t>(hi - lo);
+}
+
+Dataset GenerateDataset(std::string name, const Distribution& distribution,
+                        size_t count, const Domain& domain, Rng& rng) {
+  SELEST_CHECK_GT(count, 0u);
+  std::vector<double> values;
+  values.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * count + 1000;
+  while (values.size() < count) {
+    SELEST_CHECK_LT(attempts, max_attempts);
+    ++attempts;
+    const double raw = distribution.Sample(rng);
+    const double quantized = domain.Quantize(raw);
+    if (!domain.Contains(quantized)) continue;  // discarded per §5.1.1
+    values.push_back(quantized);
+  }
+  return Dataset(std::move(name), domain, std::move(values));
+}
+
+}  // namespace selest

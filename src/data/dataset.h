@@ -1,0 +1,52 @@
+// Data sets: named columns of attribute values over a metric domain.
+#ifndef SELEST_DATA_DATASET_H_
+#define SELEST_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+
+// A single-attribute data file in the sense of Table 2: a name, the domain
+// of the attribute, and the attribute values of all records.
+class Dataset {
+ public:
+  Dataset(std::string name, Domain domain, std::vector<double> values);
+
+  const std::string& name() const { return name_; }
+  const Domain& domain() const { return domain_; }
+  const std::vector<double>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+  // Values sorted ascending; computed lazily on first use and cached.
+  // The sorted view backs exact selectivity counts and equi-depth bins.
+  const std::vector<double>& sorted_values() const;
+
+  // Number of distinct attribute values (computed from the sorted view).
+  size_t CountDistinct() const;
+
+  // Exact number of records with a <= value <= b.
+  size_t CountInRange(double a, double b) const;
+
+ private:
+  std::string name_;
+  Domain domain_;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazily filled cache
+};
+
+// Draws `count` records from `distribution`, quantizes them to the domain's
+// resolution and discards records falling outside the domain, exactly as the
+// paper maps its distributions to integer domains (§5.1.1). Aborts if the
+// rejection rate exceeds 99% (the distribution misses the domain).
+Dataset GenerateDataset(std::string name, const Distribution& distribution,
+                        size_t count, const Domain& domain, Rng& rng);
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_DATASET_H_

@@ -1,0 +1,223 @@
+#include "src/data/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace selest {
+namespace {
+
+// Step for finite-difference density derivatives. Relative to |x| so the
+// default works across domain scales.
+double FiniteDifferenceStep(double x) {
+  return 1e-4 * (std::fabs(x) + 1.0);
+}
+
+}  // namespace
+
+double Distribution::PdfDerivative(double x) const {
+  const double h = FiniteDifferenceStep(x);
+  return (Pdf(x + h) - Pdf(x - h)) / (2.0 * h);
+}
+
+double Distribution::PdfSecondDerivative(double x) const {
+  const double h = FiniteDifferenceStep(x);
+  return (Pdf(x + h) - 2.0 * Pdf(x) + Pdf(x - h)) / (h * h);
+}
+
+// ---------------------------------------------------------------- Uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  SELEST_CHECK_LT(lo, hi);
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.NextDouble();
+}
+
+double UniformDistribution::Pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x < lo_) return 0.0;
+  if (x > hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::PdfDerivative(double) const { return 0.0; }
+double UniformDistribution::PdfSecondDerivative(double) const { return 0.0; }
+
+std::string UniformDistribution::name() const {
+  return "uniform(" + std::to_string(lo_) + ", " + std::to_string(hi_) + ")";
+}
+
+// ----------------------------------------------------------------- Normal
+
+NormalDistribution::NormalDistribution(double mean, double sigma)
+    : mean_(mean), sigma_(sigma) {
+  SELEST_CHECK_GT(sigma, 0.0);
+}
+
+double NormalDistribution::Sample(Rng& rng) const {
+  return mean_ + sigma_ * rng.NextGaussian();
+}
+
+double NormalDistribution::Pdf(double x) const {
+  const double z = (x - mean_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalDistribution::Cdf(double x) const {
+  const double z = (x - mean_) / (sigma_ * std::numbers::sqrt2);
+  return 0.5 * std::erfc(-z);
+}
+
+double NormalDistribution::PdfDerivative(double x) const {
+  const double z = (x - mean_) / sigma_;
+  return -z / sigma_ * Pdf(x);
+}
+
+double NormalDistribution::PdfSecondDerivative(double x) const {
+  const double z = (x - mean_) / sigma_;
+  return (z * z - 1.0) / (sigma_ * sigma_) * Pdf(x);
+}
+
+std::string NormalDistribution::name() const {
+  return "normal(" + std::to_string(mean_) + ", " + std::to_string(sigma_) +
+         ")";
+}
+
+// ------------------------------------------------------------ Exponential
+
+ExponentialDistribution::ExponentialDistribution(double rate, double origin)
+    : rate_(rate), origin_(origin) {
+  SELEST_CHECK_GT(rate, 0.0);
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  return origin_ + rng.NextExponential(rate_);
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x < origin_) return 0.0;
+  return rate_ * std::exp(-rate_ * (x - origin_));
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x < origin_) return 0.0;
+  return 1.0 - std::exp(-rate_ * (x - origin_));
+}
+
+double ExponentialDistribution::PdfDerivative(double x) const {
+  if (x < origin_) return 0.0;
+  return -rate_ * Pdf(x);
+}
+
+double ExponentialDistribution::PdfSecondDerivative(double x) const {
+  if (x < origin_) return 0.0;
+  return rate_ * rate_ * Pdf(x);
+}
+
+std::string ExponentialDistribution::name() const {
+  return "exponential(rate=" + std::to_string(rate_) + ")";
+}
+
+// ------------------------------------------------------------------- Zipf
+
+ZipfDistribution::ZipfDistribution(int num_values, double skew)
+    : num_values_(num_values), skew_(skew) {
+  SELEST_CHECK_GE(num_values, 1);
+  SELEST_CHECK_GT(skew, 0.0);
+  cumulative_.resize(num_values_);
+  double total = 0.0;
+  for (int k = 0; k < num_values_; ++k) {
+    total += std::pow(k + 1.0, -skew_);
+    cumulative_[k] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+double ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<double>(it - cumulative_.begin());
+}
+
+double ZipfDistribution::Pdf(double x) const {
+  const auto k = static_cast<int>(std::round(x));
+  if (k < 0 || k >= num_values_) return 0.0;
+  return k == 0 ? cumulative_[0] : cumulative_[k] - cumulative_[k - 1];
+}
+
+double ZipfDistribution::Cdf(double x) const {
+  const auto k = static_cast<int>(std::floor(x));
+  if (k < 0) return 0.0;
+  if (k >= num_values_) return 1.0;
+  return cumulative_[k];
+}
+
+std::string ZipfDistribution::name() const {
+  return "zipf(" + std::to_string(num_values_) + ", " +
+         std::to_string(skew_) + ")";
+}
+
+// ---------------------------------------------------------------- Mixture
+
+MixtureDistribution::MixtureDistribution(
+    std::vector<std::unique_ptr<Distribution>> components,
+    std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  SELEST_CHECK(!components_.empty());
+  SELEST_CHECK_EQ(components_.size(), weights_.size());
+  double total = 0.0;
+  for (double w : weights_) {
+    SELEST_CHECK_GT(w, 0.0);
+    total += w;
+  }
+  cum_weights_.resize(weights_.size());
+  double prefix = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] /= total;
+    prefix += weights_[i];
+    cum_weights_[i] = prefix;
+  }
+  cum_weights_.back() = 1.0;
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it =
+      std::lower_bound(cum_weights_.begin(), cum_weights_.end(), u);
+  const size_t index =
+      std::min(static_cast<size_t>(it - cum_weights_.begin()),
+               components_.size() - 1);
+  return components_[index]->Sample(rng);
+}
+
+double MixtureDistribution::Pdf(double x) const {
+  double pdf = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    pdf += weights_[i] * components_[i]->Pdf(x);
+  }
+  return pdf;
+}
+
+double MixtureDistribution::Cdf(double x) const {
+  double cdf = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    cdf += weights_[i] * components_[i]->Cdf(x);
+  }
+  return cdf;
+}
+
+std::string MixtureDistribution::name() const {
+  return "mixture(" + std::to_string(components_.size()) + " components)";
+}
+
+}  // namespace selest

@@ -1,0 +1,133 @@
+// Probability distributions over the real line.
+//
+// These generate the paper's artificial data files (Uniform, Normal,
+// Exponential — §5.1.1) and provide analytic PDFs/CDFs for ground-truth
+// checks and for the AMISE formulas of Section 4, which need the density
+// derivative functionals R(f') and R(f'').
+#ifndef SELEST_DATA_DISTRIBUTION_H_
+#define SELEST_DATA_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace selest {
+
+// A univariate distribution with density. Implementations must be
+// thread-compatible (sampling mutates only the passed Rng).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  // Draws one value.
+  virtual double Sample(Rng& rng) const = 0;
+
+  // Probability density at x.
+  virtual double Pdf(double x) const = 0;
+
+  // Cumulative distribution at x.
+  virtual double Cdf(double x) const = 0;
+
+  // First derivative of the density. The default implementation uses a
+  // central finite difference of Pdf; override when an analytic form exists.
+  virtual double PdfDerivative(double x) const;
+
+  // Second derivative of the density (finite difference by default).
+  virtual double PdfSecondDerivative(double x) const;
+
+  // Human-readable name, e.g. "normal(0, 1)".
+  virtual std::string name() const = 0;
+};
+
+// Uniform on [lo, hi].
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double PdfDerivative(double x) const override;
+  double PdfSecondDerivative(double x) const override;
+  std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// Normal with the given mean and standard deviation.
+class NormalDistribution : public Distribution {
+ public:
+  NormalDistribution(double mean, double sigma);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double PdfDerivative(double x) const override;
+  double PdfSecondDerivative(double x) const override;
+  std::string name() const override;
+
+  double mean() const { return mean_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mean_;
+  double sigma_;
+};
+
+// Exponential with the given rate, shifted to start at `origin`:
+// density rate·exp(−rate·(x−origin)) for x >= origin. The paper uses the
+// exponential as a stand-in for Zipf-like skew (§5.1.1).
+class ExponentialDistribution : public Distribution {
+ public:
+  ExponentialDistribution(double rate, double origin = 0.0);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double PdfDerivative(double x) const override;
+  double PdfSecondDerivative(double x) const override;
+  std::string name() const override;
+
+ private:
+  double rate_;
+  double origin_;
+};
+
+// Discrete Zipf over the integers {0, ..., num_values−1} with exponent
+// `skew`: P(k) ∝ (k+1)^−skew. Pdf/Cdf treat it as a purely atomic
+// distribution; Pdf returns the probability mass at round(x).
+class ZipfDistribution : public Distribution {
+ public:
+  ZipfDistribution(int num_values, double skew);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  std::string name() const override;
+
+ private:
+  int num_values_;
+  double skew_;
+  std::vector<double> cumulative_;  // cumulative_[k] = P(X <= k)
+};
+
+// Finite mixture of component distributions with the given weights
+// (normalized internally). Used by the synthetic "real" data generators.
+class MixtureDistribution : public Distribution {
+ public:
+  MixtureDistribution(std::vector<std::unique_ptr<Distribution>> components,
+                      std::vector<double> weights);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<Distribution>> components_;
+  std::vector<double> weights_;      // normalized
+  std::vector<double> cum_weights_;  // prefix sums of weights_
+};
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_DISTRIBUTION_H_

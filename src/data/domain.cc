@@ -1,0 +1,51 @@
+#include "src/data/domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+uint64_t Domain::cardinality() const {
+  if (!discrete) return 0;
+  return static_cast<uint64_t>(std::floor(hi) - std::ceil(lo)) + 1;
+}
+
+double Domain::Clamp(double x) const { return std::clamp(x, lo, hi); }
+
+bool Domain::Contains(double x) const { return x >= lo && x <= hi; }
+
+double Domain::Quantize(double x) const {
+  return discrete ? std::round(x) : x;
+}
+
+std::string Domain::ToString() const {
+  std::string result = discrete ? "discrete[" : "continuous[";
+  result += std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  if (bits > 0) result += " (p=" + std::to_string(bits) + ")";
+  return result;
+}
+
+Domain BitDomain(int bits) {
+  SELEST_CHECK_GE(bits, 1);
+  SELEST_CHECK_LE(bits, 62);
+  Domain d;
+  d.lo = 0.0;
+  d.hi = static_cast<double>((uint64_t{1} << bits) - 1);
+  d.discrete = true;
+  d.bits = bits;
+  return d;
+}
+
+Domain ContinuousDomain(double lo, double hi) {
+  SELEST_CHECK_LT(lo, hi);
+  Domain d;
+  d.lo = lo;
+  d.hi = hi;
+  d.discrete = false;
+  d.bits = 0;
+  return d;
+}
+
+}  // namespace selest

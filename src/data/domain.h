@@ -1,0 +1,55 @@
+// Metric attribute domains.
+//
+// The paper studies metric attributes with large domains: the data files map
+// records onto the integer domain [0, 2^p − 1] where p is a parameter
+// (Table 2). A Domain describes the value range of an attribute and whether
+// values are quantized to integers (discrete metric domain) or not
+// (continuous metric domain).
+#ifndef SELEST_DATA_DOMAIN_H_
+#define SELEST_DATA_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace selest {
+
+// The value range of a metric attribute. Passive data (struct per style
+// guide); invariants (lo < hi) are validated by the factories below and by
+// consumers.
+struct Domain {
+  double lo = 0.0;
+  double hi = 1.0;
+  // True when values are integers in [lo, hi] (discrete metric domain,
+  // duplicates possible); false for a continuous domain.
+  bool discrete = false;
+  // For p-bit integer domains, the number of bits (0 when not applicable).
+  int bits = 0;
+
+  double width() const { return hi - lo; }
+
+  // Number of distinct representable values; 0 for continuous domains.
+  uint64_t cardinality() const;
+
+  // Clamps x into [lo, hi].
+  double Clamp(double x) const;
+
+  // True iff lo <= x <= hi.
+  bool Contains(double x) const;
+
+  // Rounds x to the nearest representable value (identity for continuous
+  // domains); does not clamp.
+  double Quantize(double x) const;
+
+  std::string ToString() const;
+};
+
+// The integer domain [0, 2^p − 1] used throughout the paper's experiments.
+// Requires 1 <= bits <= 62.
+Domain BitDomain(int bits);
+
+// A continuous domain [lo, hi]. Requires lo < hi.
+Domain ContinuousDomain(double lo, double hi);
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_DOMAIN_H_

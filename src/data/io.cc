@@ -1,0 +1,120 @@
+#include "src/data/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/serialize.h"
+
+namespace selest {
+namespace {
+
+constexpr uint32_t kBinaryVersion = 1;
+constexpr char kTextMagic[] = "selest-dataset";
+
+StatusOr<Dataset> MakeChecked(std::string name, Domain domain,
+                              std::vector<double> values) {
+  if (values.empty()) {
+    return InvalidArgumentError("dataset file holds no values");
+  }
+  if (!(domain.lo < domain.hi)) {
+    return InvalidArgumentError("dataset file has an empty domain");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v) || !domain.Contains(v)) {
+      return InvalidArgumentError("dataset file value outside its domain");
+    }
+  }
+  return Dataset(std::move(name), domain, std::move(values));
+}
+
+}  // namespace
+
+Status SaveDatasetText(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open '" + path + "' for writing");
+  out << kTextMagic << ' ' << data.name() << ' ' << data.domain().lo << ' '
+      << data.domain().hi << ' ' << (data.domain().discrete ? 1 : 0) << ' '
+      << data.domain().bits << '\n';
+  out.precision(17);
+  for (double v : data.values()) out << v << '\n';
+  out.flush();
+  if (!out) return InternalError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDatasetText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::string magic;
+  std::string name;
+  Domain domain;
+  int discrete = 0;
+  if (!(in >> magic >> name >> domain.lo >> domain.hi >> discrete >>
+        domain.bits) ||
+      magic != kTextMagic) {
+    return InvalidArgumentError("'" + path + "' is not a selest dataset file");
+  }
+  domain.discrete = discrete != 0;
+  std::vector<double> values;
+  double v;
+  while (in >> v) values.push_back(v);
+  return MakeChecked(std::move(name), domain, std::move(values));
+}
+
+Status SaveDatasetBinary(const Dataset& data, const std::string& path) {
+  ByteWriter writer;
+  writer.WriteU32(kBinaryVersion);
+  writer.WriteString(data.name());
+  writer.WriteDouble(data.domain().lo);
+  writer.WriteDouble(data.domain().hi);
+  writer.WriteU32(data.domain().discrete ? 1 : 0);
+  writer.WriteU32(static_cast<uint32_t>(data.domain().bits));
+  writer.WriteDoubleVector(data.values());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open '" + path + "' for writing");
+  const auto& bytes = writer.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return InternalError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDatasetBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  ByteReader reader(std::move(bytes));
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kBinaryVersion) {
+    return InvalidArgumentError("unsupported dataset format version");
+  }
+  auto name = reader.ReadString();
+  if (!name.ok()) return name.status();
+  auto lo = reader.ReadDouble();
+  if (!lo.ok()) return lo.status();
+  auto hi = reader.ReadDouble();
+  if (!hi.ok()) return hi.status();
+  auto discrete = reader.ReadU32();
+  if (!discrete.ok()) return discrete.status();
+  auto bits = reader.ReadU32();
+  if (!bits.ok()) return bits.status();
+  auto values = reader.ReadDoubleVector();
+  if (!values.ok()) return values.status();
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing bytes in dataset file");
+  }
+  Domain domain;
+  domain.lo = lo.value();
+  domain.hi = hi.value();
+  domain.discrete = discrete.value() != 0;
+  domain.bits = static_cast<int>(bits.value());
+  return MakeChecked(std::move(name).value(), domain,
+                     std::move(values).value());
+}
+
+}  // namespace selest

@@ -1,0 +1,28 @@
+// Dataset persistence.
+//
+// The paper's data files were published for download (§5.1); this module
+// lets the generated stand-ins be exported and re-imported, in a simple
+// one-value-per-line text format and in the binary format of
+// util/serialize.h.
+#ifndef SELEST_DATA_IO_H_
+#define SELEST_DATA_IO_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// Text format: header line "selest-dataset <name> <lo> <hi> <discrete>
+// <bits>", then one value per line.
+Status SaveDatasetText(const Dataset& data, const std::string& path);
+StatusOr<Dataset> LoadDatasetText(const std::string& path);
+
+// Binary format via ByteWriter (versioned, bounds-checked on read).
+Status SaveDatasetBinary(const Dataset& data, const std::string& path);
+StatusOr<Dataset> LoadDatasetBinary(const std::string& path);
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_IO_H_

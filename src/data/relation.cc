@@ -1,0 +1,50 @@
+#include "src/data/relation.h"
+
+#include <set>
+
+namespace selest {
+
+StatusOr<Relation> Relation::Create(
+    std::string name, std::vector<std::shared_ptr<Dataset>> columns) {
+  if (columns.empty()) {
+    return InvalidArgumentError("relation needs at least one column");
+  }
+  std::set<std::string> names;
+  for (const auto& column : columns) {
+    if (column == nullptr) {
+      return InvalidArgumentError("null column");
+    }
+  }
+  const size_t records = columns.front()->size();
+  for (const auto& column : columns) {
+    if (column->size() != records) {
+      return InvalidArgumentError("column '" + column->name() + "' has " +
+                                  std::to_string(column->size()) +
+                                  " records, expected " +
+                                  std::to_string(records));
+    }
+    if (!names.insert(column->name()).second) {
+      return InvalidArgumentError("duplicate column name '" + column->name() +
+                                  "'");
+    }
+  }
+  return Relation(std::move(name), std::move(columns), records);
+}
+
+StatusOr<std::shared_ptr<Dataset>> Relation::Column(
+    const std::string& attribute) const {
+  for (const auto& column : columns_) {
+    if (column->name() == attribute) return column;
+  }
+  return NotFoundError("no column named '" + attribute + "' in relation '" +
+                       name_ + "'");
+}
+
+StatusOr<size_t> Relation::CountRange(const std::string& attribute, double a,
+                                      double b) const {
+  auto column = Column(attribute);
+  if (!column.ok()) return column.status();
+  return column.value()->CountInRange(a, b);
+}
+
+}  // namespace selest

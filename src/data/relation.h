@@ -1,0 +1,56 @@
+// A minimal relation abstraction: named columns over a common record count.
+//
+// Selectivity estimation serves a query optimizer; this layer gives the
+// examples and integration tests a database-shaped surface (relation,
+// attribute, range predicate) on top of Dataset.
+#ifndef SELEST_DATA_RELATION_H_
+#define SELEST_DATA_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// A relation R with metric attributes A_1..A_k, each stored as a column of
+// values (one per record). All columns must have the same record count.
+class Relation {
+ public:
+  // Builds a relation from columns; fails if column sizes differ or a name
+  // repeats.
+  static StatusOr<Relation> Create(std::string name,
+                                   std::vector<std::shared_ptr<Dataset>> columns);
+
+  const std::string& name() const { return name_; }
+  size_t num_records() const { return num_records_; }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::shared_ptr<Dataset>>& columns() const {
+    return columns_;
+  }
+
+  // The column named `attribute`, or NOT_FOUND.
+  StatusOr<std::shared_ptr<Dataset>> Column(const std::string& attribute) const;
+
+  // Exact result size of the range predicate a <= attribute <= b
+  // (the instance selectivity numerator).
+  StatusOr<size_t> CountRange(const std::string& attribute, double a,
+                              double b) const;
+
+ private:
+  Relation(std::string name, std::vector<std::shared_ptr<Dataset>> columns,
+           size_t num_records)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        num_records_(num_records) {}
+
+  std::string name_;
+  std::vector<std::shared_ptr<Dataset>> columns_;
+  size_t num_records_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_RELATION_H_

@@ -1,0 +1,118 @@
+#include "src/data/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace selest {
+namespace {
+
+double Reflect01(double v) {
+  // Reflects v into [0, 1] (handles any finite value).
+  v = std::fabs(v);
+  const double period = std::fmod(v, 2.0);
+  return period <= 1.0 ? period : 2.0 - period;
+}
+
+}  // namespace
+
+std::vector<Point2> GenerateStreetNetwork(const StreetNetworkConfig& config,
+                                          size_t min_points, Rng& rng) {
+  SELEST_CHECK_GT(config.num_clusters, 0);
+  SELEST_CHECK_GT(min_points, 0u);
+  // Cluster centers and per-cluster intensity (towns differ in size).
+  std::vector<Point2> centers(config.num_clusters);
+  std::vector<double> intensity(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    centers[c] = {rng.NextDouble(), rng.NextDouble()};
+    // Zipf-ish town sizes: a few dominant towns, many hamlets.
+    intensity[c] = 1.0 / (1.0 + c);
+  }
+  double total_intensity = 0.0;
+  for (double w : intensity) total_intensity += w;
+
+  std::vector<Point2> points;
+  points.reserve(min_points + 2);
+  while (points.size() < min_points) {
+    Point2 midpoint;
+    if (rng.NextDouble() < config.rural_fraction) {
+      midpoint = {rng.NextDouble(), rng.NextDouble()};
+    } else {
+      // Pick a cluster proportionally to intensity.
+      double u = rng.NextDouble() * total_intensity;
+      int cluster = 0;
+      while (cluster + 1 < config.num_clusters && u > intensity[cluster]) {
+        u -= intensity[cluster];
+        ++cluster;
+      }
+      midpoint = {
+          Reflect01(centers[cluster].x +
+                    config.cluster_spread * rng.NextGaussian()),
+          Reflect01(centers[cluster].y +
+                    config.cluster_spread * rng.NextGaussian())};
+    }
+    // Street grids favour axis-aligned segments; mix in diagonals.
+    double angle;
+    const double direction_pick = rng.NextDouble();
+    if (direction_pick < 0.4) {
+      angle = 0.0;
+    } else if (direction_pick < 0.8) {
+      angle = std::numbers::pi / 2.0;
+    } else {
+      angle = rng.NextDouble() * std::numbers::pi;
+    }
+    const double half =
+        0.5 * config.segment_length * (0.5 + rng.NextDouble());
+    const double dx = half * std::cos(angle);
+    const double dy = half * std::sin(angle);
+    points.push_back({Reflect01(midpoint.x - dx), Reflect01(midpoint.y - dy)});
+    points.push_back({Reflect01(midpoint.x + dx), Reflect01(midpoint.y + dy)});
+  }
+  return points;
+}
+
+std::vector<Point2> GeneratePolylines(const PolylineConfig& config,
+                                      size_t min_points, Rng& rng) {
+  SELEST_CHECK_GT(config.num_polylines, 0);
+  SELEST_CHECK_GT(min_points, 0u);
+  SELEST_CHECK_GE(config.persistence, 0.0);
+  SELEST_CHECK_LT(config.persistence, 1.0);
+  const size_t steps_per_line =
+      (min_points + config.num_polylines - 1) /
+      static_cast<size_t>(config.num_polylines);
+  std::vector<Point2> points;
+  points.reserve(min_points + steps_per_line);
+  for (int line = 0; line < config.num_polylines; ++line) {
+    Point2 position{rng.NextDouble(), rng.NextDouble()};
+    double heading = rng.NextDouble() * 2.0 * std::numbers::pi;
+    for (size_t step = 0; step < steps_per_line; ++step) {
+      points.push_back(position);
+      // Persistent direction with Gaussian turning noise.
+      heading += (1.0 - config.persistence) * 2.0 * rng.NextGaussian();
+      position.x =
+          Reflect01(position.x + config.step_length * std::cos(heading));
+      position.y =
+          Reflect01(position.y + config.step_length * std::sin(heading));
+    }
+  }
+  return points;
+}
+
+Dataset MarginalDataset(std::string name, const std::vector<Point2>& points,
+                        Axis axis, int bits, size_t count) {
+  SELEST_CHECK_GE(points.size(), count);
+  const Domain domain = BitDomain(bits);
+  std::vector<double> values;
+  values.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double coordinate = axis == Axis::kX ? points[i].x : points[i].y;
+    // Scale [0, 1] onto the integer domain and quantize.
+    const double scaled = coordinate * domain.hi;
+    values.push_back(domain.Clamp(domain.Quantize(scaled)));
+  }
+  return Dataset(std::move(name), domain, std::move(values));
+}
+
+}  // namespace selest

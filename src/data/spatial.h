@@ -1,0 +1,81 @@
+// Synthetic spatial data standing in for the paper's TIGER/Line files.
+//
+// The paper's real data are the endpoints of line features (streets of
+// county Arapahoe; rail roads and rivers around L.A.) projected onto one
+// coordinate. Those files are not obtainable here, so this module generates
+// geometry with the same statistical character:
+//
+//  * StreetNetwork: urban clusters of short street segments plus sparse
+//    rural segments. Marginals are multimodal and rough — locally dense
+//    plateaus with sharp urban/rural change points, which is exactly the
+//    regime where pure kernel estimators lose to the hybrid (§5.2.6).
+//  * Polylines: long random-walk polylines (rail roads, rivers). Vertices
+//    concentrate in bands, producing strongly non-uniform, ridged marginals.
+//
+// Each generator returns 2-D points; MarginalDataset projects one dimension
+// onto a p-bit integer domain, matching Table 2 (arap1/arap2, rr1/rr2).
+#ifndef SELEST_DATA_SPATIAL_H_
+#define SELEST_DATA_SPATIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Configuration of the street-network generator. Coordinates live in the
+// unit square.
+struct StreetNetworkConfig {
+  // Number of urban clusters (towns).
+  int num_clusters = 12;
+  // Street segments per cluster; each segment contributes two endpoints.
+  int segments_per_cluster = 60;
+  // Spread of a cluster (standard deviation of segment midpoints).
+  double cluster_spread = 0.035;
+  // Typical street segment length.
+  double segment_length = 0.01;
+  // Fraction of segments that are rural (uniform over the square).
+  double rural_fraction = 0.15;
+};
+
+// Generates endpoints of street segments until at least `min_points` points
+// exist (two per segment).
+std::vector<Point2> GenerateStreetNetwork(const StreetNetworkConfig& config,
+                                          size_t min_points, Rng& rng);
+
+// Configuration of the polyline (rail road & river) generator.
+struct PolylineConfig {
+  // Number of polylines (rivers/tracks).
+  int num_polylines = 40;
+  // Random-walk step length.
+  double step_length = 0.004;
+  // Directional persistence in [0, 1): 0 is Brownian, near 1 is straight.
+  double persistence = 0.92;
+};
+
+// Generates polyline vertices until at least `min_points` points exist.
+// Walks reflect at the unit-square boundary.
+std::vector<Point2> GeneratePolylines(const PolylineConfig& config,
+                                      size_t min_points, Rng& rng);
+
+// Which coordinate of the 2-D points to project.
+enum class Axis { kX, kY };
+
+// Projects one coordinate of `points` onto the integer domain [0, 2^p − 1]
+// and returns it as a data file with exactly `count` records (truncating
+// extras). Mirrors the paper's "1st dim. / 2nd dim." columns of Table 2.
+Dataset MarginalDataset(std::string name, const std::vector<Point2>& points,
+                        Axis axis, int bits, size_t count);
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_SPATIAL_H_

@@ -1,0 +1,38 @@
+#include "src/density/boundary_kernel.h"
+
+#include "src/util/check.h"
+
+namespace selest {
+
+double LeftBoundaryKernel(double u, double q) {
+  SELEST_CHECK_GE(q, 0.0);
+  SELEST_CHECK_LE(q, 1.0);
+  if (u < -1.0 || u > q) return 0.0;
+  const double one_plus_q = 1.0 + q;
+  return (3.0 + 3.0 * q * q - 6.0 * u * u) /
+         (one_plus_q * one_plus_q * one_plus_q);
+}
+
+double RightBoundaryKernel(double u, double q) {
+  return LeftBoundaryKernel(-u, q);
+}
+
+double LeftBoundaryKernelMoment0(double q) {
+  // ∫_{−1}^{q} (3 + 3q² − 6u²) du = (1+q)³, so the normalized integral is 1
+  // identically; evaluated explicitly here for test transparency.
+  const double one_plus_q = 1.0 + q;
+  const double raw = 3.0 * one_plus_q + 3.0 * q * q * one_plus_q -
+                     2.0 * (q * q * q + 1.0);
+  return raw / (one_plus_q * one_plus_q * one_plus_q);
+}
+
+double LeftBoundaryKernelMoment1(double q) {
+  // ∫_{−1}^{q} u (3 + 3q² − 6u²) du = 0 identically (second-order kernel).
+  const double q2 = q * q;
+  const double raw = (3.0 + 3.0 * q2) * 0.5 * (q2 - 1.0) -
+                     1.5 * (q2 * q2 - 1.0);
+  const double one_plus_q = 1.0 + q;
+  return raw / (one_plus_q * one_plus_q * one_plus_q);
+}
+
+}  // namespace selest

@@ -1,0 +1,31 @@
+// Boundary kernels (§3.2.1).
+//
+// Near a domain boundary the ordinary kernel loses mass outside the domain
+// and the estimator becomes inconsistent. The paper adopts the family of
+// Simonoff & Dong (1994): for the left boundary l and an evaluation point x
+// with q = (x − l)/h in [0, 1],
+//
+//   K^(l)(u, q) = (3 + 3q² − 6u²) / (1 + q)³ · 1[−1 <= u <= q].
+//
+// For every q the kernel integrates to one and has vanishing first moment,
+// restoring consistency at the boundary; at q = 1 it reduces to the
+// Epanechnikov kernel. The right-boundary family is the mirror image.
+#ifndef SELEST_DENSITY_BOUNDARY_KERNEL_H_
+#define SELEST_DENSITY_BOUNDARY_KERNEL_H_
+
+namespace selest {
+
+// K^(l)(u, q) for the left boundary; q must be in [0, 1].
+double LeftBoundaryKernel(double u, double q);
+
+// K^(r)(u, q) = K^(l)(−u, q) for the right boundary; q must be in [0, 1].
+double RightBoundaryKernel(double u, double q);
+
+// First and second moments, exposed for tests of the consistency-restoring
+// moment conditions: Moment0 == 1 and Moment1 == 0 for all q in [0, 1].
+double LeftBoundaryKernelMoment0(double q);
+double LeftBoundaryKernelMoment1(double q);
+
+}  // namespace selest
+
+#endif  // SELEST_DENSITY_BOUNDARY_KERNEL_H_

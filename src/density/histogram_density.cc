@@ -1,0 +1,102 @@
+#include "src/density/histogram_density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace selest {
+
+StatusOr<BinnedDensity> BinnedDensity::Create(std::vector<double> edges,
+                                              std::vector<double> counts,
+                                              double total_count) {
+  if (edges.size() < 2) {
+    return InvalidArgumentError("histogram needs at least two edges");
+  }
+  if (counts.size() + 1 != edges.size()) {
+    return InvalidArgumentError("counts must have edges.size()-1 entries");
+  }
+  if (!(total_count > 0.0)) {
+    return InvalidArgumentError("total_count must be positive");
+  }
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    if (edges[i] > edges[i + 1]) {
+      return InvalidArgumentError("edges must be non-decreasing");
+    }
+  }
+  for (double c : counts) {
+    if (c < 0.0) return InvalidArgumentError("counts must be non-negative");
+  }
+  return BinnedDensity(std::move(edges), std::move(counts), total_count);
+}
+
+StatusOr<BinnedDensity> BinnedDensity::FromSample(
+    std::span<const double> sample, std::vector<double> edges) {
+  if (sample.empty()) {
+    return InvalidArgumentError("histogram needs a non-empty sample");
+  }
+  if (edges.size() < 2) {
+    return InvalidArgumentError("histogram needs at least two edges");
+  }
+  std::vector<double> counts(edges.size() - 1, 0.0);
+  for (double v : sample) {
+    // Bin i covers (edges[i], edges[i+1]]; the first bin also includes its
+    // left edge so the full edge range is covered.
+    auto it = std::lower_bound(edges.begin(), edges.end(), v);
+    size_t bin;
+    if (it == edges.begin()) {
+      bin = 0;
+    } else {
+      bin = static_cast<size_t>(it - edges.begin()) - 1;
+    }
+    bin = std::min(bin, counts.size() - 1);
+    counts[bin] += 1.0;
+  }
+  const double total = static_cast<double>(sample.size());
+  return Create(std::move(edges), std::move(counts), total);
+}
+
+double BinnedDensity::Density(double x) const {
+  if (x < edges_.front() || x > edges_.back()) return 0.0;
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  size_t bin = it == edges_.begin()
+                   ? 0
+                   : static_cast<size_t>(it - edges_.begin()) - 1;
+  bin = std::min(bin, counts_.size() - 1);
+  const double width = edges_[bin + 1] - edges_[bin];
+  if (width <= 0.0) {
+    return counts_[bin] > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return counts_[bin] / (total_count_ * width);
+}
+
+double BinnedDensity::Selectivity(double a, double b) const {
+  if (a > b) return 0.0;
+  double mass = 0.0;
+  // Only bins overlapping [a, b] contribute; find the first candidate by
+  // binary search. lower_bound (not upper_bound) so that zero-width atom
+  // bins located exactly at `a` are not skipped.
+  const auto first = std::lower_bound(edges_.begin(), edges_.end(), a);
+  size_t i = first == edges_.begin()
+                 ? 0
+                 : static_cast<size_t>(first - edges_.begin()) - 1;
+  for (; i < counts_.size() && edges_[i] <= b; ++i) {
+    const double lo = edges_[i];
+    const double hi = edges_[i + 1];
+    const double width = hi - lo;
+    if (width <= 0.0) {
+      // Atom at lo: all of its mass lies inside [a, b] iff a <= lo <= b.
+      if (lo >= a && lo <= b) mass += counts_[i];
+      continue;
+    }
+    const double overlap = std::min(b, hi) - std::max(a, lo);
+    if (overlap <= 0.0) continue;
+    mass += counts_[i] * (overlap / width);
+  }
+  return std::clamp(mass / total_count_, 0.0, 1.0);
+}
+
+size_t BinnedDensity::StorageBytes() const {
+  return sizeof(double) * (edges_.size() + counts_.size());
+}
+
+}  // namespace selest

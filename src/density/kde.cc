@@ -1,0 +1,117 @@
+#include "src/density/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/density/boundary_kernel.h"
+#include "src/util/check.h"
+
+namespace selest {
+
+const char* BoundaryPolicyName(BoundaryPolicy policy) {
+  switch (policy) {
+    case BoundaryPolicy::kNone:
+      return "none";
+    case BoundaryPolicy::kReflection:
+      return "reflection";
+    case BoundaryPolicy::kBoundaryKernel:
+      return "boundary-kernel";
+  }
+  return "unknown";
+}
+
+StatusOr<Kde> Kde::Create(std::span<const double> sample, double bandwidth,
+                          const Domain& domain, Kernel kernel,
+                          BoundaryPolicy boundary) {
+  if (sample.empty()) {
+    return InvalidArgumentError("kde needs a non-empty sample");
+  }
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return InvalidArgumentError("kde bandwidth must be positive and finite");
+  }
+  if (boundary == BoundaryPolicy::kBoundaryKernel &&
+      kernel.type() != KernelType::kEpanechnikov) {
+    return InvalidArgumentError(
+        "boundary kernels extend the Epanechnikov kernel only");
+  }
+  std::vector<double> samples(sample.begin(), sample.end());
+  const size_t original_count = samples.size();
+  if (boundary == BoundaryPolicy::kReflection) {
+    // Mirror samples within one kernel radius of each boundary (§3.2.1);
+    // those samples are counted twice.
+    const double radius = kernel.support_radius() * bandwidth;
+    for (size_t i = 0; i < original_count; ++i) {
+      const double x = samples[i];
+      if (x - domain.lo < radius) samples.push_back(2.0 * domain.lo - x);
+      if (domain.hi - x < radius) samples.push_back(2.0 * domain.hi - x);
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  return Kde(std::move(samples), original_count, bandwidth, domain, kernel,
+             boundary);
+}
+
+Kde::Kde(std::vector<double> samples, size_t original_count, double bandwidth,
+         const Domain& domain, Kernel kernel, BoundaryPolicy boundary)
+    : samples_(std::move(samples)),
+      original_count_(original_count),
+      bandwidth_(bandwidth),
+      domain_(domain),
+      kernel_(kernel),
+      boundary_(boundary) {}
+
+double Kde::Density(double x) const {
+  if (boundary_ == BoundaryPolicy::kBoundaryKernel) {
+    return BoundaryKernelDensity(x);
+  }
+  return PlainDensity(x);
+}
+
+double Kde::PlainDensity(double x) const {
+  const double radius = kernel_.support_radius() * bandwidth_;
+  const auto first =
+      std::lower_bound(samples_.begin(), samples_.end(), x - radius);
+  const auto last =
+      std::upper_bound(samples_.begin(), samples_.end(), x + radius);
+  double sum = 0.0;
+  for (auto it = first; it != last; ++it) {
+    sum += kernel_.Value((x - *it) / bandwidth_);
+  }
+  // Normalization uses the original n even when reflected copies exist:
+  // reflection re-assigns each boundary sample's outside mass, it does not
+  // add samples.
+  return sum / (static_cast<double>(original_count_) * bandwidth_);
+}
+
+double Kde::BoundaryKernelDensity(double x) const {
+  const double h = bandwidth_;
+  const bool near_left = x - domain_.lo < h;
+  const bool near_right = domain_.hi - x < h;
+  if (!near_left && !near_right) return PlainDensity(x);
+
+  double sum = 0.0;
+  if (near_left) {
+    const double q = std::clamp((x - domain_.lo) / h, 0.0, 1.0);
+    // Support of K^(l)((x−X)/h, q) is X in [x − qh, x + h].
+    const auto first =
+        std::lower_bound(samples_.begin(), samples_.end(), x - q * h);
+    const auto last =
+        std::upper_bound(samples_.begin(), samples_.end(), x + h);
+    for (auto it = first; it != last; ++it) {
+      sum += LeftBoundaryKernel((x - *it) / h, q);
+    }
+  } else {
+    const double q = std::clamp((domain_.hi - x) / h, 0.0, 1.0);
+    // Support of K^(r)((x−X)/h, q) is X in [x − h, x + qh].
+    const auto first =
+        std::lower_bound(samples_.begin(), samples_.end(), x - h);
+    const auto last =
+        std::upper_bound(samples_.begin(), samples_.end(), x + q * h);
+    for (auto it = first; it != last; ++it) {
+      sum += RightBoundaryKernel((x - *it) / h, q);
+    }
+  }
+  return sum / (static_cast<double>(original_count_) * h);
+}
+
+}  // namespace selest

@@ -1,0 +1,78 @@
+// Kernel density estimation (§3.2, equation (5)).
+//
+//   f̂_K(x) = (1/nh) Σ_i K((x − X_i)/h)
+//
+// This class evaluates the density itself. It backs the illustration of
+// Fig. 1, the pilot estimates of the hybrid estimator (§3.3), and the
+// change-point detector; the selectivity integral of Alg. 1 lives in
+// est/kernel_estimator.h.
+#ifndef SELEST_DENSITY_KDE_H_
+#define SELEST_DENSITY_KDE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/data/domain.h"
+#include "src/density/kernel.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// How the estimator treats the domain boundaries (§3.2.1).
+enum class BoundaryPolicy {
+  // Plain kernel estimate; loses mass outside the domain, inflating errors
+  // for queries near the boundary (Fig. 3).
+  kNone,
+  // Samples within one bandwidth of a boundary are mirrored across it: the
+  // estimate is a density again, at the price of consistency (§3.2.1).
+  kReflection,
+  // Simonoff–Dong boundary kernels replace the Epanechnikov kernel within
+  // one bandwidth of a boundary: consistent, but the estimate need not
+  // integrate to exactly one (§3.2.1).
+  kBoundaryKernel,
+};
+
+const char* BoundaryPolicyName(BoundaryPolicy policy);
+
+// A kernel density estimate over a metric domain.
+class Kde {
+ public:
+  // Builds the estimate. Fails when the sample is empty or the bandwidth is
+  // not positive. The boundary-kernel policy requires the Epanechnikov
+  // kernel (the family of §3.2.1 extends it specifically).
+  static StatusOr<Kde> Create(std::span<const double> sample, double bandwidth,
+                              const Domain& domain,
+                              Kernel kernel = Kernel(),
+                              BoundaryPolicy boundary = BoundaryPolicy::kNone);
+
+  // Density estimate at x. O(log n + k) with k samples within one kernel
+  // radius of x.
+  double Density(double x) const;
+
+  double bandwidth() const { return bandwidth_; }
+  const Kernel& kernel() const { return kernel_; }
+  BoundaryPolicy boundary_policy() const { return boundary_; }
+  const Domain& domain() const { return domain_; }
+  // Number of original (pre-reflection) samples.
+  size_t sample_size() const { return original_count_; }
+  // Sorted samples, including reflected copies under kReflection.
+  const std::vector<double>& effective_samples() const { return samples_; }
+
+ private:
+  Kde(std::vector<double> samples, size_t original_count, double bandwidth,
+      const Domain& domain, Kernel kernel, BoundaryPolicy boundary);
+
+  double PlainDensity(double x) const;
+  double BoundaryKernelDensity(double x) const;
+
+  std::vector<double> samples_;  // sorted; reflected copies included
+  size_t original_count_;
+  double bandwidth_;
+  Domain domain_;
+  Kernel kernel_;
+  BoundaryPolicy boundary_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_DENSITY_KDE_H_

@@ -1,0 +1,128 @@
+#include "src/density/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace selest {
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+Kernel::Kernel(KernelType type) : type_(type) {}
+
+double Kernel::Value(double t) const {
+  const double abs_t = std::fabs(t);
+  switch (type_) {
+    case KernelType::kEpanechnikov:
+      return abs_t <= 1.0 ? 0.75 * (1.0 - t * t) : 0.0;
+    case KernelType::kBiweight: {
+      if (abs_t > 1.0) return 0.0;
+      const double w = 1.0 - t * t;
+      return (15.0 / 16.0) * w * w;
+    }
+    case KernelType::kTriangular:
+      return abs_t <= 1.0 ? 1.0 - abs_t : 0.0;
+    case KernelType::kUniform:
+      return abs_t <= 1.0 ? 0.5 : 0.0;
+    case KernelType::kGaussian:
+      return std::exp(-0.5 * t * t) / std::sqrt(2.0 * std::numbers::pi);
+  }
+  return 0.0;
+}
+
+double Kernel::Cdf(double t) const {
+  switch (type_) {
+    case KernelType::kEpanechnikov: {
+      if (t <= -1.0) return 0.0;
+      if (t >= 1.0) return 1.0;
+      // 0.5 + F_K(t) with the paper's primitive F_K(t) = (3t − t³)/4.
+      return 0.5 + 0.25 * (3.0 * t - t * t * t);
+    }
+    case KernelType::kBiweight: {
+      if (t <= -1.0) return 0.0;
+      if (t >= 1.0) return 1.0;
+      const double t3 = t * t * t;
+      return 0.5 + (15.0 / 16.0) * (t - 2.0 * t3 / 3.0 + t3 * t * t / 5.0);
+    }
+    case KernelType::kTriangular: {
+      if (t <= -1.0) return 0.0;
+      if (t >= 1.0) return 1.0;
+      if (t < 0.0) {
+        const double u = 1.0 + t;
+        return 0.5 * u * u;
+      }
+      const double u = 1.0 - t;
+      return 1.0 - 0.5 * u * u;
+    }
+    case KernelType::kUniform:
+      return Clamp01(0.5 * (t + 1.0));
+    case KernelType::kGaussian:
+      return 0.5 * std::erfc(-t / std::numbers::sqrt2);
+  }
+  return 0.0;
+}
+
+double Kernel::support_radius() const {
+  // 6 sigma leaves < 1e-8 Gaussian mass outside; all others are compact.
+  return type_ == KernelType::kGaussian ? 6.0 : 1.0;
+}
+
+double Kernel::squared_l2_norm() const {
+  switch (type_) {
+    case KernelType::kEpanechnikov:
+      return 3.0 / 5.0;
+    case KernelType::kBiweight:
+      return 5.0 / 7.0;
+    case KernelType::kTriangular:
+      return 2.0 / 3.0;
+    case KernelType::kUniform:
+      return 0.5;
+    case KernelType::kGaussian:
+      return 1.0 / (2.0 * std::sqrt(std::numbers::pi));
+  }
+  return 0.0;
+}
+
+double Kernel::second_moment() const {
+  switch (type_) {
+    case KernelType::kEpanechnikov:
+      return 1.0 / 5.0;
+    case KernelType::kBiweight:
+      return 1.0 / 7.0;
+    case KernelType::kTriangular:
+      return 1.0 / 6.0;
+    case KernelType::kUniform:
+      return 1.0 / 3.0;
+    case KernelType::kGaussian:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double Kernel::normal_scale_constant() const {
+  const double r = squared_l2_norm();
+  const double k2 = second_moment();
+  return std::pow(8.0 * std::sqrt(std::numbers::pi) * r / (3.0 * k2 * k2),
+                  0.2);
+}
+
+std::string Kernel::name() const {
+  switch (type_) {
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+    case KernelType::kBiweight:
+      return "biweight";
+    case KernelType::kTriangular:
+      return "triangular";
+    case KernelType::kUniform:
+      return "uniform";
+    case KernelType::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+}  // namespace selest

@@ -1,0 +1,62 @@
+// Kernel functions for density and selectivity estimation (§3.2).
+//
+// The paper uses the Epanechnikov kernel and notes that the choice of kernel
+// matters far less than the choice of bandwidth. Alternatives are provided
+// to verify that claim empirically (ablation A1 in DESIGN.md). Each kernel
+// K is symmetric, integrates to one, has zero first moment and nonzero
+// second moment k2 — the conditions (a)–(c) of §4.2.
+#ifndef SELEST_DENSITY_KERNEL_H_
+#define SELEST_DENSITY_KERNEL_H_
+
+#include <string>
+
+namespace selest {
+
+enum class KernelType {
+  kEpanechnikov,
+  kBiweight,
+  kTriangular,
+  kUniform,
+  kGaussian,
+};
+
+// A symmetric probability kernel. Value type; cheap to copy.
+class Kernel {
+ public:
+  explicit Kernel(KernelType type = KernelType::kEpanechnikov);
+
+  KernelType type() const { return type_; }
+
+  // K(t).
+  double Value(double t) const;
+
+  // ∫_{-inf}^{t} K(u) du — the primitive the kernel selectivity estimator is
+  // built from (Alg. 1 uses F(t) − 1/2, this is the full CDF).
+  double Cdf(double t) const;
+
+  // Radius of the kernel's support: K(t) = 0 for |t| > support_radius().
+  // The Gaussian kernel reports an effective radius beyond which its mass is
+  // negligible (< 1e-8), so boundary logic stays finite.
+  double support_radius() const;
+
+  // R(K) = ∫ K(t)² dt, the roughness term of the AIVar formula (9b).
+  double squared_l2_norm() const;
+
+  // k2 = ∫ t² K(t) dt, the second moment of condition (c) in §4.2
+  // (1/5 for Epanechnikov).
+  double second_moment() const;
+
+  // The bandwidth constant of the normal scale rule (§4.2):
+  //   h = C(K) · s · n^(−1/5),  C(K) = (8√π R(K) / (3 k2²))^(1/5).
+  // ≈ 2.345 for Epanechnikov, the value quoted in the paper.
+  double normal_scale_constant() const;
+
+  std::string name() const;
+
+ private:
+  KernelType type_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_DENSITY_KERNEL_H_

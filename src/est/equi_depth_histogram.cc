@@ -1,0 +1,61 @@
+#include "src/est/equi_depth_histogram.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace selest {
+
+StatusOr<EquiDepthHistogram> EquiDepthHistogram::Create(
+    std::span<const double> sample, const Domain& domain, int num_bins) {
+  if (sample.empty()) {
+    return InvalidArgumentError("equi-depth histogram needs a sample");
+  }
+  if (num_bins < 1) {
+    return InvalidArgumentError("equi-depth histogram needs >= 1 bin");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+
+  // Interior edges at the i/k sample quantiles; outer edges at the domain
+  // boundaries so the estimator covers the whole attribute range. Counts
+  // come from the rank partition — exactly n/k per bin — rather than from
+  // re-bucketing: under heavy duplication several quantile edges coincide
+  // and the duplicated value's mass must stay distributed over the
+  // resulting zero-width (atom) bins, which re-bucketing into (c, c']
+  // intervals would collapse into the leftmost bin.
+  std::vector<double> edges;
+  std::vector<double> counts;
+  edges.reserve(static_cast<size_t>(num_bins) + 1);
+  counts.reserve(static_cast<size_t>(num_bins));
+  edges.push_back(domain.lo);
+  size_t previous_rank = 0;
+  for (int i = 1; i <= num_bins; ++i) {
+    const size_t rank =
+        i == num_bins
+            ? n
+            : static_cast<size_t>(i) * n / static_cast<size_t>(num_bins);
+    edges.push_back(i == num_bins ? domain.hi : sorted[std::min(rank, n - 1)]);
+    counts.push_back(static_cast<double>(rank - previous_rank));
+    previous_rank = rank;
+  }
+  // Duplicated data can make a quantile edge exceed a later one only via
+  // the domain clamp; enforce monotonicity for robustness.
+  for (size_t i = 1; i < edges.size(); ++i) {
+    edges[i] = std::max(edges[i], edges[i - 1]);
+  }
+  auto bins = BinnedDensity::Create(std::move(edges), std::move(counts),
+                                    static_cast<double>(n));
+  if (!bins.ok()) return bins.status();
+  return EquiDepthHistogram(std::move(bins).value());
+}
+
+double EquiDepthHistogram::EstimateSelectivity(double a, double b) const {
+  return bins_.Selectivity(a, b);
+}
+
+std::string EquiDepthHistogram::name() const {
+  return "equi-depth(" + std::to_string(num_bins()) + ")";
+}
+
+}  // namespace selest

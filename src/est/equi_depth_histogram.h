@@ -1,0 +1,39 @@
+// Equi-depth histogram estimator ([3], §3.1).
+//
+// Bin edges are placed at sample quantiles so every bin holds the same
+// number of samples. Heavy duplication can collapse edges; the resulting
+// zero-width bins are treated as atoms by BinnedDensity.
+#ifndef SELEST_EST_EQUI_DEPTH_HISTOGRAM_H_
+#define SELEST_EST_EQUI_DEPTH_HISTOGRAM_H_
+
+#include <span>
+
+#include "src/data/domain.h"
+#include "src/density/histogram_density.h"
+#include "src/est/selectivity_estimator.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+class EquiDepthHistogram : public SelectivityEstimator {
+ public:
+  static StatusOr<EquiDepthHistogram> Create(std::span<const double> sample,
+                                             const Domain& domain,
+                                             int num_bins);
+
+  double EstimateSelectivity(double a, double b) const override;
+  size_t StorageBytes() const override { return bins_.StorageBytes(); }
+  std::string name() const override;
+
+  int num_bins() const { return static_cast<int>(bins_.num_bins()); }
+  const BinnedDensity& bins() const { return bins_; }
+
+ private:
+  explicit EquiDepthHistogram(BinnedDensity bins) : bins_(std::move(bins)) {}
+
+  BinnedDensity bins_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_EST_EQUI_DEPTH_HISTOGRAM_H_

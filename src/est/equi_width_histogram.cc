@@ -1,0 +1,43 @@
+#include "src/est/equi_width_histogram.h"
+
+#include <cmath>
+#include <vector>
+
+namespace selest {
+
+StatusOr<EquiWidthHistogram> EquiWidthHistogram::Create(
+    std::span<const double> sample, const Domain& domain, int num_bins,
+    double shift) {
+  if (sample.empty()) {
+    return InvalidArgumentError("equi-width histogram needs a sample");
+  }
+  if (num_bins < 1) {
+    return InvalidArgumentError("equi-width histogram needs >= 1 bin");
+  }
+  const double width = domain.width() / num_bins;
+  if (shift < 0.0 || shift >= width) {
+    return InvalidArgumentError("shift must be in [0, bin width)");
+  }
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(num_bins) + 2);
+  // A nonzero shift adds a leading partial bin so the domain stays covered.
+  if (shift > 0.0) edges.push_back(domain.lo);
+  for (int i = 0; i <= num_bins; ++i) {
+    edges.push_back(std::min(domain.lo + shift + i * width, domain.hi));
+  }
+  // The trailing edge may have been clamped; ensure strict domain coverage.
+  if (edges.back() < domain.hi) edges.push_back(domain.hi);
+  auto bins = BinnedDensity::FromSample(sample, std::move(edges));
+  if (!bins.ok()) return bins.status();
+  return EquiWidthHistogram(std::move(bins).value(), width);
+}
+
+double EquiWidthHistogram::EstimateSelectivity(double a, double b) const {
+  return bins_.Selectivity(a, b);
+}
+
+std::string EquiWidthHistogram::name() const {
+  return "equi-width(" + std::to_string(num_bins()) + ")";
+}
+
+}  // namespace selest

@@ -1,0 +1,45 @@
+// Equi-width histogram estimator (§3.1).
+//
+// All bins have the same width h; with a bin count adapted to the sample
+// size it converges at rate O(n^−2/3), ahead of pure sampling. The winner
+// of the paper's histogram comparison on large metric domains (Fig. 8).
+#ifndef SELEST_EST_EQUI_WIDTH_HISTOGRAM_H_
+#define SELEST_EST_EQUI_WIDTH_HISTOGRAM_H_
+
+#include <span>
+
+#include "src/data/domain.h"
+#include "src/density/histogram_density.h"
+#include "src/est/selectivity_estimator.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+class EquiWidthHistogram : public SelectivityEstimator {
+ public:
+  // Partitions `domain` into `num_bins` equal bins, optionally shifted: the
+  // first edge starts at domain.lo + shift (shift in [0, bin width); used by
+  // the average shifted histogram). Fails on an empty sample or num_bins<1.
+  static StatusOr<EquiWidthHistogram> Create(std::span<const double> sample,
+                                             const Domain& domain,
+                                             int num_bins, double shift = 0.0);
+
+  double EstimateSelectivity(double a, double b) const override;
+  size_t StorageBytes() const override { return bins_.StorageBytes(); }
+  std::string name() const override;
+
+  int num_bins() const { return static_cast<int>(bins_.num_bins()); }
+  double bin_width() const { return bin_width_; }
+  const BinnedDensity& bins() const { return bins_; }
+
+ private:
+  EquiWidthHistogram(BinnedDensity bins, double bin_width)
+      : bins_(std::move(bins)), bin_width_(bin_width) {}
+
+  BinnedDensity bins_;
+  double bin_width_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_EST_EQUI_WIDTH_HISTOGRAM_H_

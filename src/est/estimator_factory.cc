@@ -1,0 +1,183 @@
+#include "src/est/estimator_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/est/average_shifted_histogram.h"
+#include "src/est/equi_depth_histogram.h"
+#include "src/est/equi_width_histogram.h"
+#include "src/est/hybrid_estimator.h"
+#include "src/est/kernel_estimator.h"
+#include "src/est/adaptive_kernel_estimator.h"
+#include "src/est/max_diff_histogram.h"
+#include "src/est/sampling_estimator.h"
+#include "src/est/uniform_estimator.h"
+#include "src/est/v_optimal_histogram.h"
+#include "src/est/wavelet_histogram.h"
+#include "src/smoothing/direct_plug_in.h"
+#include "src/smoothing/normal_scale.h"
+
+namespace selest {
+namespace {
+
+// Wraps a concrete estimator (value type) for the polymorphic interface.
+template <typename T>
+std::unique_ptr<SelectivityEstimator> Wrap(T estimator) {
+  return std::make_unique<T>(std::move(estimator));
+}
+
+int ResolveNumBins(std::span<const double> sample, const Domain& domain,
+                   const EstimatorConfig& config) {
+  switch (config.smoothing) {
+    case SmoothingRule::kNormalScale:
+      return NormalScaleNumBins(sample, domain);
+    case SmoothingRule::kDirectPlugIn:
+      return DirectPlugInNumBins(sample, domain, config.dpi_stages);
+    case SmoothingRule::kFixed:
+      return std::max(1, static_cast<int>(std::lround(config.fixed_smoothing)));
+  }
+  return 1;
+}
+
+double ResolveBandwidth(std::span<const double> sample, const Domain& domain,
+                        const EstimatorConfig& config, const Kernel& kernel) {
+  switch (config.smoothing) {
+    case SmoothingRule::kNormalScale:
+      return NormalScaleBandwidth(sample, domain, kernel);
+    case SmoothingRule::kDirectPlugIn:
+      return DirectPlugInBandwidth(sample, domain, kernel, config.dpi_stages);
+    case SmoothingRule::kFixed:
+      return config.fixed_smoothing;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kSampling:
+      return "sampling";
+    case EstimatorKind::kUniform:
+      return "uniform";
+    case EstimatorKind::kEquiWidth:
+      return "equi-width";
+    case EstimatorKind::kEquiDepth:
+      return "equi-depth";
+    case EstimatorKind::kMaxDiff:
+      return "max-diff";
+    case EstimatorKind::kAverageShifted:
+      return "ash";
+    case EstimatorKind::kKernel:
+      return "kernel";
+    case EstimatorKind::kHybrid:
+      return "hybrid";
+    case EstimatorKind::kVOptimal:
+      return "v-optimal";
+    case EstimatorKind::kAdaptiveKernel:
+      return "adaptive-kernel";
+    case EstimatorKind::kWavelet:
+      return "wavelet";
+  }
+  return "unknown";
+}
+
+const char* SmoothingRuleName(SmoothingRule rule) {
+  switch (rule) {
+    case SmoothingRule::kNormalScale:
+      return "h-NS";
+    case SmoothingRule::kDirectPlugIn:
+      return "h-DPI";
+    case SmoothingRule::kFixed:
+      return "h-fixed";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
+    std::span<const double> sample, const Domain& domain,
+    const EstimatorConfig& config) {
+  if (sample.empty() && config.kind != EstimatorKind::kUniform) {
+    return InvalidArgumentError("estimator needs a non-empty sample");
+  }
+  const Kernel kernel(config.kernel);
+  switch (config.kind) {
+    case EstimatorKind::kSampling: {
+      auto estimator = SamplingEstimator::Create(sample);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kUniform:
+      return std::unique_ptr<SelectivityEstimator>(
+          std::make_unique<UniformEstimator>(domain));
+    case EstimatorKind::kEquiWidth: {
+      auto estimator = EquiWidthHistogram::Create(
+          sample, domain, ResolveNumBins(sample, domain, config));
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kEquiDepth: {
+      auto estimator = EquiDepthHistogram::Create(
+          sample, domain, ResolveNumBins(sample, domain, config));
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kMaxDiff: {
+      auto estimator = MaxDiffHistogram::Create(
+          sample, domain, ResolveNumBins(sample, domain, config));
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kAverageShifted: {
+      auto estimator = AverageShiftedHistogram::Create(
+          sample, domain, ResolveNumBins(sample, domain, config),
+          config.ash_shifts);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kKernel: {
+      KernelEstimatorOptions options;
+      options.kernel = kernel;
+      options.boundary = config.boundary;
+      options.bandwidth = ResolveBandwidth(sample, domain, config, kernel);
+      auto estimator = KernelEstimator::Create(sample, domain, options);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kHybrid: {
+      HybridEstimatorOptions options;
+      options.kernel = kernel;
+      options.boundary = config.boundary;
+      auto estimator = HybridEstimator::Create(sample, domain, options);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kVOptimal: {
+      auto estimator = VOptimalHistogram::Create(
+          sample, domain, ResolveNumBins(sample, domain, config));
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kAdaptiveKernel: {
+      AdaptiveKernelOptions options;
+      options.kernel = kernel;
+      options.base_bandwidth = ResolveBandwidth(sample, domain, config, kernel);
+      auto estimator =
+          AdaptiveKernelEstimator::Create(sample, domain, options);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kWavelet: {
+      // The bin-count rules double as the coefficient budget: a histogram
+      // with k buckets and a synopsis of k coefficients store comparable
+      // state.
+      auto estimator = WaveletHistogram::Create(
+          sample, domain, ResolveNumBins(sample, domain, config));
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+  }
+  return InvalidArgumentError("unknown estimator kind");
+}
+
+}  // namespace selest

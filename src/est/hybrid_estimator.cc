@@ -1,0 +1,139 @@
+#include "src/est/hybrid_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/smoothing/normal_scale.h"
+#include "src/util/check.h"
+
+namespace selest {
+
+StatusOr<HybridEstimator> HybridEstimator::Create(
+    std::span<const double> sample, const Domain& domain,
+    const HybridEstimatorOptions& options) {
+  if (sample.empty()) {
+    return InvalidArgumentError("hybrid estimator needs a non-empty sample");
+  }
+  if (options.min_bin_fraction < 0.0 || options.min_bin_fraction >= 1.0) {
+    return InvalidArgumentError("min_bin_fraction must be in [0, 1)");
+  }
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // 1. Pilot estimate and change-point detection.
+  double pilot_bandwidth = options.pilot_bandwidth;
+  if (pilot_bandwidth <= 0.0) {
+    pilot_bandwidth = NormalScaleBandwidth(sorted, domain, options.kernel);
+  }
+  auto pilot = Kde::Create(sorted, pilot_bandwidth, domain, options.kernel,
+                           BoundaryPolicy::kReflection);
+  if (!pilot.ok()) return pilot.status();
+  std::vector<double> change_points =
+      DetectChangePoints(pilot.value(), domain, options.change_points);
+
+  // 2. Partition at the change points, then merge under-populated bins.
+  std::vector<double> partition;
+  partition.push_back(domain.lo);
+  for (double cp : change_points) partition.push_back(cp);
+  partition.push_back(domain.hi);
+
+  const auto count_in = [&sorted](double lo, double hi) {
+    const auto first = std::lower_bound(sorted.begin(), sorted.end(), lo);
+    const auto last = std::upper_bound(sorted.begin(), sorted.end(), hi);
+    return static_cast<size_t>(last - first);
+  };
+  const size_t min_count = static_cast<size_t>(
+      std::ceil(options.min_bin_fraction * static_cast<double>(sorted.size())));
+  // Repeatedly drop the interior boundary of the lightest under-populated
+  // bin (merging it with its smaller neighbor).
+  bool merged = true;
+  while (merged && partition.size() > 2) {
+    merged = false;
+    for (size_t i = 0; i + 1 < partition.size(); ++i) {
+      const size_t bin_count = count_in(partition[i], partition[i + 1]);
+      if (bin_count >= std::max<size_t>(min_count, 2)) continue;
+      // Merge with the lighter adjacent bin by erasing the shared edge.
+      if (i == 0) {
+        partition.erase(partition.begin() + 1);
+      } else if (i + 2 == partition.size()) {
+        partition.erase(partition.end() - 2);
+      } else {
+        const size_t left = count_in(partition[i - 1], partition[i]);
+        const size_t right = count_in(partition[i + 1], partition[i + 2]);
+        partition.erase(partition.begin() +
+                        static_cast<long>(left <= right ? i : i + 1));
+      }
+      merged = true;
+      break;
+    }
+  }
+
+  // 3. One kernel estimator per bin, with a per-bin bandwidth.
+  std::vector<Cell> cells;
+  cells.reserve(partition.size() - 1);
+  const double n = static_cast<double>(sorted.size());
+  for (size_t i = 0; i + 1 < partition.size(); ++i) {
+    const double lo = partition[i];
+    const double hi = partition[i + 1];
+    if (hi <= lo) continue;
+    const auto first = std::lower_bound(sorted.begin(), sorted.end(), lo);
+    // Bin i covers [lo, hi); the last bin also takes the right endpoint.
+    const auto last = i + 2 == partition.size()
+                          ? std::upper_bound(sorted.begin(), sorted.end(), hi)
+                          : std::lower_bound(sorted.begin(), sorted.end(), hi);
+    if (first == last) continue;
+    const std::span<const double> bin_sample(first, last);
+
+    Domain bin_domain = domain;
+    bin_domain.lo = lo;
+    bin_domain.hi = hi;
+    KernelEstimatorOptions kernel_options;
+    kernel_options.kernel = options.kernel;
+    kernel_options.boundary = options.boundary;
+    kernel_options.bandwidth =
+        NormalScaleBandwidth(bin_sample, bin_domain, options.kernel);
+    // Keep the bandwidth inside the bin so the boundary machinery applies.
+    kernel_options.bandwidth =
+        std::min(kernel_options.bandwidth, 0.5 * bin_domain.width());
+    if (kernel_options.bandwidth <= 0.0) {
+      kernel_options.bandwidth = 0.5 * bin_domain.width();
+    }
+    auto estimator =
+        KernelEstimator::Create(bin_sample, bin_domain, kernel_options);
+    if (!estimator.ok()) return estimator.status();
+    cells.push_back(Cell{bin_domain,
+                         static_cast<double>(bin_sample.size()) / n,
+                         std::move(estimator).value()});
+  }
+  if (cells.empty()) {
+    return InternalError("hybrid estimator produced no populated bins");
+  }
+  return HybridEstimator(std::move(partition), std::move(cells));
+}
+
+double HybridEstimator::EstimateSelectivity(double a, double b) const {
+  if (a > b) return 0.0;
+  double total = 0.0;
+  for (const Cell& cell : cells_) {
+    const double lo = std::max(a, cell.bin_domain.lo);
+    const double hi = std::min(b, cell.bin_domain.hi);
+    if (lo >= hi) continue;
+    // The per-bin estimator integrates to ~1 over its bin; scale by the
+    // bin's share of the sample.
+    total += cell.weight * cell.estimator.EstimateSelectivity(lo, hi);
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+size_t HybridEstimator::StorageBytes() const {
+  size_t total = sizeof(double) * partition_.size();
+  for (const Cell& cell : cells_) total += cell.estimator.StorageBytes();
+  return total;
+}
+
+std::string HybridEstimator::name() const {
+  return "hybrid(" + std::to_string(num_bins()) + " bins)";
+}
+
+}  // namespace selest

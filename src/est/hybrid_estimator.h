@@ -1,0 +1,77 @@
+// Hybrid histogram/kernel estimator (§3.3) — the paper's new method.
+//
+// Kernel estimators assume a smooth density; real data (street maps,
+// survey weights) have change points where the density jumps and the kernel
+// error concentrates. The hybrid estimator:
+//
+//   1. builds a pilot KDE and detects change points at the maxima of the
+//      estimated second derivative (est/change_point.h);
+//   2. partitions the domain into histogram bins at the change points and
+//      merges bins holding too few samples;
+//   3. runs an independent kernel estimator inside each bin — with its own
+//      normal-scale bandwidth and boundary treatment at the bin edges —
+//      weighted by the bin's sample fraction.
+//
+// On the paper's TIGER-derived files this beats both the pure kernel
+// estimator and every histogram (Fig. 12).
+#ifndef SELEST_EST_HYBRID_ESTIMATOR_H_
+#define SELEST_EST_HYBRID_ESTIMATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "src/data/domain.h"
+#include "src/density/kde.h"
+#include "src/density/kernel.h"
+#include "src/est/change_point.h"
+#include "src/est/kernel_estimator.h"
+#include "src/est/selectivity_estimator.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+struct HybridEstimatorOptions {
+  ChangePointConfig change_points;
+  // Pilot KDE bandwidth; 0 means "normal scale rule".
+  double pilot_bandwidth = 0.0;
+  // Bins holding fewer than this fraction of the samples are merged into a
+  // neighbor (the paper merges bins whose record count is too small).
+  double min_bin_fraction = 0.02;
+  // Kernel and boundary treatment used inside each bin. The paper's Fig. 12
+  // hybrid uses boundary kernel functions.
+  Kernel kernel = Kernel(KernelType::kEpanechnikov);
+  BoundaryPolicy boundary = BoundaryPolicy::kBoundaryKernel;
+};
+
+class HybridEstimator : public SelectivityEstimator {
+ public:
+  static StatusOr<HybridEstimator> Create(std::span<const double> sample,
+                                          const Domain& domain,
+                                          const HybridEstimatorOptions& options);
+
+  double EstimateSelectivity(double a, double b) const override;
+  size_t StorageBytes() const override;
+  std::string name() const override;
+
+  // Bin boundaries actually used (after merging), including both domain
+  // endpoints; size() is number of bins + 1.
+  const std::vector<double>& partition() const { return partition_; }
+  size_t num_bins() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    Domain bin_domain;
+    double weight;  // fraction of samples in this bin
+    KernelEstimator estimator;
+  };
+
+  HybridEstimator(std::vector<double> partition, std::vector<Cell> cells)
+      : partition_(std::move(partition)), cells_(std::move(cells)) {}
+
+  std::vector<double> partition_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_EST_HYBRID_ESTIMATOR_H_

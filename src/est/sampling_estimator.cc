@@ -1,0 +1,28 @@
+#include "src/est/sampling_estimator.h"
+
+#include <algorithm>
+
+namespace selest {
+
+StatusOr<SamplingEstimator> SamplingEstimator::Create(
+    std::span<const double> sample) {
+  if (sample.empty()) {
+    return InvalidArgumentError("sampling estimator needs a non-empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return SamplingEstimator(std::move(sorted));
+}
+
+double SamplingEstimator::EstimateSelectivity(double a, double b) const {
+  if (a > b) return 0.0;
+  const auto lo = std::lower_bound(sorted_.begin(), sorted_.end(), a);
+  const auto hi = std::upper_bound(sorted_.begin(), sorted_.end(), b);
+  return static_cast<double>(hi - lo) / static_cast<double>(sorted_.size());
+}
+
+size_t SamplingEstimator::StorageBytes() const {
+  return sizeof(double) * sorted_.size();
+}
+
+}  // namespace selest

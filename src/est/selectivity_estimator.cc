@@ -1,0 +1,4 @@
+#include "src/est/selectivity_estimator.h"
+
+// Interface-only translation unit; anchors the vtable-less base in the
+// library.

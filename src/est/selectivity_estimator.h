@@ -1,0 +1,42 @@
+// The estimator interface (§2).
+//
+// A selectivity estimator approximates the distribution selectivity
+// σ(a, b) = P(a <= A <= b) of a range query from a sample of the relation.
+// The instance result size is estimated as N · σ̂(a, b).
+#ifndef SELEST_EST_SELECTIVITY_ESTIMATOR_H_
+#define SELEST_EST_SELECTIVITY_ESTIMATOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/query/range_query.h"
+
+namespace selest {
+
+class SelectivityEstimator {
+ public:
+  virtual ~SelectivityEstimator() = default;
+
+  // Estimated selectivity σ̂(a, b) in [0, 1]. Requires a <= b.
+  virtual double EstimateSelectivity(double a, double b) const = 0;
+
+  double EstimateSelectivity(const RangeQuery& q) const {
+    return EstimateSelectivity(q.a, q.b);
+  }
+
+  // Estimated result size for a relation of `num_records` records.
+  double EstimateResultSize(const RangeQuery& q, size_t num_records) const {
+    return EstimateSelectivity(q) * static_cast<double>(num_records);
+  }
+
+  // Bytes a system catalog would persist for this estimator (bin edges and
+  // counts for histograms, the sample for sampling/kernel estimators).
+  virtual size_t StorageBytes() const = 0;
+
+  // Short human-readable name, e.g. "equi-width(20)".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_EST_SELECTIVITY_ESTIMATOR_H_

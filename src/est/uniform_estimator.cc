@@ -1,0 +1,15 @@
+#include "src/est/uniform_estimator.h"
+
+#include <algorithm>
+
+namespace selest {
+
+double UniformEstimator::EstimateSelectivity(double a, double b) const {
+  if (a > b) return 0.0;
+  const double lo = std::max(a, domain_.lo);
+  const double hi = std::min(b, domain_.hi);
+  if (lo >= hi) return 0.0;
+  return (hi - lo) / domain_.width();
+}
+
+}  // namespace selest

@@ -1,0 +1,29 @@
+// Uniform estimator: a histogram with a single bin covering the domain.
+//
+// This is the System R assumption [12] and the "uniform" baseline of
+// Fig. 8 — the overall loser of the paper's comparison except on uniform
+// data.
+#ifndef SELEST_EST_UNIFORM_ESTIMATOR_H_
+#define SELEST_EST_UNIFORM_ESTIMATOR_H_
+
+#include "src/data/domain.h"
+#include "src/est/selectivity_estimator.h"
+
+namespace selest {
+
+class UniformEstimator : public SelectivityEstimator {
+ public:
+  explicit UniformEstimator(const Domain& domain) : domain_(domain) {}
+
+  double EstimateSelectivity(double a, double b) const override;
+  // Two doubles: the domain endpoints, as a catalog would store them.
+  size_t StorageBytes() const override { return 2 * sizeof(double); }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  Domain domain_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_EST_UNIFORM_ESTIMATOR_H_

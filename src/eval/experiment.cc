@@ -1,0 +1,58 @@
+#include "src/eval/experiment.h"
+
+#include <limits>
+
+#include "src/sample/sampler.h"
+#include "src/util/check.h"
+
+namespace selest {
+
+ExperimentSetup MakeSetup(const Dataset& data,
+                          const ProtocolConfig& protocol) {
+  SELEST_CHECK_LE(protocol.sample_size, data.size());
+  Rng rng(protocol.seed);
+  Rng sample_rng = rng.Fork();
+  Rng query_rng = rng.Fork();
+  ExperimentSetup setup;
+  setup.data = &data;
+  setup.sample =
+      SampleWithoutReplacement(data.values(), protocol.sample_size, sample_rng);
+  WorkloadConfig workload;
+  workload.query_fraction = protocol.query_fraction;
+  workload.num_queries = protocol.num_queries;
+  setup.queries = GenerateWorkload(data, workload, query_rng);
+  return setup;
+}
+
+StatusOr<ErrorReport> RunConfig(const ExperimentSetup& setup,
+                                const EstimatorConfig& config) {
+  SELEST_CHECK(setup.data != nullptr);
+  auto estimator = BuildEstimator(setup.sample, setup.domain(), config);
+  if (!estimator.ok()) return estimator.status();
+  const GroundTruth truth(*setup.data);
+  return Evaluate(*estimator.value(), setup.queries, truth);
+}
+
+std::function<double(int)> MakeBinCountObjective(const ExperimentSetup& setup,
+                                                 EstimatorConfig config) {
+  config.smoothing = SmoothingRule::kFixed;
+  return [&setup, config](int num_bins) mutable {
+    config.fixed_smoothing = static_cast<double>(num_bins);
+    auto report = RunConfig(setup, config);
+    if (!report.ok()) return std::numeric_limits<double>::infinity();
+    return report.value().mean_relative_error;
+  };
+}
+
+std::function<double(double)> MakeBandwidthObjective(
+    const ExperimentSetup& setup, EstimatorConfig config) {
+  config.smoothing = SmoothingRule::kFixed;
+  return [&setup, config](double bandwidth) mutable {
+    config.fixed_smoothing = bandwidth;
+    auto report = RunConfig(setup, config);
+    if (!report.ok()) return std::numeric_limits<double>::infinity();
+    return report.value().mean_relative_error;
+  };
+}
+
+}  // namespace selest

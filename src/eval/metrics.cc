@@ -1,0 +1,68 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace selest {
+
+ErrorReport Evaluate(const SelectivityEstimator& estimator,
+                     std::span<const RangeQuery> queries,
+                     const GroundTruth& truth) {
+  ErrorReport report;
+  double sum_relative = 0.0;
+  double sum_absolute = 0.0;
+  std::vector<double> relative_errors;
+  relative_errors.reserve(queries.size());
+  const double n = static_cast<double>(truth.num_records());
+  for (const RangeQuery& query : queries) {
+    const size_t exact = truth.Count(query);
+    if (exact == 0) {
+      ++report.skipped_empty;
+      continue;
+    }
+    const double estimate = estimator.EstimateSelectivity(query) * n;
+    const double absolute = std::fabs(estimate - static_cast<double>(exact));
+    const double relative = absolute / static_cast<double>(exact);
+    sum_relative += relative;
+    sum_absolute += absolute;
+    relative_errors.push_back(relative);
+    report.max_relative_error = std::max(report.max_relative_error, relative);
+    ++report.evaluated;
+  }
+  if (report.evaluated > 0) {
+    report.mean_relative_error =
+        sum_relative / static_cast<double>(report.evaluated);
+    report.mean_absolute_error =
+        sum_absolute / static_cast<double>(report.evaluated);
+    std::sort(relative_errors.begin(), relative_errors.end());
+    report.p50_relative_error = QuantileSorted(relative_errors, 0.50);
+    report.p90_relative_error = QuantileSorted(relative_errors, 0.90);
+    report.p99_relative_error = QuantileSorted(relative_errors, 0.99);
+  }
+  return report;
+}
+
+std::vector<PositionalError> EvaluateByPosition(
+    const SelectivityEstimator& estimator, std::span<const RangeQuery> queries,
+    const GroundTruth& truth) {
+  std::vector<PositionalError> errors;
+  errors.reserve(queries.size());
+  const double n = static_cast<double>(truth.num_records());
+  for (const RangeQuery& query : queries) {
+    const size_t exact = truth.Count(query);
+    const double estimate = estimator.EstimateSelectivity(query) * n;
+    PositionalError point;
+    point.position = query.center();
+    point.exact_count = exact;
+    point.signed_error = estimate - static_cast<double>(exact);
+    point.relative_error =
+        exact == 0 ? 0.0
+                   : std::fabs(point.signed_error) / static_cast<double>(exact);
+    errors.push_back(point);
+  }
+  return errors;
+}
+
+}  // namespace selest

@@ -1,0 +1,60 @@
+// Error metrics for selectivity estimators (§5.1.2).
+//
+// For a query file F_D(s) the paper reports the mean relative error
+//
+//   MRE(D, s) = (1/|F|) Σ_Q | |Q| − σ̂(Q)·|D| | / |Q|
+//
+// where |Q| is the exact result size. The mean absolute error (in records)
+// and the signed per-query error (Fig. 3/10 plot it against the query
+// position) are also provided.
+#ifndef SELEST_EVAL_METRICS_H_
+#define SELEST_EVAL_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/est/selectivity_estimator.h"
+#include "src/query/ground_truth.h"
+#include "src/query/range_query.h"
+
+namespace selest {
+
+struct ErrorReport {
+  // Mean relative error over queries with non-empty exact results.
+  double mean_relative_error = 0.0;
+  // Mean absolute error in records.
+  double mean_absolute_error = 0.0;
+  // Largest relative error observed.
+  double max_relative_error = 0.0;
+  // Relative-error percentiles: a per-query error distribution is far more
+  // informative than the mean alone for optimizer risk (a plan chosen on a
+  // p99-wrong estimate is the one users notice).
+  double p50_relative_error = 0.0;
+  double p90_relative_error = 0.0;
+  double p99_relative_error = 0.0;
+  // Queries skipped because their exact result was empty.
+  size_t skipped_empty = 0;
+  size_t evaluated = 0;
+};
+
+// Evaluates `estimator` on every query against the exact counts.
+ErrorReport Evaluate(const SelectivityEstimator& estimator,
+                     std::span<const RangeQuery> queries,
+                     const GroundTruth& truth);
+
+// One point of the Fig. 3 / Fig. 10 curves.
+struct PositionalError {
+  double position = 0.0;        // query center
+  double signed_error = 0.0;    // σ̂·N − |Q|, in records
+  double relative_error = 0.0;  // |signed_error| / |Q| (0 if |Q| = 0)
+  size_t exact_count = 0;
+};
+
+// Per-query signed errors, for error-vs-position plots.
+std::vector<PositionalError> EvaluateByPosition(
+    const SelectivityEstimator& estimator, std::span<const RangeQuery> queries,
+    const GroundTruth& truth);
+
+}  // namespace selest
+
+#endif  // SELEST_EVAL_METRICS_H_

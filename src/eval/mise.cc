@@ -1,0 +1,71 @@
+#include "src/eval/mise.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace selest {
+
+double IntegratedSquaredError(const DensityFn& estimate,
+                              const Distribution& truth, double lo, double hi,
+                              int intervals) {
+  SELEST_CHECK_LT(lo, hi);
+  return SimpsonIntegrate(
+      [&](double x) {
+        const double diff = estimate(x) - truth.Pdf(x);
+        return diff * diff;
+      },
+      lo, hi, intervals);
+}
+
+double EstimateMise(const DensityEstimatorFactory& factory,
+                    const Distribution& truth, const Domain& domain,
+                    const MiseOptions& options) {
+  SELEST_CHECK_GT(options.trials, 0);
+  SELEST_CHECK_GT(options.sample_size, 0u);
+  Rng rng(options.seed);
+  double total = 0.0;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Rng trial_rng = rng.Fork();
+    std::vector<double> sample;
+    sample.reserve(options.sample_size);
+    size_t attempts = 0;
+    while (sample.size() < options.sample_size) {
+      SELEST_CHECK_LT(attempts, 1000 * options.sample_size);
+      ++attempts;
+      const double x = truth.Sample(trial_rng);
+      if (domain.Contains(x)) sample.push_back(x);
+    }
+    const DensityFn estimate = factory(sample);
+    total += IntegratedSquaredError(estimate, truth, domain.lo, domain.hi,
+                                    options.intervals);
+  }
+  return total / options.trials;
+}
+
+double LogLogSlope(std::span<const double> n_values,
+                   std::span<const double> errors) {
+  SELEST_CHECK_EQ(n_values.size(), errors.size());
+  SELEST_CHECK_GE(n_values.size(), 2u);
+  const size_t count = n_values.size();
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    SELEST_CHECK_GT(n_values[i], 0.0);
+    SELEST_CHECK_GT(errors[i], 0.0);
+    const double x = std::log(n_values[i]);
+    const double y = std::log(errors[i]);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double n = static_cast<double>(count);
+  return (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x);
+}
+
+}  // namespace selest

@@ -1,0 +1,59 @@
+// Empirical (mean) integrated squared error against a known density.
+//
+// Section 4's theory ranks estimators by MISE and predicts the convergence
+// rates AMISE(h_EW) = O(n^−2/3) and AMISE(h_K) = O(n^−4/5). This module
+// measures the integrated squared error of a fitted density estimate
+// against the generating density by quadrature, and averages it over
+// repeated samples — the direct empirical counterpart of equation (3).
+#ifndef SELEST_EVAL_MISE_H_
+#define SELEST_EVAL_MISE_H_
+
+#include <functional>
+#include <span>
+
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+
+// A density estimate as a plain function (adapters below build them from
+// Kde / BinnedDensity style objects).
+using DensityFn = std::function<double(double)>;
+
+// ∫ (f̂(x) − f(x))² dx over [lo, hi], composite Simpson on `intervals`
+// subintervals.
+double IntegratedSquaredError(const DensityFn& estimate,
+                              const Distribution& truth, double lo, double hi,
+                              int intervals = 2048);
+
+struct MiseOptions {
+  // Independent samples to average the ISE over.
+  int trials = 10;
+  // Sample size per trial.
+  size_t sample_size = 1000;
+  // Quadrature subintervals.
+  int intervals = 2048;
+  uint64_t seed = 1;
+};
+
+// A factory turning one sample into a density estimate. Called once per
+// trial.
+using DensityEstimatorFactory =
+    std::function<DensityFn(std::span<const double> sample)>;
+
+// Empirical MISE: draws `trials` samples of `sample_size` from `truth`
+// restricted to `domain` (out-of-domain draws rejected), fits an estimate
+// per sample and averages the ISE.
+double EstimateMise(const DensityEstimatorFactory& factory,
+                    const Distribution& truth, const Domain& domain,
+                    const MiseOptions& options);
+
+// Fits a log-log slope: given (n, error) pairs, returns the least-squares
+// slope of log(error) against log(n). For a rate O(n^−α) the slope ≈ −α.
+double LogLogSlope(std::span<const double> n_values,
+                   std::span<const double> errors);
+
+}  // namespace selest
+
+#endif  // SELEST_EVAL_MISE_H_

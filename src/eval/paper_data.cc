@@ -1,0 +1,135 @@
+#include "src/eval/paper_data.h"
+
+#include <functional>
+
+#include "src/data/census.h"
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/data/spatial.h"
+
+namespace selest {
+namespace {
+
+constexpr size_t kSyntheticRecords = 100000;
+constexpr size_t kArapRecords = 52120;
+constexpr size_t kRailRiverRecords = 257942;
+constexpr size_t kInstanceWeightRecords = 199523;
+
+uint64_t MixSeed(const std::string& name, uint64_t seed) {
+  // FNV-1a over the name, mixed with the user seed, so every file gets an
+  // independent deterministic stream.
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash ^ (seed * 0x9e3779b97f4a7c15ull);
+}
+
+Dataset MakeUniform(const std::string& name, int bits, uint64_t seed) {
+  const Domain domain = BitDomain(bits);
+  Rng rng(MixSeed(name, seed));
+  // Over-draw slightly: quantization keeps everything in-domain.
+  const UniformDistribution dist(domain.lo, domain.hi);
+  return GenerateDataset(name, dist, kSyntheticRecords, domain, rng);
+}
+
+Dataset MakeNormal(const std::string& name, int bits, uint64_t seed) {
+  const Domain domain = BitDomain(bits);
+  Rng rng(MixSeed(name, seed));
+  // Mean at the domain center (§5.1.1); ±4σ spans the domain.
+  const NormalDistribution dist(0.5 * (domain.lo + domain.hi),
+                                domain.width() / 8.0);
+  return GenerateDataset(name, dist, kSyntheticRecords, domain, rng);
+}
+
+Dataset MakeExponential(const std::string& name, int bits, uint64_t seed) {
+  const Domain domain = BitDomain(bits);
+  Rng rng(MixSeed(name, seed));
+  // Mean at one eighth of the domain: high density at the left boundary,
+  // negligible mass discarded on the right.
+  const ExponentialDistribution dist(8.0 / domain.width(), 0.0);
+  return GenerateDataset(name, dist, kSyntheticRecords, domain, rng);
+}
+
+Dataset MakeArapahoe(const std::string& name, Axis axis, int bits,
+                     uint64_t seed) {
+  // One shared street network underlies both dimensions, like the real
+  // county file; the axis and domain resolution differ.
+  Rng rng(MixSeed("arapahoe-network", seed));
+  StreetNetworkConfig config;
+  const std::vector<Point2> points =
+      GenerateStreetNetwork(config, kArapRecords, rng);
+  return MarginalDataset(name, points, axis, bits, kArapRecords);
+}
+
+Dataset MakeRailRiver(const std::string& name, Axis axis, int bits,
+                      uint64_t seed) {
+  Rng rng(MixSeed("rail-river-network", seed));
+  PolylineConfig config;
+  const std::vector<Point2> points =
+      GeneratePolylines(config, kRailRiverRecords, rng);
+  return MarginalDataset(name, points, axis, bits, kRailRiverRecords);
+}
+
+Dataset MakeInstanceWeight(const std::string& name, uint64_t seed) {
+  Rng rng(MixSeed(name, seed));
+  InstanceWeightConfig config;
+  return GenerateInstanceWeights(name, config, kInstanceWeightRecords, rng);
+}
+
+}  // namespace
+
+const std::vector<PaperFileSpec>& PaperFileSpecs() {
+  static const std::vector<PaperFileSpec>& specs =
+      *new std::vector<PaperFileSpec>{
+          {"u(15)", "Uniform", 15, kSyntheticRecords},
+          {"u(20)", "Uniform", 20, kSyntheticRecords},
+          {"n(10)", "Normal", 10, kSyntheticRecords},
+          {"n(15)", "Normal", 15, kSyntheticRecords},
+          {"n(20)", "Normal", 20, kSyntheticRecords},
+          {"e(15)", "Exponential", 15, kSyntheticRecords},
+          {"e(20)", "Exponential", 20, kSyntheticRecords},
+          {"arap1", "street endpoints, 1st dim.", 21, kArapRecords},
+          {"arap2", "street endpoints, 2nd dim.", 18, kArapRecords},
+          {"rr1(12)", "rail road & rivers, 1st dim.", 12, kRailRiverRecords},
+          {"rr1(22)", "rail road & rivers, 1st dim.", 22, kRailRiverRecords},
+          {"rr2(12)", "rail road & rivers, 2nd dim.", 12, kRailRiverRecords},
+          {"rr2(22)", "rail road & rivers, 2nd dim.", 22, kRailRiverRecords},
+          {"iw", "instance weight", 21, kInstanceWeightRecords},
+      };
+  return specs;
+}
+
+std::vector<std::string> PaperFileNames() {
+  std::vector<std::string> names;
+  for (const PaperFileSpec& spec : PaperFileSpecs()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+std::vector<std::string> HeadlineFileNames() {
+  return {"u(20)", "n(20)",   "e(20)",   "arap1",
+          "arap2", "rr1(22)", "rr2(22)", "iw"};
+}
+
+StatusOr<Dataset> MakePaperDataset(const std::string& name, uint64_t seed) {
+  if (name == "u(15)") return MakeUniform(name, 15, seed);
+  if (name == "u(20)") return MakeUniform(name, 20, seed);
+  if (name == "n(10)") return MakeNormal(name, 10, seed);
+  if (name == "n(15)") return MakeNormal(name, 15, seed);
+  if (name == "n(20)") return MakeNormal(name, 20, seed);
+  if (name == "e(15)") return MakeExponential(name, 15, seed);
+  if (name == "e(20)") return MakeExponential(name, 20, seed);
+  if (name == "arap1") return MakeArapahoe(name, Axis::kX, 21, seed);
+  if (name == "arap2") return MakeArapahoe(name, Axis::kY, 18, seed);
+  if (name == "rr1(12)") return MakeRailRiver(name, Axis::kX, 12, seed);
+  if (name == "rr1(22)") return MakeRailRiver(name, Axis::kX, 22, seed);
+  if (name == "rr2(12)") return MakeRailRiver(name, Axis::kY, 12, seed);
+  if (name == "rr2(22)") return MakeRailRiver(name, Axis::kY, 22, seed);
+  if (name == "iw" || name == "ci") return MakeInstanceWeight(name, seed);
+  return NotFoundError("unknown paper data file '" + name + "'");
+}
+
+}  // namespace selest

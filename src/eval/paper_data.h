@@ -1,0 +1,45 @@
+// The registry of Table 2 data files (and their synthetic stand-ins).
+//
+// Artificial files (u/n/e) follow the paper exactly: 100,000 records on the
+// integer domain [0, 2^p − 1], the Normal mapped so its mean sits at the
+// domain center, out-of-domain records discarded. The real files are
+// replaced by generators with the same statistical character (see
+// DESIGN.md §1.3): arap1/arap2 by street-network endpoints, rr1/rr2 by
+// polyline vertices, iw (= "ci" in Fig. 8/12) by spiky survey weights.
+#ifndef SELEST_EVAL_PAPER_DATA_H_
+#define SELEST_EVAL_PAPER_DATA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+struct PaperFileSpec {
+  std::string name;          // e.g. "n(20)"
+  std::string distribution;  // e.g. "Normal" or "street endpoints, 1st dim."
+  int bits = 0;              // domain parameter p
+  size_t records = 0;
+};
+
+// Every file of Table 2, in the paper's order.
+const std::vector<PaperFileSpec>& PaperFileSpecs();
+
+// All registered file names.
+std::vector<std::string> PaperFileNames();
+
+// The files used by the headline comparisons (Figs. 8, 9, 11, 12): the
+// large-domain synthetic files plus all "real" stand-ins.
+std::vector<std::string> HeadlineFileNames();
+
+// Generates the named data file. Deterministic for a fixed (name, seed).
+// NOT_FOUND for unknown names.
+StatusOr<Dataset> MakePaperDataset(const std::string& name,
+                                   uint64_t seed = 42);
+
+}  // namespace selest
+
+#endif  // SELEST_EVAL_PAPER_DATA_H_

@@ -1,0 +1,66 @@
+#include "src/eval/report.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SELEST_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  SELEST_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) {
+        line.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print() const {
+  const std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits, 100.0 * fraction);
+  return buffer;
+}
+
+}  // namespace selest

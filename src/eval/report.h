@@ -1,0 +1,39 @@
+// Plain-text reporting: aligned tables and x/y series.
+//
+// Every bench binary prints the rows/series of its paper figure through
+// this module, so outputs stay uniform and diffable.
+#ifndef SELEST_EVAL_REPORT_H_
+#define SELEST_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace selest {
+
+// An ASCII table with a header row and aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with columns padded to their widest cell.
+  std::string Render() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant decimals.
+std::string FormatDouble(double value, int digits = 4);
+
+// Formats a fraction as a percentage ("12.3%").
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace selest
+
+#endif  // SELEST_EVAL_REPORT_H_

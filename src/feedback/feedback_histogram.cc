@@ -1,0 +1,143 @@
+#include "src/feedback/feedback_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selest {
+
+StatusOr<FeedbackHistogram> FeedbackHistogram::Create(
+    const Domain& domain, const FeedbackHistogramOptions& options) {
+  if (options.num_bins < 1) {
+    return InvalidArgumentError("feedback histogram needs >= 1 bin");
+  }
+  if (!(options.learning_rate > 0.0) || options.learning_rate > 1.0) {
+    return InvalidArgumentError("learning_rate must be in (0, 1]");
+  }
+  // Uniform start: the System R assumption, to be corrected by feedback.
+  std::vector<double> masses(static_cast<size_t>(options.num_bins),
+                             1.0 / options.num_bins);
+  return FeedbackHistogram(domain, options, std::move(masses));
+}
+
+StatusOr<FeedbackHistogram> FeedbackHistogram::CreateFromSample(
+    std::span<const double> sample, const Domain& domain,
+    const FeedbackHistogramOptions& options) {
+  auto histogram = Create(domain, options);
+  if (!histogram.ok()) return histogram.status();
+  if (sample.empty()) {
+    return InvalidArgumentError("CreateFromSample needs a non-empty sample");
+  }
+  std::vector<double>& masses = histogram->masses_;
+  std::fill(masses.begin(), masses.end(), 0.0);
+  const double bin_width = domain.width() / options.num_bins;
+  for (double v : sample) {
+    auto bin = static_cast<long>((domain.Clamp(v) - domain.lo) / bin_width);
+    bin = std::clamp<long>(bin, 0, options.num_bins - 1);
+    masses[static_cast<size_t>(bin)] += 1.0 / static_cast<double>(sample.size());
+  }
+  return histogram;
+}
+
+double FeedbackHistogram::Overlap(size_t i, double a, double b) const {
+  const double bin_width = domain_.width() / masses_.size();
+  const double lo = domain_.lo + i * bin_width;
+  const double hi = lo + bin_width;
+  const double overlap = std::min(b, hi) - std::max(a, lo);
+  return overlap <= 0.0 ? 0.0 : overlap / bin_width;
+}
+
+double FeedbackHistogram::EstimateSelectivity(double a, double b) const {
+  if (a > b) return 0.0;
+  a = domain_.Clamp(a);
+  b = domain_.Clamp(b);
+  if (a >= b) return 0.0;
+  const double bin_width = domain_.width() / masses_.size();
+  const auto first = static_cast<size_t>((a - domain_.lo) / bin_width);
+  double mass = 0.0;
+  for (size_t i = std::min(first, masses_.size() - 1); i < masses_.size();
+       ++i) {
+    const double fraction = Overlap(i, a, b);
+    if (fraction <= 0.0 && domain_.lo + i * bin_width > b) break;
+    mass += fraction * masses_[i];
+  }
+  return std::clamp(mass, 0.0, 1.0);
+}
+
+void FeedbackHistogram::Observe(const RangeQuery& query,
+                                double true_selectivity) {
+  true_selectivity = std::clamp(true_selectivity, 0.0, 1.0);
+  const double a = domain_.Clamp(query.a);
+  const double b = domain_.Clamp(query.b);
+  if (a >= b) return;
+  ++observations_;
+
+  // Current estimate restricted to the query, per overlapping bin.
+  std::vector<std::pair<size_t, double>> overlapped;  // (bin, overlap mass)
+  double estimate = 0.0;
+  for (size_t i = 0; i < masses_.size(); ++i) {
+    const double fraction = Overlap(i, a, b);
+    if (fraction <= 0.0) continue;
+    overlapped.emplace_back(i, fraction * masses_[i]);
+    estimate += fraction * masses_[i];
+  }
+  if (overlapped.empty()) return;
+
+  const double correction =
+      options_.learning_rate * (true_selectivity - estimate);
+  if (estimate > 0.0) {
+    // Distribute proportionally to each bin's current overlapped mass, and
+    // scale the bin's full mass by the same relative factor (the overlapped
+    // part absorbs the correction; the non-overlapped part keeps its
+    // density ratio).
+    for (const auto& [i, overlap_mass] : overlapped) {
+      const double share = overlap_mass / estimate;
+      const double delta = correction * share;
+      const double fraction = Overlap(i, a, b);
+      // Only the overlapped fraction of the bin is re-estimated; lift the
+      // bin by delta / fraction so the overlapped portion changes by delta.
+      masses_[i] = std::max(0.0, masses_[i] + delta / std::max(fraction, 1e-12));
+    }
+  } else {
+    // No current mass in the query: spread the correction over the
+    // overlapped bins proportionally to how much of each bin the query
+    // covers. Only the covered fraction of each added mass falls back into
+    // the query, so normalize by Σ fraction² to make the post-observation
+    // estimate hit the target exactly.
+    double sum_sq_fraction = 0.0;
+    for (const auto& [i, overlap_mass] : overlapped) {
+      (void)overlap_mass;
+      const double fraction = Overlap(i, a, b);
+      sum_sq_fraction += fraction * fraction;
+    }
+    for (const auto& [i, overlap_mass] : overlapped) {
+      (void)overlap_mass;
+      const double fraction = Overlap(i, a, b);
+      masses_[i] = std::max(
+          0.0, masses_[i] + correction * fraction /
+                                std::max(sum_sq_fraction, 1e-12));
+    }
+  }
+
+  if (options_.renormalize) {
+    const double total = total_mass();
+    if (total > 0.0) {
+      for (double& m : masses_) m /= total;
+    }
+  }
+}
+
+double FeedbackHistogram::total_mass() const {
+  double total = 0.0;
+  for (double m : masses_) total += m;
+  return total;
+}
+
+size_t FeedbackHistogram::StorageBytes() const {
+  return masses_.size() * sizeof(double);
+}
+
+std::string FeedbackHistogram::name() const {
+  return "feedback(" + std::to_string(masses_.size()) + ")";
+}
+
+}  // namespace selest

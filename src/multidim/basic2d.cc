@@ -1,0 +1,65 @@
+#include "src/multidim/basic2d.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+double Uniform2dEstimator::EstimateSelectivity(
+    const WindowQuery& query) const {
+  if (query.x_lo > query.x_hi || query.y_lo > query.y_hi) return 0.0;
+  const double x_overlap = std::min(query.x_hi, x_domain_.hi) -
+                           std::max(query.x_lo, x_domain_.lo);
+  const double y_overlap = std::min(query.y_hi, y_domain_.hi) -
+                           std::max(query.y_lo, y_domain_.lo);
+  if (x_overlap <= 0.0 || y_overlap <= 0.0) return 0.0;
+  return (x_overlap / x_domain_.width()) * (y_overlap / y_domain_.width());
+}
+
+StatusOr<Sampling2dEstimator> Sampling2dEstimator::Create(
+    std::span<const Point2> sample) {
+  if (sample.empty()) {
+    return InvalidArgumentError("2-D sampling estimator needs a sample");
+  }
+  std::vector<Point2> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Point2& a, const Point2& b) { return a.x < b.x; });
+  return Sampling2dEstimator(std::move(sorted));
+}
+
+double Sampling2dEstimator::EstimateSelectivity(
+    const WindowQuery& query) const {
+  if (query.x_lo > query.x_hi || query.y_lo > query.y_hi) return 0.0;
+  const auto first =
+      std::lower_bound(sample_.begin(), sample_.end(), query.x_lo,
+                       [](const Point2& p, double x) { return p.x < x; });
+  const auto last =
+      std::upper_bound(sample_.begin(), sample_.end(), query.x_hi,
+                       [](double x, const Point2& p) { return x < p.x; });
+  size_t count = 0;
+  for (auto it = first; it != last; ++it) {
+    if (it->y >= query.y_lo && it->y <= query.y_hi) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(sample_.size());
+}
+
+std::vector<Point2> SamplePointsWithoutReplacement(
+    std::span<const Point2> population, size_t sample_size, Rng& rng) {
+  SELEST_CHECK_LE(sample_size, population.size());
+  const size_t n = population.size();
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(sample_size * 2);
+  std::vector<Point2> sample;
+  sample.reserve(sample_size);
+  for (size_t j = n - sample_size; j < n; ++j) {
+    const size_t t = static_cast<size_t>(rng.NextUint64(j + 1));
+    const size_t pick = chosen.insert(t).second ? t : j;
+    if (pick != t) chosen.insert(pick);
+    sample.push_back(population[pick]);
+  }
+  return sample;
+}
+
+}  // namespace selest

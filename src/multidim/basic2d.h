@@ -1,0 +1,57 @@
+// Baseline 2-D estimators: uniform (independence + uniformity, the
+// System R default) and pure sampling.
+#ifndef SELEST_MULTIDIM_BASIC2D_H_
+#define SELEST_MULTIDIM_BASIC2D_H_
+
+#include <span>
+#include <vector>
+
+#include "src/multidim/estimator2d.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// Assumes points are uniform over the domain rectangle: selectivity is the
+// window's area fraction.
+class Uniform2dEstimator : public Selectivity2dEstimator {
+ public:
+  Uniform2dEstimator(const Domain& x_domain, const Domain& y_domain)
+      : x_domain_(x_domain), y_domain_(y_domain) {}
+
+  double EstimateSelectivity(const WindowQuery& query) const override;
+  size_t StorageBytes() const override { return 4 * sizeof(double); }
+  std::string name() const override { return "uniform2d"; }
+
+ private:
+  Domain x_domain_;
+  Domain y_domain_;
+};
+
+// Fraction of sample points falling inside the window. Points are kept
+// sorted by x so evaluation scans only the x-slab.
+class Sampling2dEstimator : public Selectivity2dEstimator {
+ public:
+  static StatusOr<Sampling2dEstimator> Create(std::span<const Point2> sample);
+
+  double EstimateSelectivity(const WindowQuery& query) const override;
+  size_t StorageBytes() const override {
+    return sample_.size() * sizeof(Point2);
+  }
+  std::string name() const override { return "sampling2d"; }
+
+  size_t sample_size() const { return sample_.size(); }
+
+ private:
+  explicit Sampling2dEstimator(std::vector<Point2> sample)
+      : sample_(std::move(sample)) {}
+
+  std::vector<Point2> sample_;  // sorted by x
+};
+
+// Draws a 2-D sample without replacement (Floyd's algorithm over indices).
+std::vector<Point2> SamplePointsWithoutReplacement(
+    std::span<const Point2> population, size_t sample_size, Rng& rng);
+
+}  // namespace selest
+
+#endif  // SELEST_MULTIDIM_BASIC2D_H_

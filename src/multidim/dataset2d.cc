@@ -1,0 +1,60 @@
+#include "src/multidim/dataset2d.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+Dataset2d::Dataset2d(std::string name, Domain x_domain, Domain y_domain,
+                     std::vector<Point2> points)
+    : name_(std::move(name)),
+      x_domain_(x_domain),
+      y_domain_(y_domain),
+      points_(std::move(points)) {
+  SELEST_CHECK(!points_.empty());
+  for (const Point2& p : points_) {
+    SELEST_CHECK(x_domain_.Contains(p.x));
+    SELEST_CHECK(y_domain_.Contains(p.y));
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point2& a, const Point2& b) { return a.x < b.x; });
+}
+
+size_t Dataset2d::CountInWindow(const WindowQuery& query) const {
+  if (query.x_lo > query.x_hi || query.y_lo > query.y_hi) return 0;
+  const auto first =
+      std::lower_bound(points_.begin(), points_.end(), query.x_lo,
+                       [](const Point2& p, double x) { return p.x < x; });
+  const auto last =
+      std::upper_bound(points_.begin(), points_.end(), query.x_hi,
+                       [](double x, const Point2& p) { return x < p.x; });
+  size_t count = 0;
+  for (auto it = first; it != last; ++it) {
+    if (it->y >= query.y_lo && it->y <= query.y_hi) ++count;
+  }
+  return count;
+}
+
+double Dataset2d::Selectivity(const WindowQuery& query) const {
+  return static_cast<double>(CountInWindow(query)) /
+         static_cast<double>(points_.size());
+}
+
+Dataset2d MakeQuantizedDataset2d(std::string name,
+                                 const std::vector<Point2>& unit_points,
+                                 int x_bits, int y_bits, size_t count) {
+  SELEST_CHECK_GE(unit_points.size(), count);
+  const Domain x_domain = BitDomain(x_bits);
+  const Domain y_domain = BitDomain(y_bits);
+  std::vector<Point2> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    points.push_back(
+        {x_domain.Clamp(x_domain.Quantize(unit_points[i].x * x_domain.hi)),
+         y_domain.Clamp(y_domain.Quantize(unit_points[i].y * y_domain.hi))});
+  }
+  return Dataset2d(std::move(name), x_domain, y_domain, std::move(points));
+}
+
+}  // namespace selest

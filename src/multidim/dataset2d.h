@@ -1,0 +1,69 @@
+// Two-dimensional datasets for window (2-D range) queries.
+//
+// The paper's future work (§6) names multidimensional kernel estimators for
+// multidimensional range queries as the first open problem; spatial data is
+// its motivating domain. This module provides the 2-D substrate: a point
+// dataset with exact window counts.
+#ifndef SELEST_MULTIDIM_DATASET2D_H_
+#define SELEST_MULTIDIM_DATASET2D_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/domain.h"
+#include "src/data/spatial.h"
+
+namespace selest {
+
+// An axis-aligned window query: retrieve all points with
+// x_lo <= x <= x_hi and y_lo <= y <= y_hi.
+struct WindowQuery {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+
+  double width() const { return x_hi - x_lo; }
+  double height() const { return y_hi - y_lo; }
+  double area() const { return width() * height(); }
+};
+
+// A two-attribute relation of points over a rectangular domain. Points are
+// stored sorted by x, so exact window counts need only scan the points in
+// the query's x-slab.
+class Dataset2d {
+ public:
+  Dataset2d(std::string name, Domain x_domain, Domain y_domain,
+            std::vector<Point2> points);
+
+  const std::string& name() const { return name_; }
+  const Domain& x_domain() const { return x_domain_; }
+  const Domain& y_domain() const { return y_domain_; }
+  // Points sorted ascending by x.
+  const std::vector<Point2>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+
+  // Exact number of points inside the window (boundaries inclusive).
+  // O(log n + s) with s points in the x-slab.
+  size_t CountInWindow(const WindowQuery& query) const;
+
+  // Exact selectivity: CountInWindow / size.
+  double Selectivity(const WindowQuery& query) const;
+
+ private:
+  std::string name_;
+  Domain x_domain_;
+  Domain y_domain_;
+  std::vector<Point2> points_;  // sorted by x
+};
+
+// Builds a Dataset2d over the unit square scaled to p-bit integer domains
+// per axis (matching how the paper maps coordinates, Table 2).
+Dataset2d MakeQuantizedDataset2d(std::string name,
+                                 const std::vector<Point2>& unit_points,
+                                 int x_bits, int y_bits, size_t count);
+
+}  // namespace selest
+
+#endif  // SELEST_MULTIDIM_DATASET2D_H_

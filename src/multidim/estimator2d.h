@@ -1,0 +1,30 @@
+// Interface for 2-D (window-query) selectivity estimators.
+#ifndef SELEST_MULTIDIM_ESTIMATOR2D_H_
+#define SELEST_MULTIDIM_ESTIMATOR2D_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/multidim/dataset2d.h"
+
+namespace selest {
+
+class Selectivity2dEstimator {
+ public:
+  virtual ~Selectivity2dEstimator() = default;
+
+  // Estimated selectivity of the window in [0, 1].
+  virtual double EstimateSelectivity(const WindowQuery& query) const = 0;
+
+  double EstimateResultSize(const WindowQuery& query,
+                            size_t num_records) const {
+    return EstimateSelectivity(query) * static_cast<double>(num_records);
+  }
+
+  virtual size_t StorageBytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_MULTIDIM_ESTIMATOR2D_H_

@@ -1,0 +1,78 @@
+#include "src/multidim/grid_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selest {
+namespace {
+
+// Index of the cell containing v along an axis split into `bins` cells.
+int CellIndex(double v, const Domain& domain, int bins) {
+  const double relative = (v - domain.lo) / domain.width();
+  const int index = static_cast<int>(relative * bins);
+  return std::clamp(index, 0, bins - 1);
+}
+
+// Overlap fraction of [lo, hi] with cell i of the axis.
+double AxisOverlap(double lo, double hi, const Domain& domain, int bins,
+                   int i) {
+  const double cell_width = domain.width() / bins;
+  const double cell_lo = domain.lo + i * cell_width;
+  const double cell_hi = cell_lo + cell_width;
+  const double overlap = std::min(hi, cell_hi) - std::max(lo, cell_lo);
+  return overlap <= 0.0 ? 0.0 : overlap / cell_width;
+}
+
+}  // namespace
+
+StatusOr<GridHistogram> GridHistogram::Create(std::span<const Point2> sample,
+                                              const Domain& x_domain,
+                                              const Domain& y_domain,
+                                              int x_bins, int y_bins) {
+  if (sample.empty()) {
+    return InvalidArgumentError("grid histogram needs a sample");
+  }
+  if (x_bins < 1 || y_bins < 1) {
+    return InvalidArgumentError("grid histogram needs >= 1 bin per axis");
+  }
+  std::vector<double> counts(static_cast<size_t>(x_bins) * y_bins, 0.0);
+  for (const Point2& p : sample) {
+    const int i = CellIndex(p.x, x_domain, x_bins);
+    const int j = CellIndex(p.y, y_domain, y_bins);
+    counts[static_cast<size_t>(j) * x_bins + i] += 1.0;
+  }
+  return GridHistogram(x_domain, y_domain, x_bins, y_bins, std::move(counts),
+                       static_cast<double>(sample.size()));
+}
+
+double GridHistogram::EstimateSelectivity(const WindowQuery& query) const {
+  if (query.x_lo > query.x_hi || query.y_lo > query.y_hi) return 0.0;
+  const double x_lo = std::max(query.x_lo, x_domain_.lo);
+  const double x_hi = std::min(query.x_hi, x_domain_.hi);
+  const double y_lo = std::max(query.y_lo, y_domain_.lo);
+  const double y_hi = std::min(query.y_hi, y_domain_.hi);
+  if (x_lo >= x_hi || y_lo >= y_hi) return 0.0;
+
+  const int i_lo = CellIndex(x_lo, x_domain_, x_bins_);
+  const int i_hi = CellIndex(x_hi, x_domain_, x_bins_);
+  const int j_lo = CellIndex(y_lo, y_domain_, y_bins_);
+  const int j_hi = CellIndex(y_hi, y_domain_, y_bins_);
+  double mass = 0.0;
+  for (int j = j_lo; j <= j_hi; ++j) {
+    const double y_frac = AxisOverlap(y_lo, y_hi, y_domain_, y_bins_, j);
+    if (y_frac <= 0.0) continue;
+    for (int i = i_lo; i <= i_hi; ++i) {
+      const double x_frac = AxisOverlap(x_lo, x_hi, x_domain_, x_bins_, i);
+      if (x_frac <= 0.0) continue;
+      mass += cell_count(i, j) * x_frac * y_frac;
+    }
+  }
+  return std::clamp(mass / total_, 0.0, 1.0);
+}
+
+std::string GridHistogram::name() const {
+  return "grid(" + std::to_string(x_bins_) + "x" + std::to_string(y_bins_) +
+         ")";
+}
+
+}  // namespace selest

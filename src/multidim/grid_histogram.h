@@ -1,0 +1,56 @@
+// Equi-width grid histogram: the 2-D analogue of the equi-width histogram,
+// with the uniform-in-cell assumption and per-axis partial overlap (the 2-D
+// version of formula (4)'s ψ).
+#ifndef SELEST_MULTIDIM_GRID_HISTOGRAM_H_
+#define SELEST_MULTIDIM_GRID_HISTOGRAM_H_
+
+#include <span>
+#include <vector>
+
+#include "src/multidim/estimator2d.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+class GridHistogram : public Selectivity2dEstimator {
+ public:
+  // x_bins × y_bins equal cells over the domain rectangle.
+  static StatusOr<GridHistogram> Create(std::span<const Point2> sample,
+                                        const Domain& x_domain,
+                                        const Domain& y_domain, int x_bins,
+                                        int y_bins);
+
+  double EstimateSelectivity(const WindowQuery& query) const override;
+  size_t StorageBytes() const override {
+    return counts_.size() * sizeof(double);
+  }
+  std::string name() const override;
+
+  int x_bins() const { return x_bins_; }
+  int y_bins() const { return y_bins_; }
+  // Count of cell (i, j); i indexes x, j indexes y.
+  double cell_count(int i, int j) const {
+    return counts_[static_cast<size_t>(j) * x_bins_ + i];
+  }
+
+ private:
+  GridHistogram(Domain x_domain, Domain y_domain, int x_bins, int y_bins,
+                std::vector<double> counts, double total)
+      : x_domain_(x_domain),
+        y_domain_(y_domain),
+        x_bins_(x_bins),
+        y_bins_(y_bins),
+        counts_(std::move(counts)),
+        total_(total) {}
+
+  Domain x_domain_;
+  Domain y_domain_;
+  int x_bins_;
+  int y_bins_;
+  std::vector<double> counts_;  // row-major, y-major order
+  double total_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_MULTIDIM_GRID_HISTOGRAM_H_

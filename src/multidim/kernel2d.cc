@@ -1,0 +1,118 @@
+#include "src/multidim/kernel2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace selest {
+
+double NormalScaleBandwidth2d(double sigma, size_t n, const Kernel& kernel) {
+  // d = 2: the AMISE-optimal bandwidth shrinks as n^(−1/(d+4)) = n^(−1/6);
+  // the kernel constant of the 1-D rule carries over for product kernels up
+  // to a factor near one, which the plug-in machinery would refine.
+  return kernel.normal_scale_constant() * sigma *
+         std::pow(static_cast<double>(n), -1.0 / 6.0);
+}
+
+StatusOr<Kernel2dEstimator> Kernel2dEstimator::Create(
+    std::span<const Point2> sample, const Domain& x_domain,
+    const Domain& y_domain, const Kernel2dOptions& options) {
+  if (sample.empty()) {
+    return InvalidArgumentError("2-D kernel estimator needs a sample");
+  }
+  if (options.boundary == BoundaryPolicy::kBoundaryKernel) {
+    return InvalidArgumentError(
+        "boundary kernels are not supported in 2-D; use reflection");
+  }
+
+  double hx = options.x_bandwidth;
+  double hy = options.y_bandwidth;
+  if (hx <= 0.0 || hy <= 0.0) {
+    std::vector<double> xs(sample.size());
+    std::vector<double> ys(sample.size());
+    for (size_t i = 0; i < sample.size(); ++i) {
+      xs[i] = sample[i].x;
+      ys[i] = sample[i].y;
+    }
+    const double sx = NormalScaleSigma(xs);
+    const double sy = NormalScaleSigma(ys);
+    if (hx <= 0.0) {
+      hx = sx > 0.0 ? NormalScaleBandwidth2d(sx, sample.size(), options.kernel)
+                    : x_domain.width() / 100.0;
+    }
+    if (hy <= 0.0) {
+      hy = sy > 0.0 ? NormalScaleBandwidth2d(sy, sample.size(), options.kernel)
+                    : y_domain.width() / 100.0;
+    }
+  }
+  if (!std::isfinite(hx) || !std::isfinite(hy) || hx <= 0.0 || hy <= 0.0) {
+    return InvalidArgumentError("2-D kernel bandwidths must be positive");
+  }
+
+  std::vector<Point2> points(sample.begin(), sample.end());
+  const size_t original_count = points.size();
+  if (options.boundary == BoundaryPolicy::kReflection) {
+    const double rx = options.kernel.support_radius() * hx;
+    const double ry = options.kernel.support_radius() * hy;
+    for (size_t i = 0; i < original_count; ++i) {
+      const Point2 p = points[i];
+      const bool left = p.x - x_domain.lo < rx;
+      const bool right = x_domain.hi - p.x < rx;
+      const bool bottom = p.y - y_domain.lo < ry;
+      const bool top = y_domain.hi - p.y < ry;
+      const double mx = left ? 2.0 * x_domain.lo - p.x
+                             : (right ? 2.0 * x_domain.hi - p.x : p.x);
+      const double my = bottom ? 2.0 * y_domain.lo - p.y
+                               : (top ? 2.0 * y_domain.hi - p.y : p.y);
+      if (left || right) points.push_back({mx, p.y});
+      if (bottom || top) points.push_back({p.x, my});
+      // Corner samples additionally reflect across both edges.
+      if ((left || right) && (bottom || top)) points.push_back({mx, my});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point2& a, const Point2& b) { return a.x < b.x; });
+  return Kernel2dEstimator(std::move(points), original_count, x_domain,
+                           y_domain, hx, hy, options.kernel,
+                           options.boundary);
+}
+
+double Kernel2dEstimator::EstimateSelectivity(const WindowQuery& query) const {
+  if (query.x_lo > query.x_hi || query.y_lo > query.y_hi) return 0.0;
+  const double x_lo = x_domain_.Clamp(query.x_lo);
+  const double x_hi = x_domain_.Clamp(query.x_hi);
+  const double y_lo = y_domain_.Clamp(query.y_lo);
+  const double y_hi = y_domain_.Clamp(query.y_hi);
+  if (x_lo >= x_hi || y_lo >= y_hi) return 0.0;
+
+  const double rx = kernel_.support_radius() * x_bandwidth_;
+  const auto first =
+      std::lower_bound(sorted_.begin(), sorted_.end(), x_lo - rx,
+                       [](const Point2& p, double x) { return p.x < x; });
+  const auto last =
+      std::upper_bound(sorted_.begin(), sorted_.end(), x_hi + rx,
+                       [](double x, const Point2& p) { return x < p.x; });
+  double sum = 0.0;
+  for (auto it = first; it != last; ++it) {
+    const double fx = kernel_.Cdf((x_hi - it->x) / x_bandwidth_) -
+                      kernel_.Cdf((x_lo - it->x) / x_bandwidth_);
+    if (fx <= 0.0) continue;
+    const double fy = kernel_.Cdf((y_hi - it->y) / y_bandwidth_) -
+                      kernel_.Cdf((y_lo - it->y) / y_bandwidth_);
+    if (fy <= 0.0) continue;
+    sum += fx * fy;
+  }
+  return std::clamp(sum / static_cast<double>(original_count_), 0.0, 1.0);
+}
+
+size_t Kernel2dEstimator::StorageBytes() const {
+  return original_count_ * sizeof(Point2) + 2 * sizeof(double);
+}
+
+std::string Kernel2dEstimator::name() const {
+  return "kernel2d(" + kernel_.name() + ", " + BoundaryPolicyName(boundary_) +
+         ")";
+}
+
+}  // namespace selest

@@ -1,0 +1,36 @@
+#include "src/multidim/workload2d.h"
+
+#include "src/util/check.h"
+
+namespace selest {
+
+std::vector<WindowQuery> GenerateWorkload2d(const Dataset2d& data,
+                                            const Workload2dConfig& config,
+                                            Rng& rng) {
+  SELEST_CHECK_GT(config.side_fraction, 0.0);
+  SELEST_CHECK_LE(config.side_fraction, 1.0);
+  SELEST_CHECK_GT(config.num_queries, 0u);
+  const double half_w = 0.5 * config.side_fraction * data.x_domain().width();
+  const double half_h = 0.5 * config.side_fraction * data.y_domain().width();
+
+  std::vector<WindowQuery> queries;
+  queries.reserve(config.num_queries);
+  size_t attempts = 0;
+  const size_t max_attempts = 1000 * config.num_queries;
+  while (queries.size() < config.num_queries) {
+    SELEST_CHECK_LT(attempts, max_attempts);
+    ++attempts;
+    const Point2& center = data.points()[rng.NextUint64(data.size())];
+    const WindowQuery query{center.x - half_w, center.x + half_w,
+                            center.y - half_h, center.y + half_h};
+    if (query.x_lo < data.x_domain().lo || query.x_hi > data.x_domain().hi ||
+        query.y_lo < data.y_domain().lo || query.y_hi > data.y_domain().hi) {
+      continue;
+    }
+    if (config.reject_empty && data.CountInWindow(query) == 0) continue;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+}  // namespace selest

@@ -1,0 +1,29 @@
+// Window-query workloads: the 2-D analogue of query/workload.h.
+#ifndef SELEST_MULTIDIM_WORKLOAD2D_H_
+#define SELEST_MULTIDIM_WORKLOAD2D_H_
+
+#include <vector>
+
+#include "src/multidim/dataset2d.h"
+#include "src/util/random.h"
+
+namespace selest {
+
+struct Workload2dConfig {
+  // Window side length per axis, as a fraction of that axis's domain width
+  // (a 0.1 × 0.1 window covers 1% of the area).
+  double side_fraction = 0.1;
+  size_t num_queries = 1000;
+  bool reject_empty = true;
+};
+
+// Windows centered on randomly drawn data points (positions follow the
+// data distribution, as in §5.1.2); windows crossing the domain boundary
+// are re-drawn.
+std::vector<WindowQuery> GenerateWorkload2d(const Dataset2d& data,
+                                            const Workload2dConfig& config,
+                                            Rng& rng);
+
+}  // namespace selest
+
+#endif  // SELEST_MULTIDIM_WORKLOAD2D_H_

@@ -1,0 +1,4 @@
+#include "src/query/ground_truth.h"
+
+// Header-only today; this translation unit anchors the target and keeps a
+// stable place for future out-of-line members.

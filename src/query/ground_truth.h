@@ -1,0 +1,39 @@
+// Exact selectivities: the ground truth every estimator is scored against.
+//
+// The instance selectivity of Q(a, b) is |{r : a <= r.A <= b}| / N (§2).
+// GroundTruth answers it from the sorted column in O(log N).
+#ifndef SELEST_QUERY_GROUND_TRUTH_H_
+#define SELEST_QUERY_GROUND_TRUTH_H_
+
+#include <cstddef>
+
+#include "src/data/dataset.h"
+#include "src/query/range_query.h"
+
+namespace selest {
+
+// Exact evaluator over one dataset. Holds a reference: the dataset must
+// outlive the GroundTruth.
+class GroundTruth {
+ public:
+  explicit GroundTruth(const Dataset& data) : data_(data) {}
+
+  // Number of records in [q.a, q.b].
+  size_t Count(const RangeQuery& q) const {
+    return data_.CountInRange(q.a, q.b);
+  }
+
+  // Instance selectivity: Count / N.
+  double Selectivity(const RangeQuery& q) const {
+    return static_cast<double>(Count(q)) / static_cast<double>(data_.size());
+  }
+
+  size_t num_records() const { return data_.size(); }
+
+ private:
+  const Dataset& data_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_QUERY_GROUND_TRUTH_H_

@@ -1,0 +1,17 @@
+// Range queries Q(a, b): retrieve all records r with a <= r.A <= b (§2).
+#ifndef SELEST_QUERY_RANGE_QUERY_H_
+#define SELEST_QUERY_RANGE_QUERY_H_
+
+namespace selest {
+
+struct RangeQuery {
+  double a = 0.0;
+  double b = 0.0;
+
+  double width() const { return b - a; }
+  double center() const { return 0.5 * (a + b); }
+};
+
+}  // namespace selest
+
+#endif  // SELEST_QUERY_RANGE_QUERY_H_

@@ -1,0 +1,60 @@
+#include "src/query/workload.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
+                                         const WorkloadConfig& config,
+                                         Rng& rng) {
+  SELEST_CHECK_GT(config.query_fraction, 0.0);
+  SELEST_CHECK_LE(config.query_fraction, 1.0);
+  SELEST_CHECK_GT(config.num_queries, 0u);
+  const Domain& domain = data.domain();
+  const double width = config.query_fraction * domain.width();
+  const double half = 0.5 * width;
+
+  std::vector<RangeQuery> queries;
+  queries.reserve(config.num_queries);
+  size_t attempts = 0;
+  const size_t max_attempts = 1000 * config.num_queries;
+  while (queries.size() < config.num_queries) {
+    SELEST_CHECK_LT(attempts, max_attempts);
+    ++attempts;
+    // Query position follows the data distribution: center on a record.
+    const double center =
+        data.values()[rng.NextUint64(data.size())];
+    // Reject positions too close to the boundary (§5.1.2).
+    if (center - half < domain.lo || center + half > domain.hi) continue;
+    const RangeQuery query{center - half, center + half};
+    if (config.reject_empty && data.CountInRange(query.a, query.b) == 0) {
+      continue;
+    }
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> GeneratePositionSweep(const Dataset& data,
+                                              double query_fraction,
+                                              size_t num_queries) {
+  SELEST_CHECK_GT(query_fraction, 0.0);
+  SELEST_CHECK_LE(query_fraction, 1.0);
+  SELEST_CHECK_GE(num_queries, 2u);
+  const Domain& domain = data.domain();
+  const double width = query_fraction * domain.width();
+  const double half = 0.5 * width;
+  std::vector<RangeQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const double t = static_cast<double>(i) / (num_queries - 1.0);
+    double center = domain.lo + t * domain.width();
+    center = std::clamp(center, domain.lo + half, domain.hi - half);
+    queries.push_back({center - half, center + half});
+  }
+  return queries;
+}
+
+}  // namespace selest

@@ -1,0 +1,47 @@
+// Size-separated query workloads (§5.1.2).
+//
+// A query file F_D(s) holds range queries of one fixed size s (a fraction of
+// the domain width). Query positions follow the data distribution — each
+// query is centered on a randomly drawn record — and positions too close to
+// the domain boundary are rejected so no query sticks out of the domain.
+#ifndef SELEST_QUERY_WORKLOAD_H_
+#define SELEST_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+
+struct WorkloadConfig {
+  // Query width as a fraction of the domain width (the paper uses 0.01,
+  // 0.02, 0.05, 0.10).
+  double query_fraction = 0.01;
+  // Number of queries in the file (the paper uses 1,000).
+  size_t num_queries = 1000;
+  // Queries whose exact result is empty are rejected (they would make the
+  // relative error undefined).
+  bool reject_empty = true;
+};
+
+// Generates a query file for `data`. Positions are drawn from the records
+// themselves, so query placement follows the data distribution as in the
+// paper; queries overlapping a domain boundary are re-drawn.
+std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
+                                         const WorkloadConfig& config,
+                                         Rng& rng);
+
+// Generates queries of fixed width whose centers sweep the domain uniformly
+// from left edge to right edge in `num_queries` equal steps, clamped so each
+// query stays inside the domain. Used by the boundary-error experiments
+// (Figs. 3 and 10), which plot error as a function of the query position.
+std::vector<RangeQuery> GeneratePositionSweep(const Dataset& data,
+                                              double query_fraction,
+                                              size_t num_queries);
+
+}  // namespace selest
+
+#endif  // SELEST_QUERY_WORKLOAD_H_

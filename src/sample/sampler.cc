@@ -1,0 +1,51 @@
+#include "src/sample/sampler.h"
+
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+std::vector<double> SampleWithoutReplacement(std::span<const double> population,
+                                             size_t sample_size, Rng& rng) {
+  SELEST_CHECK_LE(sample_size, population.size());
+  const size_t n = population.size();
+  // Floyd's algorithm over indices: for j = n-k .. n-1 pick t in [0, j];
+  // insert t, or j if t was already chosen.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(sample_size * 2);
+  std::vector<double> sample;
+  sample.reserve(sample_size);
+  for (size_t j = n - sample_size; j < n; ++j) {
+    const size_t t = static_cast<size_t>(rng.NextUint64(j + 1));
+    const size_t pick = chosen.insert(t).second ? t : j;
+    if (pick != t) chosen.insert(pick);
+    sample.push_back(population[pick]);
+  }
+  return sample;
+}
+
+std::vector<double> ReservoirSample(std::span<const double> population,
+                                    size_t sample_size, Rng& rng) {
+  SELEST_CHECK_LE(sample_size, population.size());
+  std::vector<double> reservoir(population.begin(),
+                                population.begin() + sample_size);
+  for (size_t i = sample_size; i < population.size(); ++i) {
+    const size_t j = static_cast<size_t>(rng.NextUint64(i + 1));
+    if (j < sample_size) reservoir[j] = population[i];
+  }
+  return reservoir;
+}
+
+std::vector<double> BernoulliSample(std::span<const double> population,
+                                    double rate, Rng& rng) {
+  SELEST_CHECK_GE(rate, 0.0);
+  SELEST_CHECK_LE(rate, 1.0);
+  std::vector<double> sample;
+  for (double v : population) {
+    if (rng.NextDouble() < rate) sample.push_back(v);
+  }
+  return sample;
+}
+
+}  // namespace selest

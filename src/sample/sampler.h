@@ -1,0 +1,38 @@
+// Random sampling of relations.
+//
+// Every nonparametric estimator in the paper is built from a small random
+// sample of the relation — §5.1.1 draws 2,000 of 100,000+ records "in a
+// random fashion without replacement". This module provides that, plus a
+// single-pass reservoir variant for streams and Bernoulli sampling for
+// completeness.
+#ifndef SELEST_SAMPLE_SAMPLER_H_
+#define SELEST_SAMPLE_SAMPLER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace selest {
+
+// Draws `sample_size` elements uniformly without replacement. Uses Floyd's
+// algorithm: O(sample_size) time and space regardless of population size.
+// Requires sample_size <= population.size(). Order of the result is random.
+std::vector<double> SampleWithoutReplacement(std::span<const double> population,
+                                             size_t sample_size, Rng& rng);
+
+// Algorithm R reservoir sampling: one pass, O(population) time, suitable
+// when the population is only available as a stream. Produces a uniform
+// sample without replacement.
+std::vector<double> ReservoirSample(std::span<const double> population,
+                                    size_t sample_size, Rng& rng);
+
+// Keeps each element independently with probability `rate` (0 <= rate <= 1).
+// The sample size is binomial, not fixed.
+std::vector<double> BernoulliSample(std::span<const double> population,
+                                    double rate, Rng& rng);
+
+}  // namespace selest
+
+#endif  // SELEST_SAMPLE_SAMPLER_H_

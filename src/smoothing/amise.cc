@@ -1,0 +1,64 @@
+#include "src/smoothing/amise.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace selest {
+
+double DensityDerivativeRoughness(const Distribution& distribution, double lo,
+                                  double hi) {
+  SELEST_CHECK_LT(lo, hi);
+  return AdaptiveSimpson(
+      [&distribution](double x) {
+        const double d = distribution.PdfDerivative(x);
+        return d * d;
+      },
+      lo, hi, 1e-12);
+}
+
+double DensitySecondDerivativeRoughness(const Distribution& distribution,
+                                        double lo, double hi) {
+  SELEST_CHECK_LT(lo, hi);
+  return AdaptiveSimpson(
+      [&distribution](double x) {
+        const double d = distribution.PdfSecondDerivative(x);
+        return d * d;
+      },
+      lo, hi, 1e-12);
+}
+
+double HistogramAmise(double bin_width, size_t n, double r_f_prime) {
+  SELEST_CHECK_GT(bin_width, 0.0);
+  SELEST_CHECK_GT(n, 0u);
+  return 1.0 / (static_cast<double>(n) * bin_width) +
+         bin_width * bin_width / 12.0 * r_f_prime;
+}
+
+double OptimalBinWidth(size_t n, double r_f_prime) {
+  SELEST_CHECK_GT(n, 0u);
+  SELEST_CHECK_GT(r_f_prime, 0.0);
+  return std::cbrt(6.0 / (static_cast<double>(n) * r_f_prime));
+}
+
+double KernelAmise(double bandwidth, size_t n, double r_f_second,
+                   const Kernel& kernel) {
+  SELEST_CHECK_GT(bandwidth, 0.0);
+  SELEST_CHECK_GT(n, 0u);
+  const double k2 = kernel.second_moment();
+  const double h4 = bandwidth * bandwidth * bandwidth * bandwidth;
+  return kernel.squared_l2_norm() / (static_cast<double>(n) * bandwidth) +
+         0.25 * h4 * k2 * k2 * r_f_second;
+}
+
+double OptimalBandwidth(size_t n, double r_f_second, const Kernel& kernel) {
+  SELEST_CHECK_GT(n, 0u);
+  SELEST_CHECK_GT(r_f_second, 0.0);
+  const double k2 = kernel.second_moment();
+  return std::pow(kernel.squared_l2_norm() /
+                      (static_cast<double>(n) * k2 * k2 * r_f_second),
+                  0.2);
+}
+
+}  // namespace selest

@@ -1,0 +1,47 @@
+// AMISE formulas for known densities (§4.1, §4.2).
+//
+// Used to validate the smoothing rules against the theoretical optimum when
+// the generating density is known:
+//
+//   histogram:  AMISE(h) = 1/(nh) + h²/12 · R(f')
+//               h_EW = (6 / (n R(f')))^(1/3),  AMISE(h_EW) = O(n^−2/3)
+//   kernel:     AMISE(h) = R(K)/(nh) + h⁴ k2² R(f'') / 4
+//               h_K = (R(K) / (n k2² R(f'')))^(1/5), AMISE(h_K) = O(n^−4/5)
+//
+// where R(g) = ∫ g(x)² dx.
+#ifndef SELEST_SMOOTHING_AMISE_H_
+#define SELEST_SMOOTHING_AMISE_H_
+
+#include <cstddef>
+
+#include "src/data/distribution.h"
+#include "src/density/kernel.h"
+
+namespace selest {
+
+// R(f') = ∫ f'(x)² dx of `distribution`, integrated over [lo, hi] (choose
+// the effective support) by adaptive quadrature.
+double DensityDerivativeRoughness(const Distribution& distribution, double lo,
+                                  double hi);
+
+// R(f'') = ∫ f''(x)² dx over [lo, hi].
+double DensitySecondDerivativeRoughness(const Distribution& distribution,
+                                        double lo, double hi);
+
+// AMISE of an equi-width histogram with bin width h (§4.1).
+double HistogramAmise(double bin_width, size_t n, double r_f_prime);
+
+// Asymptotically optimal equi-width bin width, equation (7).
+double OptimalBinWidth(size_t n, double r_f_prime);
+
+// AMISE of a kernel estimator with bandwidth h (§4.2, equation (9)).
+double KernelAmise(double bandwidth, size_t n, double r_f_second,
+                   const Kernel& kernel = Kernel());
+
+// Asymptotically optimal kernel bandwidth (§4.2).
+double OptimalBandwidth(size_t n, double r_f_second,
+                        const Kernel& kernel = Kernel());
+
+}  // namespace selest
+
+#endif  // SELEST_SMOOTHING_AMISE_H_

@@ -1,0 +1,140 @@
+#include "src/smoothing/direct_plug_in.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/smoothing/normal_scale.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace selest {
+namespace {
+
+constexpr double kSqrt2Pi = 2.506628274631000502;
+
+// phi^(s)(z) = He_s(z) · phi(z) up to sign; for even s the Hermite
+// polynomial form below already carries the correct sign of the derivative.
+double GaussianDerivative(int s, double z) {
+  const double phi = std::exp(-0.5 * z * z) / kSqrt2Pi;
+  const double z2 = z * z;
+  switch (s) {
+    case 2:
+      return (z2 - 1.0) * phi;
+    case 4:
+      return (z2 * z2 - 6.0 * z2 + 3.0) * phi;
+    case 6:
+      return (z2 * z2 * z2 - 15.0 * z2 * z2 + 45.0 * z2 - 15.0) * phi;
+    case 8:
+      return (z2 * z2 * z2 * z2 - 28.0 * z2 * z2 * z2 + 210.0 * z2 * z2 -
+              420.0 * z2 + 105.0) *
+             phi;
+    default:
+      SELEST_CHECK(false);
+  }
+  return 0.0;
+}
+
+double GaussianDerivativeAtZero(int s) { return GaussianDerivative(s, 0.0); }
+
+double Factorial(int k) {
+  double result = 1.0;
+  for (int i = 2; i <= k; ++i) result *= i;
+  return result;
+}
+
+// Pilot bandwidth for estimating psi_s, given psi_{s+2} (Wand & Jones):
+//   g = ( −2 phi^(s)(0) / (psi_{s+2} · n) )^(1/(s+3))
+double PilotBandwidth(int s, double psi_next, size_t n) {
+  const double numerator = -2.0 * GaussianDerivativeAtZero(s);
+  const double value = numerator / (psi_next * static_cast<double>(n));
+  if (!(value > 0.0)) return 0.0;  // degenerate; caller falls back
+  return std::pow(value, 1.0 / (s + 3.0));
+}
+
+}  // namespace
+
+double EstimatePsiFunctional(std::span<const double> sample, int s, double g) {
+  SELEST_CHECK(s == 2 || s == 4 || s == 6 || s == 8);
+  SELEST_CHECK_GT(g, 0.0);
+  SELEST_CHECK(!sample.empty());
+  const size_t n = sample.size();
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Diagonal term (i == j) once, off-diagonal pairs twice via symmetry.
+    sum += GaussianDerivativeAtZero(s);
+    for (size_t j = i + 1; j < n; ++j) {
+      sum += 2.0 * GaussianDerivative(s, (sample[i] - sample[j]) / g);
+    }
+  }
+  const double scale = std::pow(g, s + 1.0);
+  return sum / (static_cast<double>(n) * static_cast<double>(n) * scale);
+}
+
+double NormalScalePsi(int s, double sigma) {
+  SELEST_CHECK(s % 2 == 0);
+  SELEST_CHECK_GT(sigma, 0.0);
+  const int half = s / 2;
+  const double sign = half % 2 == 0 ? 1.0 : -1.0;
+  return sign * Factorial(s) /
+         (std::pow(2.0 * sigma, s + 1.0) * Factorial(half) *
+          std::sqrt(std::numbers::pi));
+}
+
+double DirectPlugInBandwidth(std::span<const double> sample,
+                             const Domain& domain, const Kernel& kernel,
+                             int stages) {
+  SELEST_CHECK_GE(stages, 1);
+  SELEST_CHECK_LE(stages, 3);
+  SELEST_CHECK(!sample.empty());
+  const double fallback = NormalScaleBandwidth(sample, domain, kernel);
+  const double sigma = NormalScaleSigma(sample);
+  if (sigma <= 0.0) return fallback;
+  const size_t n = sample.size();
+
+  // Stage ladder: psi_{2·stages+4} from the normal scale, then estimate
+  // psi_{2j+2} for j = stages..1, ending at psi_4 = R(f'').
+  double psi_next = NormalScalePsi(2 * stages + 4, sigma);
+  for (int j = stages; j >= 1; --j) {
+    const int s = 2 * j + 2;
+    const double g = PilotBandwidth(s, psi_next, n);
+    if (g <= 0.0) return fallback;
+    psi_next = EstimatePsiFunctional(sample, s, g);
+  }
+  const double psi4 = psi_next;  // R(f'')
+  if (!(psi4 > 0.0)) return fallback;
+  const double r_k = kernel.squared_l2_norm();
+  const double k2 = kernel.second_moment();
+  return std::pow(r_k / (k2 * k2 * psi4 * static_cast<double>(n)), 0.2);
+}
+
+double DirectPlugInBinWidth(std::span<const double> sample,
+                            const Domain& domain, int stages) {
+  SELEST_CHECK_GE(stages, 1);
+  SELEST_CHECK_LE(stages, 3);
+  SELEST_CHECK(!sample.empty());
+  const double fallback = NormalScaleBinWidth(sample, domain);
+  const double sigma = NormalScaleSigma(sample);
+  if (sigma <= 0.0) return fallback;
+  const size_t n = sample.size();
+
+  // Ladder down to psi_2 = −R(f').
+  double psi_next = NormalScalePsi(2 * stages + 2, sigma);
+  for (int j = stages; j >= 1; --j) {
+    const int s = 2 * j;
+    const double g = PilotBandwidth(s, psi_next, n);
+    if (g <= 0.0) return fallback;
+    psi_next = EstimatePsiFunctional(sample, s, g);
+  }
+  const double r_f_prime = -psi_next;
+  if (!(r_f_prime > 0.0)) return fallback;
+  return std::cbrt(6.0 / (static_cast<double>(n) * r_f_prime));
+}
+
+int DirectPlugInNumBins(std::span<const double> sample, const Domain& domain,
+                        int stages) {
+  const double width = DirectPlugInBinWidth(sample, domain, stages);
+  const double bins = domain.width() / width;
+  return std::max(1, static_cast<int>(std::lround(bins)));
+}
+
+}  // namespace selest

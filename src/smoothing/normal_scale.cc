@@ -1,0 +1,38 @@
+#include "src/smoothing/normal_scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace selest {
+
+double NormalScaleBinWidth(std::span<const double> sample,
+                           const Domain& domain) {
+  SELEST_CHECK(!sample.empty());
+  const double s = NormalScaleSigma(sample);
+  if (s <= 0.0) return domain.width() / 10.0;
+  const double n = static_cast<double>(sample.size());
+  const double constant =
+      std::cbrt(24.0 * std::sqrt(std::numbers::pi));  // ≈ 3.49
+  return constant * s * std::pow(n, -1.0 / 3.0);
+}
+
+int NormalScaleNumBins(std::span<const double> sample, const Domain& domain) {
+  const double width = NormalScaleBinWidth(sample, domain);
+  const double bins = domain.width() / width;
+  return std::max(1, static_cast<int>(std::lround(bins)));
+}
+
+double NormalScaleBandwidth(std::span<const double> sample,
+                            const Domain& domain, const Kernel& kernel) {
+  SELEST_CHECK(!sample.empty());
+  const double s = NormalScaleSigma(sample);
+  if (s <= 0.0) return domain.width() / 100.0;
+  const double n = static_cast<double>(sample.size());
+  return kernel.normal_scale_constant() * s * std::pow(n, -0.2);
+}
+
+}  // namespace selest

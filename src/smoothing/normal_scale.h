@@ -1,0 +1,38 @@
+// Normal scale rules for the smoothing parameter (§4.1, §4.2).
+//
+// The asymptotically optimal bin width / bandwidth depends on derivative
+// functionals of the unknown density. The normal scale rule evaluates those
+// functionals as if the data were Gaussian, with the scale s estimated
+// robustly as min(stddev, IQR/1.348):
+//
+//   bin width   h_EW ≈ (24 √π)^(1/3) · s · n^(−1/3)         (equation (8))
+//   bandwidth   h_K  ≈ C(K) · s · n^(−1/5),  C(Epan.) ≈ 2.345
+#ifndef SELEST_SMOOTHING_NORMAL_SCALE_H_
+#define SELEST_SMOOTHING_NORMAL_SCALE_H_
+
+#include <span>
+
+#include "src/data/domain.h"
+#include "src/density/kernel.h"
+
+namespace selest {
+
+// Equi-width bin width by the normal scale rule. Falls back to
+// domain.width()/10 when the sample scale collapses to zero.
+double NormalScaleBinWidth(std::span<const double> sample,
+                           const Domain& domain);
+
+// Number of equi-width bins for `domain` implied by NormalScaleBinWidth
+// (at least 1).
+int NormalScaleNumBins(std::span<const double> sample, const Domain& domain);
+
+// Kernel bandwidth by the normal scale rule for the given kernel
+// (Epanechnikov by default, constant ≈ 2.345·s·n^(−1/5)). Falls back to
+// domain.width()/100 when the sample scale collapses to zero.
+double NormalScaleBandwidth(std::span<const double> sample,
+                            const Domain& domain,
+                            const Kernel& kernel = Kernel());
+
+}  // namespace selest
+
+#endif  // SELEST_SMOOTHING_NORMAL_SCALE_H_

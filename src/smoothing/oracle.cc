@@ -1,0 +1,51 @@
+#include "src/smoothing/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/numeric.h"
+
+namespace selest {
+
+double FindOptimalSmoothing(const std::function<double(double)>& objective,
+                            double lo, double hi,
+                            const OracleSearchOptions& options) {
+  SELEST_CHECK_GT(lo, 0.0);
+  SELEST_CHECK_LT(lo, hi);
+  SELEST_CHECK_GE(options.grid_steps, 2);
+  const double coarse = GridMinimize(objective, lo, hi, options.grid_steps);
+  if (!options.refine) return coarse;
+  // Refine within one grid stride on either side of the coarse winner.
+  const double stride =
+      std::pow(hi / lo, 1.0 / (options.grid_steps - 1.0));
+  const double bracket_lo = std::max(lo, coarse / stride);
+  const double bracket_hi = std::min(hi, coarse * stride);
+  if (bracket_lo >= bracket_hi) return coarse;
+  const double refined = GoldenSectionMinimize(objective, bracket_lo,
+                                               bracket_hi, options.tolerance);
+  return objective(refined) <= objective(coarse) ? refined : coarse;
+}
+
+int FindOptimalBinCount(const std::function<double(int)>& objective,
+                        int lo_bins, int hi_bins) {
+  SELEST_CHECK_GE(lo_bins, 1);
+  SELEST_CHECK_LE(lo_bins, hi_bins);
+  int best_k = lo_bins;
+  double best_value = objective(lo_bins);
+  int k = lo_bins;
+  while (k < hi_bins) {
+    // Dense at small counts where the error surface is steep, geometric
+    // beyond 64 bins.
+    k = k < 64 ? k + 1 : std::max(k + 1, static_cast<int>(k * 1.05));
+    k = std::min(k, hi_bins);
+    const double value = objective(k);
+    if (value < best_value) {
+      best_value = value;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace selest

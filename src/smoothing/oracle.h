@@ -1,0 +1,39 @@
+// Oracle smoothing-parameter search ("h-opt" in §5.2).
+//
+// The paper benchmarks its practical rules against the smoothing parameter
+// with the lowest observed MRE — not a practical method (it needs the true
+// result sizes) but the yardstick of Figs. 9 and 11. The search is generic
+// over any objective(h): a coarse log-spaced grid scan followed by a
+// golden-section refinement around the winner.
+#ifndef SELEST_SMOOTHING_ORACLE_H_
+#define SELEST_SMOOTHING_ORACLE_H_
+
+#include <functional>
+
+namespace selest {
+
+struct OracleSearchOptions {
+  // Grid points in the initial log-spaced scan.
+  int grid_steps = 40;
+  // Width (in grid steps) of the bracket refined by golden section.
+  bool refine = true;
+  // Relative tolerance of the refinement.
+  double tolerance = 1e-3;
+};
+
+// Minimizes objective(h) over h in [lo, hi] (0 < lo < hi) and returns the
+// winning h. The objective is typically the empirical MRE of an estimator
+// rebuilt with smoothing parameter h.
+double FindOptimalSmoothing(const std::function<double(double)>& objective,
+                            double lo, double hi,
+                            const OracleSearchOptions& options = {});
+
+// Integer variant for bin counts: scans every k in [lo_bins, hi_bins]
+// with geometric-ish stride (all values up to 64, then ~5% steps) and
+// returns the k with the smallest objective.
+int FindOptimalBinCount(const std::function<double(int)>& objective,
+                        int lo_bins, int hi_bins);
+
+}  // namespace selest
+
+#endif  // SELEST_SMOOTHING_ORACLE_H_

@@ -1,0 +1,15 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace selest {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace selest

@@ -1,0 +1,38 @@
+// Assertion macros for programmer errors.
+//
+// selest does not use exceptions (Google C++ style). Invariant violations
+// are programmer errors and abort the process with a diagnostic; recoverable
+// failures use selest::Status (see util/status.h) instead.
+#ifndef SELEST_UTIL_CHECK_H_
+#define SELEST_UTIL_CHECK_H_
+
+namespace selest {
+namespace internal {
+
+// Prints `file:line: message` to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* message);
+
+}  // namespace internal
+}  // namespace selest
+
+// Aborts with a diagnostic unless `condition` holds. Always evaluated,
+// including in release builds: the estimators are cheap relative to the
+// experiments driving them, and silent corruption of an estimate is worse
+// than a crash.
+#define SELEST_CHECK(condition)                                         \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::selest::internal::CheckFailed(__FILE__, __LINE__,               \
+                                      "SELEST_CHECK failed: " #condition); \
+    }                                                                   \
+  } while (false)
+
+#define SELEST_CHECK_OP(op, a, b) SELEST_CHECK((a)op(b))
+#define SELEST_CHECK_EQ(a, b) SELEST_CHECK_OP(==, a, b)
+#define SELEST_CHECK_NE(a, b) SELEST_CHECK_OP(!=, a, b)
+#define SELEST_CHECK_LT(a, b) SELEST_CHECK_OP(<, a, b)
+#define SELEST_CHECK_LE(a, b) SELEST_CHECK_OP(<=, a, b)
+#define SELEST_CHECK_GT(a, b) SELEST_CHECK_OP(>, a, b)
+#define SELEST_CHECK_GE(a, b) SELEST_CHECK_OP(>=, a, b)
+
+#endif  // SELEST_UTIL_CHECK_H_

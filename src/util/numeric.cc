@@ -1,0 +1,149 @@
+#include "src/util/numeric.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace selest {
+namespace {
+
+double SimpsonRecurse(const std::function<double(double)>& f, double a,
+                      double b, double fa, double fm, double fb, double whole,
+                      double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double h = b - a;
+  const double left = (h / 12.0) * (fa + 4.0 * flm + fm);
+  const double right = (h / 12.0) * (fm + 4.0 * frm + fb);
+  const double split = left + right;
+  if (depth <= 0 || std::fabs(split - whole) <= 15.0 * tol) {
+    // Richardson extrapolation of the two estimates.
+    return split + (split - whole) / 15.0;
+  }
+  return SimpsonRecurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         SimpsonRecurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double SimpsonIntegrate(const std::function<double(double)>& f, double a,
+                        double b, int intervals) {
+  SELEST_CHECK_GT(intervals, 0);
+  if (a == b) return 0.0;
+  if (intervals % 2 != 0) ++intervals;
+  const double h = (b - a) / intervals;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < intervals; ++i) {
+    const double x = a + h * i;
+    sum += (i % 2 == 0 ? 2.0 : 4.0) * f(x);
+  }
+  return sum * h / 3.0;
+}
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = ((b - a) / 6.0) * (fa + 4.0 * fm + fb);
+  constexpr int kMaxDepth = 40;
+  return SimpsonRecurse(f, a, b, fa, fm, fb, whole, tol, kMaxDepth);
+}
+
+double GoldenSectionMinimize(const std::function<double(double)>& f, double lo,
+                             double hi, double tol) {
+  SELEST_CHECK_LT(lo, hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tol * (std::fabs(c) + std::fabs(d) + 1.0)) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double GridMinimize(const std::function<double(double)>& f, double lo,
+                    double hi, int steps) {
+  SELEST_CHECK_GT(lo, 0.0);
+  SELEST_CHECK_LT(lo, hi);
+  SELEST_CHECK_GE(steps, 2);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  double best_x = lo;
+  double best_f = f(lo);
+  for (int i = 1; i < steps; ++i) {
+    const double x =
+        std::exp(log_lo + (log_hi - log_lo) * i / (steps - 1.0));
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+double InverseNormalCdf(double p) {
+  SELEST_CHECK_GT(p, 0.0);
+  SELEST_CHECK_LT(p, 1.0);
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement against the accurate erfc-based CDF.
+  const double cdf = 0.5 * std::erfc(-x / std::sqrt(2.0));
+  const double pdf =
+      std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+  const double u = (cdf - p) / pdf;
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+}  // namespace selest

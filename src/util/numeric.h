@@ -1,0 +1,45 @@
+// Numeric helpers: quadrature and 1-D minimization.
+//
+// Quadrature backs the boundary-kernel selectivity integrals (§3.2.1) and
+// the AMISE functionals R(f'), R(f'') for known densities (§4); the golden
+// section search backs the oracle smoothing-parameter selector (§5.2).
+#ifndef SELEST_UTIL_NUMERIC_H_
+#define SELEST_UTIL_NUMERIC_H_
+
+#include <functional>
+
+namespace selest {
+
+// Integrates f over [a, b] with composite Simpson's rule on `intervals`
+// subintervals (rounded up to even). Exact for cubics on each subinterval.
+double SimpsonIntegrate(const std::function<double(double)>& f, double a,
+                        double b, int intervals = 128);
+
+// Adaptive Simpson quadrature to absolute tolerance `tol`. Bounded recursion
+// depth; falls back to the non-adaptive estimate at the depth limit.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-10);
+
+// Minimizes a unimodal function over [lo, hi] by golden-section search.
+// Returns the abscissa of the minimum with tolerance `tol` (relative to the
+// interval width). For non-unimodal f this still converges, to a local
+// minimum.
+double GoldenSectionMinimize(const std::function<double(double)>& f, double lo,
+                             double hi, double tol = 1e-6);
+
+// Minimizes f over a log-spaced grid of `steps` points in [lo, hi] and
+// returns the best abscissa. Robust for multi-modal objectives such as the
+// empirical MRE as a function of the smoothing parameter; commonly followed
+// by a golden-section refinement around the winner.
+double GridMinimize(const std::function<double(double)>& f, double lo,
+                    double hi, int steps);
+
+// Inverse standard normal CDF (quantile function), |error| < 1.2e-9
+// (Acklam's rational approximation with one Halley refinement step).
+// Requires 0 < p < 1. Backs the confidence intervals of the online
+// estimators.
+double InverseNormalCdf(double p);
+
+}  // namespace selest
+
+#endif  // SELEST_UTIL_NUMERIC_H_

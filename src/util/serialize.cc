@@ -1,0 +1,99 @@
+#include "src/util/serialize.h"
+
+#include <cstring>
+
+namespace selest {
+
+void ByteWriter::WriteU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteDouble(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteString(const std::string& value) {
+  WriteU32(static_cast<uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void ByteWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (double v : values) WriteDouble(v);
+}
+
+Status ByteReader::Need(size_t count) {
+  if (remaining() < count) {
+    return OutOfRangeError("truncated input: need " + std::to_string(count) +
+                           " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint32_t> ByteReader::ReadU32() {
+  Status status = Need(4);
+  if (!status.ok()) return status;
+  uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<uint32_t>(bytes_[position_++]) << shift;
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ByteReader::ReadU64() {
+  Status status = Need(8);
+  if (!status.ok()) return status;
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<uint64_t>(bytes_[position_++]) << shift;
+  }
+  return value;
+}
+
+StatusOr<double> ByteReader::ReadDouble() {
+  auto bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double value;
+  const uint64_t raw = bits.value();
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+StatusOr<std::string> ByteReader::ReadString() {
+  auto size = ReadU32();
+  if (!size.ok()) return size.status();
+  Status status = Need(size.value());
+  if (!status.ok()) return status;
+  std::string value(reinterpret_cast<const char*>(&bytes_[position_]),
+                    size.value());
+  position_ += size.value();
+  return value;
+}
+
+StatusOr<std::vector<double>> ByteReader::ReadDoubleVector() {
+  auto count = ReadU64();
+  if (!count.ok()) return count.status();
+  // 8 bytes per double: reject implausible counts before allocating.
+  Status status = Need(count.value() * 8);
+  if (!status.ok()) return status;
+  std::vector<double> values;
+  values.reserve(count.value());
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    auto v = ReadDouble();
+    if (!v.ok()) return v.status();
+    values.push_back(v.value());
+  }
+  return values;
+}
+
+}  // namespace selest

@@ -1,0 +1,56 @@
+// Minimal binary serialization for catalog persistence.
+//
+// Fixed little-endian layout: u32/u64 integers, IEEE-754 doubles, and
+// length-prefixed strings/arrays. The reader is bounds-checked and returns
+// errors (never UB) on truncated or corrupt input.
+#ifndef SELEST_UTIL_SERIALIZE_H_
+#define SELEST_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace selest {
+
+class ByteWriter {
+ public:
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteDouble(double value);
+  void WriteString(const std::string& value);
+  void WriteDoubleVector(const std::vector<double>& values);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<double> ReadDouble();
+  StatusOr<std::string> ReadString();
+  StatusOr<std::vector<double>> ReadDoubleVector();
+
+  // True when every byte has been consumed.
+  bool AtEnd() const { return position_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - position_; }
+
+ private:
+  Status Need(size_t count);
+
+  std::vector<uint8_t> bytes_;
+  size_t position_ = 0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_UTIL_SERIALIZE_H_

@@ -1,0 +1,96 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+double Mean(std::span<const double> values) {
+  SELEST_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  SELEST_CHECK_GE(values.size(), 2u);
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double SampleStddev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  SELEST_CHECK(!sorted.empty());
+  SELEST_CHECK_GE(q, 0.0);
+  SELEST_CHECK_LE(q, 1.0);
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted[sorted.size() - 1];
+  return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
+}
+
+double Quantile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileSorted(sorted, q);
+}
+
+double InterquartileRange(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileSorted(sorted, 0.75) - QuantileSorted(sorted, 0.25);
+}
+
+double NormalScaleSigma(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double stddev = SampleStddev(values);
+  // 1.348 ≈ IQR of N(0,1); dividing makes the IQR comparable to a stddev.
+  const double iqr_scale = InterquartileRange(values) / 1.348;
+  // The paper (§4.1) takes the minimum of the two estimates; when the IQR
+  // collapses to zero (heavy duplication) fall back to the stddev so the
+  // bandwidth does not degenerate.
+  if (iqr_scale <= 0.0) return stddev;
+  return std::min(stddev, iqr_scale);
+}
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  RunningStat stat;
+  for (double v : values) {
+    if (s.count == 0) {
+      s.min = s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    ++s.count;
+    stat.Add(v);
+  }
+  s.mean = stat.mean();
+  s.stddev = stat.stddev();
+  return s;
+}
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace selest

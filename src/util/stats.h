@@ -1,0 +1,72 @@
+// Descriptive statistics used by the smoothing-parameter rules of Section 4:
+// the normal scale rules need the sample standard deviation and the
+// interquartile range, and the error metrics need means over query files.
+#ifndef SELEST_UTIL_STATS_H_
+#define SELEST_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace selest {
+
+// Arithmetic mean. Requires a non-empty span.
+double Mean(std::span<const double> values);
+
+// Unbiased sample variance (divides by n-1). Requires at least two values.
+double SampleVariance(std::span<const double> values);
+
+// Square root of SampleVariance.
+double SampleStddev(std::span<const double> values);
+
+// The q-quantile (0 <= q <= 1) with linear interpolation between order
+// statistics (the "type 7" definition used by R and NumPy). Requires a
+// non-empty span. O(n log n): copies and sorts.
+double Quantile(std::span<const double> values, double q);
+
+// Like Quantile but for data already sorted ascending; O(1).
+double QuantileSorted(std::span<const double> sorted, double q);
+
+// Interquartile range: 0.75-quantile minus 0.25-quantile.
+double InterquartileRange(std::span<const double> values);
+
+// The robust scale estimate of Section 4.1/4.2:
+//   s = min(sample stddev, IQR / 1.348),
+// the minimum of the empirical standard deviation and the normalized
+// interquartile range (1.348 is the IQR of the standard normal). For fewer
+// than two distinct values the scale is 0 and callers must handle it.
+double NormalScaleSigma(std::span<const double> values);
+
+// Summary of one pass over a data set.
+struct Summary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // 0 when count < 2
+};
+
+// Computes the summary in one pass (Welford's algorithm for the variance).
+Summary Summarize(std::span<const double> values);
+
+// Incremental mean/variance accumulator (Welford). Used by the experiment
+// harness to aggregate per-query errors without storing them all.
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  // Mean of the values added so far; 0 if none.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Unbiased variance; 0 when fewer than two values.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_UTIL_STATS_H_

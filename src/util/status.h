@@ -1,0 +1,100 @@
+// Lightweight Status / StatusOr in the style of absl::Status, used for
+// recoverable failures (invalid estimator configurations, empty samples).
+#ifndef SELEST_UTIL_STATUS_H_
+#define SELEST_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kInternal = 5,
+};
+
+// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// The result of an operation that can fail. A Status is either OK or carries
+// an error code and message. Cheap to copy for the OK case in practice
+// (empty message).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: why".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status NotFoundError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an errored StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: lets factories write
+  // `return value;` and `return SomeError(...);` symmetrically.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SELEST_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SELEST_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SELEST_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SELEST_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_UTIL_STATUS_H_

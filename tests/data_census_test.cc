@@ -1,0 +1,81 @@
+#include <cmath>
+#include "src/data/census.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+TEST(CensusTest, ProducesRequestedCount) {
+  Rng rng(1);
+  const Dataset d =
+      GenerateInstanceWeights("iw", InstanceWeightConfig{}, 10000, rng);
+  EXPECT_EQ(d.size(), 10000u);
+}
+
+TEST(CensusTest, ValuesAreIntegersInDomain) {
+  Rng rng(2);
+  InstanceWeightConfig config;
+  config.bits = 12;
+  const Dataset d = GenerateInstanceWeights("iw", config, 5000, rng);
+  for (double v : d.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 4095.0);
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(CensusTest, HeavyDuplication) {
+  Rng rng(3);
+  const Dataset d =
+      GenerateInstanceWeights("iw", InstanceWeightConfig{}, 50000, rng);
+  // A survey-weight column has far fewer distinct values than records: at
+  // most the spikes plus the thin background.
+  EXPECT_LT(d.CountDistinct(), d.size() / 10);
+}
+
+TEST(CensusTest, TopValueCarriesLargeMass) {
+  Rng rng(4);
+  const Dataset d =
+      GenerateInstanceWeights("iw", InstanceWeightConfig{}, 50000, rng);
+  // Zipf skew 1.1 over 400 spikes gives the heaviest value several percent
+  // of all records.
+  size_t heaviest = 0;
+  const auto& sorted = d.sorted_values();
+  size_t run = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) {
+      ++run;
+    } else {
+      heaviest = std::max(heaviest, run);
+      run = 1;
+    }
+  }
+  heaviest = std::max(heaviest, run);
+  EXPECT_GT(heaviest, d.size() / 50);
+}
+
+TEST(CensusTest, DeterministicForFixedSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const Dataset a =
+      GenerateInstanceWeights("a", InstanceWeightConfig{}, 1000, rng1);
+  const Dataset b =
+      GenerateInstanceWeights("b", InstanceWeightConfig{}, 1000, rng2);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(CensusTest, MassConcentratedAtLowWeights) {
+  Rng rng(6);
+  const Dataset d =
+      GenerateInstanceWeights("iw", InstanceWeightConfig{}, 50000, rng);
+  const double midpoint = 0.5 * (d.domain().lo + d.domain().hi);
+  // Log-normal positions put most weights in the lower half of the domain —
+  // the skew that makes the one-bin uniform estimator fail.
+  EXPECT_GT(d.CountInRange(d.domain().lo, midpoint), d.size() * 3 / 5);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,115 @@
+#include <cmath>
+#include "src/data/dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+TEST(DatasetTest, StoresValuesAndName) {
+  const Dataset d("test", ContinuousDomain(0.0, 10.0), {1.0, 5.0, 3.0});
+  EXPECT_EQ(d.name(), "test");
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DatasetTest, SortedValuesAreSorted) {
+  const Dataset d("t", ContinuousDomain(0.0, 10.0), {5.0, 1.0, 3.0});
+  const std::vector<double> expected{1.0, 3.0, 5.0};
+  EXPECT_EQ(d.sorted_values(), expected);
+}
+
+TEST(DatasetTest, CountDistinct) {
+  const Dataset d("t", ContinuousDomain(0.0, 10.0),
+                  {1.0, 1.0, 2.0, 2.0, 2.0, 7.0});
+  EXPECT_EQ(d.CountDistinct(), 3u);
+}
+
+TEST(DatasetTest, CountInRangeInclusive) {
+  const Dataset d("t", ContinuousDomain(0.0, 10.0), {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(d.CountInRange(2.0, 3.0), 2u);
+  EXPECT_EQ(d.CountInRange(0.0, 10.0), 4u);
+  EXPECT_EQ(d.CountInRange(2.5, 2.6), 0u);
+  EXPECT_EQ(d.CountInRange(4.0, 4.0), 1u);
+}
+
+TEST(DatasetTest, CountInRangeInvertedRangeIsEmpty) {
+  const Dataset d("t", ContinuousDomain(0.0, 10.0), {1.0, 2.0});
+  EXPECT_EQ(d.CountInRange(3.0, 1.0), 0u);
+}
+
+TEST(DatasetTest, CountInRangeMatchesBruteForce) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.NextDouble() * 100.0);
+  const Dataset d("t", ContinuousDomain(0.0, 100.0), values);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double a = rng.NextDouble() * 100.0;
+    const double b = a + rng.NextDouble() * (100.0 - a);
+    size_t brute = 0;
+    for (double v : values) {
+      if (v >= a && v <= b) ++brute;
+    }
+    EXPECT_EQ(d.CountInRange(a, b), brute);
+  }
+}
+
+TEST(GenerateDatasetTest, ProducesRequestedCount) {
+  Rng rng(1);
+  const Domain domain = BitDomain(10);
+  const UniformDistribution dist(domain.lo, domain.hi);
+  const Dataset d = GenerateDataset("u", dist, 5000, domain, rng);
+  EXPECT_EQ(d.size(), 5000u);
+}
+
+TEST(GenerateDatasetTest, ValuesAreQuantizedAndInDomain) {
+  Rng rng(2);
+  const Domain domain = BitDomain(8);
+  const NormalDistribution dist(128.0, 32.0);
+  const Dataset d = GenerateDataset("n", dist, 2000, domain, rng);
+  for (double v : d.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 255.0);
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(GenerateDatasetTest, DiscardsOutOfDomainRecords) {
+  Rng rng(3);
+  const Domain domain = BitDomain(8);
+  // Wide normal: many draws land outside [0, 255] and must be discarded,
+  // not clamped — so no pile-up at the boundaries.
+  const NormalDistribution dist(128.0, 200.0);
+  const Dataset d = GenerateDataset("n", dist, 5000, domain, rng);
+  EXPECT_EQ(d.size(), 5000u);
+  const size_t at_edges = d.CountInRange(0.0, 0.0) + d.CountInRange(255.0, 255.0);
+  // Without discarding, clamping would put ~40% of mass at the two edges.
+  EXPECT_LT(at_edges, d.size() / 20);
+}
+
+TEST(GenerateDatasetTest, DeterministicForFixedSeed) {
+  const Domain domain = BitDomain(10);
+  const UniformDistribution dist(domain.lo, domain.hi);
+  Rng rng1(77);
+  Rng rng2(77);
+  const Dataset a = GenerateDataset("a", dist, 100, domain, rng1);
+  const Dataset b = GenerateDataset("b", dist, 100, domain, rng2);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(DatasetDeathTest, RejectsEmptyValues) {
+  EXPECT_DEATH(Dataset("t", ContinuousDomain(0.0, 1.0), {}), "SELEST_CHECK");
+}
+
+TEST(DatasetDeathTest, RejectsOutOfDomainValues) {
+  EXPECT_DEATH(Dataset("t", ContinuousDomain(0.0, 1.0), {2.0}),
+               "SELEST_CHECK");
+}
+
+}  // namespace
+}  // namespace selest

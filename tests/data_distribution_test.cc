@@ -1,0 +1,171 @@
+#include "src/data/distribution.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/numeric.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+double SampleMean(const Distribution& dist, int n, uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += dist.Sample(rng);
+  return sum / n;
+}
+
+TEST(UniformDistributionTest, PdfAndCdf) {
+  const UniformDistribution d(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.Pdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.Cdf(7.0), 1.0);
+}
+
+TEST(UniformDistributionTest, SampleStaysInRange) {
+  const UniformDistribution d(-1.0, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.Sample(rng);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(UniformDistributionTest, DerivativesAreZero) {
+  const UniformDistribution d(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.PdfDerivative(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.PdfSecondDerivative(0.5), 0.0);
+}
+
+TEST(NormalDistributionTest, PdfPeakValue) {
+  const NormalDistribution d(0.0, 1.0);
+  EXPECT_NEAR(d.Pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+}
+
+TEST(NormalDistributionTest, CdfKnownValues) {
+  const NormalDistribution d(0.0, 1.0);
+  EXPECT_NEAR(d.Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(d.Cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(d.Cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalDistributionTest, PdfIntegratesToOne) {
+  const NormalDistribution d(5.0, 2.0);
+  const double mass = AdaptiveSimpson([&d](double x) { return d.Pdf(x); },
+                                      5.0 - 16.0, 5.0 + 16.0);
+  EXPECT_NEAR(mass, 1.0, 1e-8);
+}
+
+TEST(NormalDistributionTest, AnalyticDerivativesMatchFiniteDifferences) {
+  const NormalDistribution d(1.0, 0.5);
+  for (double x : {0.2, 0.9, 1.0, 1.7}) {
+    const double h = 1e-5;
+    const double fd1 = (d.Pdf(x + h) - d.Pdf(x - h)) / (2.0 * h);
+    const double fd2 = (d.Pdf(x + h) - 2.0 * d.Pdf(x) + d.Pdf(x - h)) / (h * h);
+    EXPECT_NEAR(d.PdfDerivative(x), fd1, 1e-5);
+    EXPECT_NEAR(d.PdfSecondDerivative(x), fd2, 1e-3);
+  }
+}
+
+TEST(NormalDistributionTest, SampleMeanConverges) {
+  const NormalDistribution d(-3.0, 2.0);
+  EXPECT_NEAR(SampleMean(d, 100000, 7), -3.0, 0.05);
+}
+
+TEST(ExponentialDistributionTest, PdfAndCdf) {
+  const ExponentialDistribution d(2.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(-0.1), 0.0);
+  EXPECT_NEAR(d.Pdf(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(std::log(2.0) / 2.0), 0.5, 1e-12);
+}
+
+TEST(ExponentialDistributionTest, OriginShifts) {
+  const ExponentialDistribution d(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(9.9), 0.0);
+  EXPECT_NEAR(d.Pdf(10.0), 1.0, 1e-12);
+  EXPECT_NEAR(SampleMean(d, 100000, 3), 11.0, 0.05);
+}
+
+TEST(ExponentialDistributionTest, AnalyticDerivatives) {
+  const ExponentialDistribution d(3.0);
+  const double x = 0.4;
+  EXPECT_NEAR(d.PdfDerivative(x), -3.0 * d.Pdf(x), 1e-12);
+  EXPECT_NEAR(d.PdfSecondDerivative(x), 9.0 * d.Pdf(x), 1e-12);
+}
+
+TEST(ZipfDistributionTest, MassesAreZipfian) {
+  const ZipfDistribution d(3, 1.0);
+  // Unnormalized masses 1, 1/2, 1/3 → total 11/6.
+  EXPECT_NEAR(d.Pdf(0.0), (1.0) / (11.0 / 6.0), 1e-12);
+  EXPECT_NEAR(d.Pdf(1.0), (0.5) / (11.0 / 6.0), 1e-12);
+  EXPECT_NEAR(d.Pdf(2.0), (1.0 / 3.0) / (11.0 / 6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.Pdf(3.0), 0.0);
+}
+
+TEST(ZipfDistributionTest, CdfReachesOne) {
+  const ZipfDistribution d(10, 1.5);
+  EXPECT_DOUBLE_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_NEAR(d.Cdf(9.0), 1.0, 1e-12);
+}
+
+TEST(ZipfDistributionTest, SamplesAreIntegersInRange) {
+  const ZipfDistribution d(5, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = d.Sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 5.0);
+    ++counts[static_cast<int>(x)];
+  }
+  // Frequencies must decrease for a Zipf law.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(MixtureDistributionTest, PdfIsWeightedSum) {
+  std::vector<std::unique_ptr<Distribution>> parts;
+  parts.push_back(std::make_unique<UniformDistribution>(0.0, 1.0));
+  parts.push_back(std::make_unique<UniformDistribution>(1.0, 3.0));
+  const MixtureDistribution mix(std::move(parts), {1.0, 1.0});
+  EXPECT_NEAR(mix.Pdf(0.5), 0.5 * 1.0, 1e-12);
+  EXPECT_NEAR(mix.Pdf(2.0), 0.5 * 0.5, 1e-12);
+}
+
+TEST(MixtureDistributionTest, WeightsAreNormalized) {
+  std::vector<std::unique_ptr<Distribution>> parts;
+  parts.push_back(std::make_unique<UniformDistribution>(0.0, 1.0));
+  parts.push_back(std::make_unique<UniformDistribution>(2.0, 3.0));
+  const MixtureDistribution mix(std::move(parts), {3.0, 1.0});
+  Rng rng(13);
+  int low = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.Sample(rng) < 1.5) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.75, 0.02);
+}
+
+TEST(MixtureDistributionTest, CdfMonotoneAndBounded) {
+  std::vector<std::unique_ptr<Distribution>> parts;
+  parts.push_back(std::make_unique<NormalDistribution>(0.0, 1.0));
+  parts.push_back(std::make_unique<ExponentialDistribution>(1.0, 2.0));
+  const MixtureDistribution mix(std::move(parts), {1.0, 2.0});
+  double prev = 0.0;
+  for (double x = -5.0; x <= 10.0; x += 0.25) {
+    const double c = mix.Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace selest

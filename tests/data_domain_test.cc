@@ -1,0 +1,68 @@
+#include "src/data/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(DomainTest, BitDomainBounds) {
+  const Domain d = BitDomain(10);
+  EXPECT_DOUBLE_EQ(d.lo, 0.0);
+  EXPECT_DOUBLE_EQ(d.hi, 1023.0);
+  EXPECT_TRUE(d.discrete);
+  EXPECT_EQ(d.bits, 10);
+}
+
+TEST(DomainTest, BitDomainCardinality) {
+  EXPECT_EQ(BitDomain(1).cardinality(), 2u);
+  EXPECT_EQ(BitDomain(10).cardinality(), 1024u);
+  EXPECT_EQ(BitDomain(20).cardinality(), 1u << 20);
+}
+
+TEST(DomainTest, ContinuousDomainHasNoCardinality) {
+  const Domain d = ContinuousDomain(0.0, 1.0);
+  EXPECT_EQ(d.cardinality(), 0u);
+  EXPECT_FALSE(d.discrete);
+}
+
+TEST(DomainTest, Width) {
+  EXPECT_DOUBLE_EQ(BitDomain(10).width(), 1023.0);
+  EXPECT_DOUBLE_EQ(ContinuousDomain(-2.0, 3.0).width(), 5.0);
+}
+
+TEST(DomainTest, ClampPinsToBounds) {
+  const Domain d = ContinuousDomain(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.Clamp(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Clamp(11.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.Clamp(5.0), 5.0);
+}
+
+TEST(DomainTest, ContainsIsInclusive) {
+  const Domain d = ContinuousDomain(0.0, 10.0);
+  EXPECT_TRUE(d.Contains(0.0));
+  EXPECT_TRUE(d.Contains(10.0));
+  EXPECT_FALSE(d.Contains(-0.001));
+  EXPECT_FALSE(d.Contains(10.001));
+}
+
+TEST(DomainTest, QuantizeRoundsOnlyDiscreteDomains) {
+  EXPECT_DOUBLE_EQ(BitDomain(10).Quantize(3.6), 4.0);
+  EXPECT_DOUBLE_EQ(BitDomain(10).Quantize(3.4), 3.0);
+  EXPECT_DOUBLE_EQ(ContinuousDomain(0.0, 1.0).Quantize(0.36), 0.36);
+}
+
+TEST(DomainTest, ToStringMentionsBits) {
+  EXPECT_NE(BitDomain(15).ToString().find("p=15"), std::string::npos);
+}
+
+TEST(DomainDeathTest, BitDomainRejectsBadBitCounts) {
+  EXPECT_DEATH(BitDomain(0), "SELEST_CHECK");
+  EXPECT_DEATH(BitDomain(63), "SELEST_CHECK");
+}
+
+TEST(DomainDeathTest, ContinuousDomainRejectsEmptyRange) {
+  EXPECT_DEATH(ContinuousDomain(1.0, 1.0), "SELEST_CHECK");
+}
+
+}  // namespace
+}  // namespace selest

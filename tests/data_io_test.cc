@@ -1,0 +1,106 @@
+#include "src/data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/data/distribution.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+class DataIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& suffix) {
+    return ::testing::TempDir() + "selest_io_" + suffix;
+  }
+
+  Dataset MakeData() {
+    Rng rng(9);
+    const Domain domain = BitDomain(12);
+    const UniformDistribution dist(domain.lo, domain.hi);
+    return GenerateDataset("roundtrip", dist, 500, domain, rng);
+  }
+};
+
+TEST_F(DataIoTest, TextRoundTrip) {
+  const Dataset original = MakeData();
+  const std::string path = TempPath("text.txt");
+  ASSERT_TRUE(SaveDatasetText(original, path).ok());
+  auto loaded = LoadDatasetText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), original.name());
+  EXPECT_EQ(loaded->values(), original.values());
+  EXPECT_EQ(loaded->domain().bits, original.domain().bits);
+  EXPECT_EQ(loaded->domain().discrete, original.domain().discrete);
+  std::remove(path.c_str());
+}
+
+TEST_F(DataIoTest, BinaryRoundTrip) {
+  const Dataset original = MakeData();
+  const std::string path = TempPath("bin.dat");
+  ASSERT_TRUE(SaveDatasetBinary(original, path).ok());
+  auto loaded = LoadDatasetBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), original.name());
+  EXPECT_EQ(loaded->values(), original.values());
+  EXPECT_DOUBLE_EQ(loaded->domain().hi, original.domain().hi);
+  std::remove(path.c_str());
+}
+
+TEST_F(DataIoTest, BinaryPreservesExactDoubles) {
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const Dataset original("precise", domain,
+                         {0.1, 1.0 / 3.0, 0.7071067811865476});
+  const std::string path = TempPath("precise.dat");
+  ASSERT_TRUE(SaveDatasetBinary(original, path).ok());
+  auto loaded = LoadDatasetBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->values()[i], original.values()[i]);  // bit-exact
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(DataIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadDatasetText("/nonexistent/x.txt").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadDatasetBinary("/nonexistent/x.dat").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DataIoTest, RejectsForeignTextFile) {
+  const std::string path = TempPath("foreign.txt");
+  std::ofstream(path) << "not a dataset\n1\n2\n";
+  EXPECT_FALSE(LoadDatasetText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(DataIoTest, RejectsTruncatedBinary) {
+  const Dataset original = MakeData();
+  const std::string path = TempPath("trunc.dat");
+  ASSERT_TRUE(SaveDatasetBinary(original, path).ok());
+  // Truncate the file.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() / 2);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_FALSE(LoadDatasetBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(DataIoTest, RejectsOutOfDomainValues) {
+  const std::string path = TempPath("ood.txt");
+  std::ofstream(path) << "selest-dataset bad 0 10 0 0\n5\n25\n";
+  EXPECT_FALSE(LoadDatasetText(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace selest

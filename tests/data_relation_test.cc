@@ -1,0 +1,77 @@
+#include "src/data/relation.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/data/domain.h"
+
+namespace selest {
+namespace {
+
+std::shared_ptr<Dataset> MakeColumn(const std::string& name,
+                                    std::vector<double> values) {
+  return std::make_shared<Dataset>(name, ContinuousDomain(0.0, 100.0),
+                                   std::move(values));
+}
+
+TEST(RelationTest, CreateSucceedsForMatchingColumns) {
+  auto relation = Relation::Create(
+      "r", {MakeColumn("a", {1, 2, 3}), MakeColumn("b", {4, 5, 6})});
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->name(), "r");
+  EXPECT_EQ(relation->num_records(), 3u);
+  EXPECT_EQ(relation->num_columns(), 2u);
+}
+
+TEST(RelationTest, CreateFailsOnSizeMismatch) {
+  auto relation = Relation::Create(
+      "r", {MakeColumn("a", {1, 2, 3}), MakeColumn("b", {4, 5})});
+  EXPECT_FALSE(relation.ok());
+  EXPECT_EQ(relation.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, CreateFailsOnDuplicateName) {
+  auto relation = Relation::Create(
+      "r", {MakeColumn("a", {1}), MakeColumn("a", {2})});
+  EXPECT_FALSE(relation.ok());
+}
+
+TEST(RelationTest, CreateFailsOnEmptyColumnList) {
+  auto relation = Relation::Create("r", {});
+  EXPECT_FALSE(relation.ok());
+}
+
+TEST(RelationTest, CreateFailsOnNullColumn) {
+  auto relation = Relation::Create("r", {nullptr});
+  EXPECT_FALSE(relation.ok());
+}
+
+TEST(RelationTest, ColumnLookup) {
+  auto relation = Relation::Create("r", {MakeColumn("x", {1, 2, 3})});
+  ASSERT_TRUE(relation.ok());
+  auto column = relation->Column("x");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column.value()->name(), "x");
+  EXPECT_FALSE(relation->Column("missing").ok());
+  EXPECT_EQ(relation->Column("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RelationTest, CountRange) {
+  auto relation =
+      Relation::Create("r", {MakeColumn("x", {10, 20, 30, 40, 50})});
+  ASSERT_TRUE(relation.ok());
+  auto count = relation->CountRange("x", 15.0, 45.0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3u);
+}
+
+TEST(RelationTest, CountRangeUnknownColumnFails) {
+  auto relation = Relation::Create("r", {MakeColumn("x", {1})});
+  ASSERT_TRUE(relation.ok());
+  EXPECT_FALSE(relation->CountRange("y", 0.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,121 @@
+#include <cmath>
+#include "src/data/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/util/stats.h"
+
+namespace selest {
+namespace {
+
+TEST(StreetNetworkTest, ProducesAtLeastRequestedPoints) {
+  Rng rng(1);
+  const auto points = GenerateStreetNetwork(StreetNetworkConfig{}, 1000, rng);
+  EXPECT_GE(points.size(), 1000u);
+}
+
+TEST(StreetNetworkTest, PointsInUnitSquare) {
+  Rng rng(2);
+  const auto points = GenerateStreetNetwork(StreetNetworkConfig{}, 5000, rng);
+  for (const Point2& p : points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(StreetNetworkTest, IsClusteredNotUniform) {
+  Rng rng(3);
+  const auto points = GenerateStreetNetwork(StreetNetworkConfig{}, 20000, rng);
+  // Bucket the x coordinates; clustering makes some buckets far denser than
+  // the uniform expectation.
+  constexpr int kBuckets = 20;
+  std::vector<int> counts(kBuckets, 0);
+  for (const Point2& p : points) {
+    ++counts[std::min(kBuckets - 1, static_cast<int>(p.x * kBuckets))];
+  }
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  const double uniform_share = static_cast<double>(points.size()) / kBuckets;
+  EXPECT_GT(max_count, 2.0 * uniform_share);
+}
+
+TEST(StreetNetworkTest, DeterministicForFixedSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const auto a = GenerateStreetNetwork(StreetNetworkConfig{}, 100, rng1);
+  const auto b = GenerateStreetNetwork(StreetNetworkConfig{}, 100, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(PolylineTest, ProducesAtLeastRequestedPoints) {
+  Rng rng(4);
+  const auto points = GeneratePolylines(PolylineConfig{}, 1000, rng);
+  EXPECT_GE(points.size(), 1000u);
+}
+
+TEST(PolylineTest, PointsInUnitSquare) {
+  Rng rng(5);
+  const auto points = GeneratePolylines(PolylineConfig{}, 5000, rng);
+  for (const Point2& p : points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(PolylineTest, ConsecutiveVerticesAreClose) {
+  Rng rng(6);
+  PolylineConfig config;
+  config.num_polylines = 1;
+  const auto points = GeneratePolylines(config, 500, rng);
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double dx = points[i].x - points[i - 1].x;
+    const double dy = points[i].y - points[i - 1].y;
+    // One step of the walk, up to boundary reflection.
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), 2.5 * config.step_length);
+  }
+}
+
+TEST(MarginalDatasetTest, ProjectsRequestedAxisAndCount) {
+  Rng rng(7);
+  const auto points = GenerateStreetNetwork(StreetNetworkConfig{}, 2000, rng);
+  const Dataset dx = MarginalDataset("mx", points, Axis::kX, 12, 1500);
+  const Dataset dy = MarginalDataset("my", points, Axis::kY, 12, 1500);
+  EXPECT_EQ(dx.size(), 1500u);
+  EXPECT_EQ(dy.size(), 1500u);
+  EXPECT_EQ(dx.domain().bits, 12);
+  // Different axes give different marginals.
+  EXPECT_NE(dx.values(), dy.values());
+}
+
+TEST(MarginalDatasetTest, ValuesAreIntegersInBitDomain) {
+  Rng rng(8);
+  const auto points = GeneratePolylines(PolylineConfig{}, 1000, rng);
+  const Dataset d = MarginalDataset("m", points, Axis::kX, 10, 1000);
+  for (double v : d.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1023.0);
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(MarginalDatasetTest, SmallDomainCreatesDuplicates) {
+  Rng rng(9);
+  const auto points = GeneratePolylines(PolylineConfig{}, 50000, rng);
+  const Dataset small = MarginalDataset("s", points, Axis::kX, 8, 50000);
+  const Dataset large = MarginalDataset("l", points, Axis::kX, 22, 50000);
+  // p = 8 has only 256 possible values; p = 22 has ~4M.
+  EXPECT_LE(small.CountDistinct(), 256u);
+  EXPECT_GT(large.CountDistinct(), 10u * small.CountDistinct());
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,87 @@
+#include "src/density/boundary_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/density/kernel.h"
+#include "src/util/numeric.h"
+
+namespace selest {
+namespace {
+
+const double kQValues[] = {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+
+TEST(BoundaryKernelTest, IntegratesToOneForAllQ) {
+  for (double q : kQValues) {
+    const double mass = AdaptiveSimpson(
+        [q](double u) { return LeftBoundaryKernel(u, q); }, -1.0, q, 1e-12);
+    EXPECT_NEAR(mass, 1.0, 1e-8) << "q=" << q;
+    EXPECT_NEAR(LeftBoundaryKernelMoment0(q), 1.0, 1e-12) << "q=" << q;
+  }
+}
+
+TEST(BoundaryKernelTest, FirstMomentVanishesForAllQ) {
+  for (double q : kQValues) {
+    const double moment = AdaptiveSimpson(
+        [q](double u) { return u * LeftBoundaryKernel(u, q); }, -1.0, q,
+        1e-12);
+    EXPECT_NEAR(moment, 0.0, 1e-8) << "q=" << q;
+    EXPECT_NEAR(LeftBoundaryKernelMoment1(q), 0.0, 1e-12) << "q=" << q;
+  }
+}
+
+TEST(BoundaryKernelTest, ReducesToEpanechnikovAtQOne) {
+  const Kernel epanechnikov(KernelType::kEpanechnikov);
+  for (double u = -1.0; u <= 1.0; u += 0.05) {
+    EXPECT_NEAR(LeftBoundaryKernel(u, 1.0), epanechnikov.Value(u), 1e-12);
+  }
+}
+
+TEST(BoundaryKernelTest, SupportIsClipped) {
+  EXPECT_DOUBLE_EQ(LeftBoundaryKernel(-1.01, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(LeftBoundaryKernel(0.51, 0.5), 0.0);
+  EXPECT_GT(LeftBoundaryKernel(0.49, 0.5), 0.0);
+  EXPECT_NE(LeftBoundaryKernel(-0.99, 0.5), 0.0);
+}
+
+TEST(BoundaryKernelTest, HasNegativeLobeForSmallQ) {
+  // Boundary kernels are second-order correction kernels, not densities:
+  // to keep the first moment at zero on the truncated support they dip
+  // below zero near u = −1 when q < 1. (The selectivity estimator truncates
+  // the resulting density at zero.)
+  EXPECT_LT(LeftBoundaryKernel(-0.99, 0.5), 0.0);
+  EXPECT_LT(LeftBoundaryKernel(-0.9, 0.0), 0.0);
+  // At q = 1 (pure Epanechnikov) the kernel is non-negative everywhere.
+  for (double u = -1.0; u <= 1.0; u += 0.01) {
+    EXPECT_GE(LeftBoundaryKernel(u, 1.0), 0.0);
+  }
+}
+
+TEST(BoundaryKernelTest, RightKernelMirrorsLeft) {
+  for (double q : kQValues) {
+    for (double u = -1.0; u <= 1.0; u += 0.1) {
+      EXPECT_DOUBLE_EQ(RightBoundaryKernel(u, q), LeftBoundaryKernel(-u, q));
+    }
+  }
+}
+
+TEST(BoundaryKernelTest, RightKernelIntegratesToOne) {
+  for (double q : kQValues) {
+    const double mass = AdaptiveSimpson(
+        [q](double u) { return RightBoundaryKernel(u, q); }, -q, 1.0, 1e-12);
+    EXPECT_NEAR(mass, 1.0, 1e-8) << "q=" << q;
+  }
+}
+
+TEST(BoundaryKernelTest, ValueAtQZeroMatchesFormula) {
+  // At q = 0 the kernel is (3 − 6u²) on [−1, 0].
+  EXPECT_NEAR(LeftBoundaryKernel(0.0, 0.0), 3.0, 1e-12);
+  EXPECT_NEAR(LeftBoundaryKernel(-0.5, 0.0), 3.0 - 6.0 * 0.25, 1e-12);
+}
+
+TEST(BoundaryKernelDeathTest, RejectsQOutOfRange) {
+  EXPECT_DEATH(LeftBoundaryKernel(0.0, -0.1), "SELEST_CHECK");
+  EXPECT_DEATH(LeftBoundaryKernel(0.0, 1.1), "SELEST_CHECK");
+}
+
+}  // namespace
+}  // namespace selest

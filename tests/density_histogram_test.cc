@@ -1,0 +1,125 @@
+#include "src/density/histogram_density.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(BinnedDensityTest, CreateValidatesInput) {
+  EXPECT_FALSE(BinnedDensity::Create({0.0}, {}, 1.0).ok());
+  EXPECT_FALSE(BinnedDensity::Create({0.0, 1.0}, {1.0, 2.0}, 3.0).ok());
+  EXPECT_FALSE(BinnedDensity::Create({1.0, 0.0}, {1.0}, 1.0).ok());
+  EXPECT_FALSE(BinnedDensity::Create({0.0, 1.0}, {-1.0}, 1.0).ok());
+  EXPECT_FALSE(BinnedDensity::Create({0.0, 1.0}, {1.0}, 0.0).ok());
+  EXPECT_TRUE(BinnedDensity::Create({0.0, 1.0}, {1.0}, 1.0).ok());
+}
+
+TEST(BinnedDensityTest, DensityOfSingleBin) {
+  auto bins = BinnedDensity::Create({0.0, 4.0}, {10.0}, 10.0);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->Density(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(bins->Density(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bins->Density(5.0), 0.0);
+}
+
+TEST(BinnedDensityTest, SelectivityFullCoverageIsOne) {
+  auto bins = BinnedDensity::Create({0.0, 1.0, 2.0}, {3.0, 7.0}, 10.0);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->Selectivity(0.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(bins->Selectivity(-5.0, 5.0), 1.0);
+}
+
+TEST(BinnedDensityTest, SelectivityOfExactBin) {
+  auto bins = BinnedDensity::Create({0.0, 1.0, 2.0}, {3.0, 7.0}, 10.0);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->Selectivity(0.0, 1.0), 0.3);
+  EXPECT_DOUBLE_EQ(bins->Selectivity(1.0, 2.0), 0.7);
+}
+
+TEST(BinnedDensityTest, SelectivityOfPartialBinIsProRata) {
+  auto bins = BinnedDensity::Create({0.0, 10.0}, {10.0}, 10.0);
+  ASSERT_TRUE(bins.ok());
+  // Uniform-in-bin assumption: a quarter of the bin holds a quarter of the
+  // mass (formula (4)'s ψ).
+  EXPECT_DOUBLE_EQ(bins->Selectivity(0.0, 2.5), 0.25);
+  EXPECT_DOUBLE_EQ(bins->Selectivity(4.0, 6.0), 0.2);
+}
+
+TEST(BinnedDensityTest, SelectivitySpanningBins) {
+  auto bins =
+      BinnedDensity::Create({0.0, 2.0, 4.0, 6.0}, {2.0, 4.0, 2.0}, 8.0);
+  ASSERT_TRUE(bins.ok());
+  // Half of bin 0 + all of bin 1 + half of bin 2 = 1 + 4 + 1 = 6 of 8.
+  EXPECT_DOUBLE_EQ(bins->Selectivity(1.0, 5.0), 0.75);
+}
+
+TEST(BinnedDensityTest, EmptyAndInvertedRanges) {
+  auto bins = BinnedDensity::Create({0.0, 1.0}, {5.0}, 5.0);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->Selectivity(2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(bins->Selectivity(0.7, 0.2), 0.0);
+}
+
+TEST(BinnedDensityTest, AtomBinContributesFullyWhenCovered) {
+  // Middle bin has zero width at position 1.0 with count 4.
+  auto bins =
+      BinnedDensity::Create({0.0, 1.0, 1.0, 2.0}, {3.0, 4.0, 3.0}, 10.0);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_NEAR(bins->Selectivity(0.99, 1.01),
+              4.0 / 10.0 + 0.01 * 3.0 / 10.0 + 0.01 * 3.0 / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(bins->Selectivity(1.0, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(bins->Selectivity(1.5, 2.0), 0.15);
+}
+
+TEST(BinnedDensityTest, FromSampleCountsCorrectly) {
+  const std::vector<double> sample{0.5, 1.5, 1.6, 2.5, 2.6, 2.7};
+  auto bins = BinnedDensity::FromSample(sample, {0.0, 1.0, 2.0, 3.0});
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->counts()[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins->counts()[1], 2.0);
+  EXPECT_DOUBLE_EQ(bins->counts()[2], 3.0);
+  EXPECT_DOUBLE_EQ(bins->total_count(), 6.0);
+}
+
+TEST(BinnedDensityTest, FromSampleEdgeValues) {
+  // Left edge goes to the first bin; interior edges go to the bin they
+  // close (bins are (c_i, c_{i+1}]).
+  const std::vector<double> sample{0.0, 1.0, 2.0};
+  auto bins = BinnedDensity::FromSample(sample, {0.0, 1.0, 2.0});
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->counts()[0], 2.0);  // 0.0 and 1.0
+  EXPECT_DOUBLE_EQ(bins->counts()[1], 1.0);  // 2.0
+}
+
+TEST(BinnedDensityTest, FromSampleClampsOutliersIntoEndBins) {
+  const std::vector<double> sample{-5.0, 0.5, 99.0};
+  auto bins = BinnedDensity::FromSample(sample, {0.0, 1.0, 2.0});
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(bins->counts()[0], 2.0);
+  EXPECT_DOUBLE_EQ(bins->counts()[1], 1.0);
+}
+
+TEST(BinnedDensityTest, FromSampleRejectsEmpty) {
+  EXPECT_FALSE(BinnedDensity::FromSample({}, {0.0, 1.0}).ok());
+}
+
+TEST(BinnedDensityTest, SelectivityAdditivity) {
+  auto bins =
+      BinnedDensity::Create({0.0, 2.0, 4.0, 6.0}, {1.0, 2.0, 3.0}, 6.0);
+  ASSERT_TRUE(bins.ok());
+  const double whole = bins->Selectivity(0.5, 5.5);
+  const double split =
+      bins->Selectivity(0.5, 3.0) + bins->Selectivity(3.0, 5.5);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+TEST(BinnedDensityTest, StorageBytes) {
+  auto bins = BinnedDensity::Create({0.0, 1.0, 2.0}, {1.0, 1.0}, 2.0);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_EQ(bins->StorageBytes(), sizeof(double) * 5);
+}
+
+}  // namespace
+}  // namespace selest

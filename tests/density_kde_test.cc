@@ -1,0 +1,167 @@
+#include "src/density/kde.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/numeric.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+std::vector<double> UniformSample(size_t n, const Domain& domain,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample(n);
+  for (double& x : sample) {
+    x = domain.lo + domain.width() * rng.NextDouble();
+  }
+  return sample;
+}
+
+TEST(KdeTest, RejectsEmptySample) {
+  EXPECT_FALSE(Kde::Create({}, 1.0, ContinuousDomain(0.0, 1.0)).ok());
+}
+
+TEST(KdeTest, RejectsNonPositiveBandwidth) {
+  const std::vector<double> sample{0.5};
+  EXPECT_FALSE(Kde::Create(sample, 0.0, ContinuousDomain(0.0, 1.0)).ok());
+  EXPECT_FALSE(Kde::Create(sample, -1.0, ContinuousDomain(0.0, 1.0)).ok());
+}
+
+TEST(KdeTest, RejectsBoundaryKernelsWithNonEpanechnikov) {
+  const std::vector<double> sample{0.5};
+  EXPECT_FALSE(Kde::Create(sample, 0.1, ContinuousDomain(0.0, 1.0),
+                           Kernel(KernelType::kGaussian),
+                           BoundaryPolicy::kBoundaryKernel)
+                   .ok());
+}
+
+TEST(KdeTest, SingleSampleBumpShape) {
+  const Domain domain = ContinuousDomain(0.0, 10.0);
+  const std::vector<double> sample{5.0};
+  auto kde = Kde::Create(sample, 2.0, domain);
+  ASSERT_TRUE(kde.ok());
+  // f̂(x) = K((x − 5)/2)/2: peak 0.75/2 at the sample, zero beyond ±2.
+  EXPECT_NEAR(kde->Density(5.0), 0.375, 1e-12);
+  EXPECT_NEAR(kde->Density(6.0), 0.75 * 0.75 / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(kde->Density(7.5), 0.0);
+  EXPECT_DOUBLE_EQ(kde->Density(2.0), 0.0);
+}
+
+TEST(KdeTest, SuperpositionOfBumps) {
+  // Two far-apart samples: density is the average of two bumps (Fig. 1).
+  const Domain domain = ContinuousDomain(0.0, 20.0);
+  const std::vector<double> sample{5.0, 15.0};
+  auto kde = Kde::Create(sample, 1.0, domain);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->Density(5.0), 0.75 / 2.0, 1e-12);
+  EXPECT_NEAR(kde->Density(15.0), 0.75 / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(kde->Density(10.0), 0.0);
+}
+
+TEST(KdeTest, IntegratesToOneAwayFromBoundaries) {
+  const Domain domain = ContinuousDomain(0.0, 100.0);
+  // Samples clustered mid-domain: no boundary loss.
+  Rng rng(3);
+  std::vector<double> sample(200);
+  for (double& x : sample) x = 50.0 + 5.0 * rng.NextGaussian();
+  auto kde = Kde::Create(sample, 2.0, domain);
+  ASSERT_TRUE(kde.ok());
+  const double mass = SimpsonIntegrate(
+      [&kde](double x) { return kde->Density(x); }, 0.0, 100.0, 2000);
+  // Quadrature accuracy is limited by the derivative kinks at the edges of
+  // each Epanechnikov bump, not by the estimator.
+  EXPECT_NEAR(mass, 1.0, 1e-3);
+}
+
+TEST(KdeTest, PlainEstimatorLosesMassAtBoundary) {
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const auto sample = UniformSample(500, domain, 4);
+  auto kde = Kde::Create(sample, 0.1, domain);
+  ASSERT_TRUE(kde.ok());
+  const double mass = SimpsonIntegrate(
+      [&kde](double x) { return kde->Density(x); }, 0.0, 1.0, 2000);
+  // Roughly one bandwidth of mass leaks out at each boundary.
+  EXPECT_LT(mass, 0.99);
+  EXPECT_GT(mass, 0.90);
+}
+
+TEST(KdeTest, ReflectionRestoresMass) {
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const auto sample = UniformSample(500, domain, 5);
+  auto kde = Kde::Create(sample, 0.1, domain, Kernel(),
+                         BoundaryPolicy::kReflection);
+  ASSERT_TRUE(kde.ok());
+  const double mass = SimpsonIntegrate(
+      [&kde](double x) { return kde->Density(x); }, 0.0, 1.0, 2000);
+  EXPECT_NEAR(mass, 1.0, 1e-3);
+}
+
+TEST(KdeTest, BoundaryKernelFixesBoundaryBias) {
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const auto sample = UniformSample(4000, domain, 6);
+  auto plain = Kde::Create(sample, 0.1, domain);
+  auto corrected = Kde::Create(sample, 0.1, domain, Kernel(),
+                               BoundaryPolicy::kBoundaryKernel);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(corrected.ok());
+  // The true density is 1. At the boundary the plain estimator sees only
+  // half the mass (≈ 0.5); the boundary kernel restores ≈ 1.
+  EXPECT_NEAR(plain->Density(0.0), 0.5, 0.1);
+  EXPECT_NEAR(corrected->Density(0.0), 1.0, 0.15);
+  EXPECT_NEAR(corrected->Density(0.05), 1.0, 0.15);
+  // Interior agrees between the two.
+  EXPECT_NEAR(corrected->Density(0.5), plain->Density(0.5), 1e-12);
+}
+
+TEST(KdeTest, ReflectionKeepsInteriorUnchanged) {
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const auto sample = UniformSample(300, domain, 7);
+  auto plain = Kde::Create(sample, 0.05, domain);
+  auto reflected = Kde::Create(sample, 0.05, domain, Kernel(),
+                               BoundaryPolicy::kReflection);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(reflected.ok());
+  // Points more than one bandwidth from the boundary see no reflected
+  // copies.
+  EXPECT_DOUBLE_EQ(reflected->Density(0.5), plain->Density(0.5));
+  EXPECT_DOUBLE_EQ(reflected->Density(0.2), plain->Density(0.2));
+}
+
+TEST(KdeTest, DensityIsNonNegativeEverywhere) {
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const auto sample = UniformSample(100, domain, 8);
+  for (BoundaryPolicy policy :
+       {BoundaryPolicy::kNone, BoundaryPolicy::kReflection,
+        BoundaryPolicy::kBoundaryKernel}) {
+    auto kde = Kde::Create(sample, 0.07, domain, Kernel(), policy);
+    ASSERT_TRUE(kde.ok());
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+      EXPECT_GE(kde->Density(x), 0.0) << BoundaryPolicyName(policy);
+    }
+  }
+}
+
+TEST(KdeTest, ApproximatesTrueDensity) {
+  // Large uniform sample: f̂ ≈ 1 in the interior.
+  const Domain domain = ContinuousDomain(0.0, 1.0);
+  const auto sample = UniformSample(20000, domain, 9);
+  auto kde = Kde::Create(sample, 0.05, domain);
+  ASSERT_TRUE(kde.ok());
+  for (double x : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    EXPECT_NEAR(kde->Density(x), 1.0, 0.08);
+  }
+}
+
+TEST(KdeTest, BoundaryPolicyNames) {
+  EXPECT_STREQ(BoundaryPolicyName(BoundaryPolicy::kNone), "none");
+  EXPECT_STREQ(BoundaryPolicyName(BoundaryPolicy::kReflection), "reflection");
+  EXPECT_STREQ(BoundaryPolicyName(BoundaryPolicy::kBoundaryKernel),
+               "boundary-kernel");
+}
+
+}  // namespace
+}  // namespace selest

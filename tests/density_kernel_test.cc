@@ -1,0 +1,131 @@
+#include "src/density/kernel.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/numeric.h"
+
+namespace selest {
+namespace {
+
+const std::vector<KernelType> kAllKernels{
+    KernelType::kEpanechnikov, KernelType::kBiweight, KernelType::kTriangular,
+    KernelType::kUniform, KernelType::kGaussian};
+
+class KernelParamTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KernelParamTest, IntegratesToOne) {
+  const Kernel k(GetParam());
+  const double r = k.support_radius();
+  const double mass =
+      AdaptiveSimpson([&k](double t) { return k.Value(t); }, -r, r, 1e-12);
+  EXPECT_NEAR(mass, 1.0, 1e-7);
+}
+
+TEST_P(KernelParamTest, IsSymmetric) {
+  const Kernel k(GetParam());
+  for (double t : {0.1, 0.3, 0.77, 0.99, 1.5}) {
+    EXPECT_DOUBLE_EQ(k.Value(t), k.Value(-t));
+  }
+}
+
+TEST_P(KernelParamTest, IsNonNegative) {
+  const Kernel k(GetParam());
+  for (double t = -2.0; t <= 2.0; t += 0.01) {
+    EXPECT_GE(k.Value(t), 0.0);
+  }
+}
+
+TEST_P(KernelParamTest, CdfMatchesIntegralOfValue) {
+  const Kernel k(GetParam());
+  const double r = k.support_radius();
+  for (double t : {-0.9, -0.4, 0.0, 0.25, 0.6, 0.95}) {
+    const double integral =
+        AdaptiveSimpson([&k](double u) { return k.Value(u); }, -r, t, 1e-12);
+    EXPECT_NEAR(k.Cdf(t), integral, 1e-7) << k.name() << " at " << t;
+  }
+}
+
+TEST_P(KernelParamTest, CdfEndpoints) {
+  const Kernel k(GetParam());
+  const double r = k.support_radius();
+  EXPECT_NEAR(k.Cdf(-r), 0.0, 1e-8);
+  EXPECT_NEAR(k.Cdf(r), 1.0, 1e-8);
+  EXPECT_NEAR(k.Cdf(0.0), 0.5, 1e-12);  // symmetry
+}
+
+TEST_P(KernelParamTest, CdfIsMonotone) {
+  const Kernel k(GetParam());
+  double prev = -1.0;
+  for (double t = -1.5; t <= 1.5; t += 0.01) {
+    const double c = k.Cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST_P(KernelParamTest, SquaredL2NormMatchesQuadrature) {
+  const Kernel k(GetParam());
+  const double r = k.support_radius();
+  const double quad = AdaptiveSimpson(
+      [&k](double t) { return k.Value(t) * k.Value(t); }, -r, r, 1e-12);
+  EXPECT_NEAR(k.squared_l2_norm(), quad, 1e-7) << k.name();
+}
+
+TEST_P(KernelParamTest, SecondMomentMatchesQuadrature) {
+  const Kernel k(GetParam());
+  const double r = k.support_radius();
+  const double quad = AdaptiveSimpson(
+      [&k](double t) { return t * t * k.Value(t); }, -r, r, 1e-12);
+  EXPECT_NEAR(k.second_moment(), quad, 1e-6) << k.name();
+}
+
+TEST_P(KernelParamTest, FirstMomentVanishes) {
+  const Kernel k(GetParam());
+  const double r = k.support_radius();
+  const double quad = AdaptiveSimpson(
+      [&k](double t) { return t * k.Value(t); }, -r, r, 1e-12);
+  EXPECT_NEAR(quad, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelParamTest,
+                         ::testing::ValuesIn(kAllKernels),
+                         [](const ::testing::TestParamInfo<KernelType>& info) {
+                           return Kernel(info.param).name();
+                         });
+
+TEST(EpanechnikovTest, PaperConstants) {
+  const Kernel k(KernelType::kEpanechnikov);
+  // §4.2: k2 = 1/5; §3.2: K(t) = 3/4 (1 − t²).
+  EXPECT_DOUBLE_EQ(k.second_moment(), 0.2);
+  EXPECT_DOUBLE_EQ(k.Value(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(k.Value(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.Value(0.5), 0.75 * 0.75);
+  // Normal scale constant ≈ 2.345 (§4.2).
+  EXPECT_NEAR(k.normal_scale_constant(), 2.345, 0.001);
+}
+
+TEST(EpanechnikovTest, PrimitiveMatchesPaperFormula) {
+  const Kernel k(KernelType::kEpanechnikov);
+  // F_K(t) = (3t − t³)/4; Cdf = 0.5 + F_K.
+  for (double t : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    EXPECT_NEAR(k.Cdf(t), 0.5 + 0.25 * (3.0 * t - t * t * t), 1e-12);
+  }
+}
+
+TEST(GaussianKernelTest, EffectiveSupportCapturesAllMass) {
+  const Kernel k(KernelType::kGaussian);
+  EXPECT_LT(1.0 - k.Cdf(k.support_radius()), 1e-8);
+}
+
+TEST(KernelTest, NamesAreDistinct) {
+  std::vector<std::string> names;
+  for (KernelType t : kAllKernels) names.push_back(Kernel(t).name());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,102 @@
+// Tests for the sampling and uniform estimators plus interface-level
+// behaviour shared by all estimators.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/domain.h"
+#include "src/est/sampling_estimator.h"
+#include "src/est/uniform_estimator.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+TEST(SamplingEstimatorTest, RejectsEmptySample) {
+  EXPECT_FALSE(SamplingEstimator::Create({}).ok());
+}
+
+TEST(SamplingEstimatorTest, ExactFractions) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(1.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(2.0, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(3.5, 3.9), 0.0);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(4.0, 9.0), 0.25);
+}
+
+TEST(SamplingEstimatorTest, RangeEndpointsAreInclusive) {
+  const std::vector<double> sample{5.0};
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(5.0, 5.0), 1.0);
+}
+
+TEST(SamplingEstimatorTest, InvertedRangeIsZero) {
+  const std::vector<double> sample{1.0, 2.0};
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(3.0, 1.0), 0.0);
+}
+
+TEST(SamplingEstimatorTest, DuplicatesCountMultiply) {
+  const std::vector<double> sample{2.0, 2.0, 2.0, 7.0};
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(2.0, 2.0), 0.75);
+}
+
+TEST(SamplingEstimatorTest, EstimateResultSizeScalesByN) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  const RangeQuery q{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(est->EstimateResultSize(q, 1000), 500.0);
+}
+
+TEST(SamplingEstimatorTest, StorageIsSampleSize) {
+  const std::vector<double> sample(100, 1.0);
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->StorageBytes(), 100 * sizeof(double));
+  EXPECT_EQ(est->sample_size(), 100u);
+}
+
+TEST(UniformEstimatorTest, ProportionalToQueryWidth) {
+  const UniformEstimator est(ContinuousDomain(0.0, 100.0));
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(0.0, 25.0), 0.25);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(40.0, 60.0), 0.2);
+}
+
+TEST(UniformEstimatorTest, ClampsToDomain) {
+  const UniformEstimator est(ContinuousDomain(0.0, 100.0));
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(-50.0, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(-10.0, 110.0), 1.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(200.0, 300.0), 0.0);
+}
+
+TEST(UniformEstimatorTest, PointQueryIsZero) {
+  const UniformEstimator est(ContinuousDomain(0.0, 100.0));
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(50.0, 50.0), 0.0);
+}
+
+TEST(UniformEstimatorTest, Name) {
+  const UniformEstimator est(ContinuousDomain(0.0, 1.0));
+  EXPECT_EQ(est.name(), "uniform");
+}
+
+TEST(SamplingEstimatorTest, ConvergesToTrueSelectivity) {
+  // Sampling is consistent: with a large sample of uniform data the
+  // estimate approaches the true fraction.
+  Rng rng(42);
+  std::vector<double> sample(50000);
+  for (double& x : sample) x = rng.NextDouble() * 100.0;
+  auto est = SamplingEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(10.0, 30.0), 0.2, 0.01);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,118 @@
+#include <cmath>
+#include "src/est/change_point.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+// Step density: dense on [0, 40], sparse on [40, 100].
+std::vector<double> StepSample(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample;
+  sample.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.8) {
+      sample.push_back(40.0 * rng.NextDouble());
+    } else {
+      sample.push_back(40.0 + 60.0 * rng.NextDouble());
+    }
+  }
+  return sample;
+}
+
+Kde MakePilot(const std::vector<double>& sample, double bandwidth) {
+  auto kde = Kde::Create(sample, bandwidth, kDomain, Kernel(),
+                         BoundaryPolicy::kReflection);
+  EXPECT_TRUE(kde.ok());
+  return std::move(kde).value();
+}
+
+TEST(ChangePointTest, DetectsDensityStep) {
+  const auto sample = StepSample(5000, 1);
+  const Kde pilot = MakePilot(sample, 3.0);
+  ChangePointConfig config;
+  config.max_change_points = 3;
+  const auto points = DetectChangePoints(pilot, kDomain, config);
+  ASSERT_FALSE(points.empty());
+  // At least one detected point near the true step at 40.
+  bool near_step = false;
+  for (double p : points) {
+    if (std::fabs(p - 40.0) < 6.0) near_step = true;
+  }
+  EXPECT_TRUE(near_step);
+}
+
+TEST(ChangePointTest, RespectsMaxCount) {
+  const auto sample = StepSample(3000, 2);
+  const Kde pilot = MakePilot(sample, 2.0);
+  ChangePointConfig config;
+  config.max_change_points = 2;
+  EXPECT_LE(DetectChangePoints(pilot, kDomain, config).size(), 2u);
+  config.max_change_points = 0;
+  EXPECT_TRUE(DetectChangePoints(pilot, kDomain, config).empty());
+}
+
+TEST(ChangePointTest, PointsAreSortedAndSeparated) {
+  const auto sample = StepSample(5000, 3);
+  const Kde pilot = MakePilot(sample, 2.0);
+  ChangePointConfig config;
+  config.max_change_points = 8;
+  config.min_separation_fraction = 0.05;
+  const auto points = DetectChangePoints(pilot, kDomain, config);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i], points[i - 1]);
+    EXPECT_GE(points[i] - points[i - 1], 0.05 * kDomain.width());
+  }
+  for (double p : points) {
+    EXPECT_GE(p - kDomain.lo, 0.05 * kDomain.width());
+    EXPECT_GE(kDomain.hi - p, 0.05 * kDomain.width());
+  }
+}
+
+TEST(ChangePointTest, SmoothDensityYieldsFewOrNoPoints) {
+  // A flat uniform density (with reflection removing boundary curvature)
+  // should trigger at most noise-level detections with a strict
+  // significance threshold.
+  Rng rng(4);
+  std::vector<double> sample(20000);
+  for (double& x : sample) x = 100.0 * rng.NextDouble();
+  const Kde pilot = MakePilot(sample, 8.0);
+  ChangePointConfig config;
+  config.significance = 5.0;
+  config.max_change_points = 8;
+  EXPECT_LE(DetectChangePoints(pilot, kDomain, config).size(), 1u);
+}
+
+TEST(ChangePointTest, TwoStepsDetected) {
+  // Dense block in the middle: change points near both edges of the block.
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 8000; ++i) {
+    sample.push_back(40.0 + 20.0 * rng.NextDouble());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back(100.0 * rng.NextDouble());
+  }
+  const Kde pilot = MakePilot(sample, 2.0);
+  ChangePointConfig config;
+  config.max_change_points = 4;
+  const auto points = DetectChangePoints(pilot, kDomain, config);
+  bool near_left_edge = false;
+  bool near_right_edge = false;
+  for (double p : points) {
+    if (std::fabs(p - 40.0) < 6.0) near_left_edge = true;
+    if (std::fabs(p - 60.0) < 6.0) near_right_edge = true;
+  }
+  EXPECT_TRUE(near_left_edge);
+  EXPECT_TRUE(near_right_edge);
+}
+
+}  // namespace
+}  // namespace selest

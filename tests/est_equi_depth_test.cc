@@ -1,0 +1,86 @@
+#include "src/est/equi_depth_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+TEST(EquiDepthTest, RejectsBadInput) {
+  EXPECT_FALSE(EquiDepthHistogram::Create({}, kDomain, 4).ok());
+  const std::vector<double> sample{1.0};
+  EXPECT_FALSE(EquiDepthHistogram::Create(sample, kDomain, 0).ok());
+}
+
+TEST(EquiDepthTest, BinsHoldEqualCounts) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(i * 0.9);
+  auto est = EquiDepthHistogram::Create(sample, kDomain, 4);
+  ASSERT_TRUE(est.ok());
+  for (double count : est->bins().counts()) {
+    EXPECT_NEAR(count, 25.0, 1.0);
+  }
+}
+
+TEST(EquiDepthTest, AdaptsToSkew) {
+  // 90% of samples in [0, 10]: most bin boundaries land there.
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 900; ++i) sample.push_back(10.0 * rng.NextDouble());
+  for (int i = 0; i < 100; ++i) {
+    sample.push_back(10.0 + 90.0 * rng.NextDouble());
+  }
+  auto est = EquiDepthHistogram::Create(sample, kDomain, 10);
+  ASSERT_TRUE(est.ok());
+  int edges_in_dense_region = 0;
+  for (double e : est->bins().edges()) {
+    if (e <= 10.0) ++edges_in_dense_region;
+  }
+  EXPECT_GE(edges_in_dense_region, 8);
+}
+
+TEST(EquiDepthTest, FullDomainSelectivityIsOne) {
+  Rng rng(2);
+  std::vector<double> sample(500);
+  for (double& x : sample) x = 100.0 * rng.NextDouble();
+  auto est = EquiDepthHistogram::Create(sample, kDomain, 8);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(EquiDepthTest, HeavyDuplicatesCollapseToAtoms) {
+  // More copies of one value than a bin holds: quantile edges collapse and
+  // the value becomes an atom, still counted exactly once per record.
+  std::vector<double> sample(80, 50.0);
+  for (int i = 0; i < 20; ++i) sample.push_back(i);
+  auto est = EquiDepthHistogram::Create(sample, kDomain, 5);
+  ASSERT_TRUE(est.ok());
+  // A query covering only the duplicated value captures at least its share.
+  EXPECT_GT(est->EstimateSelectivity(49.5, 50.5), 0.5);
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(EquiDepthTest, ApproximatesUniformSelectivities) {
+  Rng rng(3);
+  std::vector<double> sample(2000);
+  for (double& x : sample) x = 100.0 * rng.NextDouble();
+  auto est = EquiDepthHistogram::Create(sample, kDomain, 20);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(20.0, 40.0), 0.2, 0.03);
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 50.0), 0.5, 0.03);
+}
+
+TEST(EquiDepthTest, NameContainsBinCount) {
+  const std::vector<double> sample{1.0, 2.0};
+  auto est = EquiDepthHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->name(), "equi-depth(2)");
+}
+
+}  // namespace
+}  // namespace selest

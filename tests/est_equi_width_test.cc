@@ -1,0 +1,104 @@
+#include "src/est/equi_width_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 10.0);
+
+TEST(EquiWidthTest, RejectsBadInput) {
+  const std::vector<double> sample{1.0};
+  EXPECT_FALSE(EquiWidthHistogram::Create({}, kDomain, 4).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Create(sample, kDomain, 0).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Create(sample, kDomain, 4, -0.1).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Create(sample, kDomain, 4, 2.5).ok());
+}
+
+TEST(EquiWidthTest, SingleBinActsUniform) {
+  const std::vector<double> sample{1.0, 2.0, 3.0};
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, 10.0), 1.0);
+}
+
+TEST(EquiWidthTest, BinWidthAndCount) {
+  const std::vector<double> sample{1.0};
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_bins(), 5);
+  EXPECT_DOUBLE_EQ(est->bin_width(), 2.0);
+}
+
+TEST(EquiWidthTest, ExactSelectivityOnBinBoundaries) {
+  // 2 samples in (0,5], 2 in (5,10].
+  const std::vector<double> sample{1.0, 4.0, 6.0, 9.0};
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(5.0, 10.0), 0.5);
+}
+
+TEST(EquiWidthTest, UniformWithinBinAssumption) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};  // all in (0, 5]
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  // Half of the first bin holds half of the bin's mass.
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(2.5, 5.0), 0.5);
+}
+
+TEST(EquiWidthTest, ShiftMovesBinBoundaries) {
+  const std::vector<double> sample{4.9, 5.1};
+  // Unshifted: boundary at 5 separates the two samples.
+  auto unshifted = EquiWidthHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(unshifted.ok());
+  EXPECT_DOUBLE_EQ(unshifted->EstimateSelectivity(0.0, 5.0), 0.5);
+  // Shift 1: boundaries at 1 and 6 — both samples in the middle bin (1, 6].
+  auto shifted = EquiWidthHistogram::Create(sample, kDomain, 2, 1.0);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_DOUBLE_EQ(shifted->EstimateSelectivity(1.0, 6.0), 1.0);
+}
+
+TEST(EquiWidthTest, ShiftedHistogramStillCoversDomain) {
+  const std::vector<double> sample{0.1, 9.9};
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 4, 1.0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, 10.0), 1.0);
+}
+
+TEST(EquiWidthTest, SelectivityClampedToOne) {
+  const std::vector<double> sample{5.0};
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 3);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(-100.0, 100.0), 1.0);
+}
+
+TEST(EquiWidthTest, MoreBinsTrackSkewBetter) {
+  // Highly skewed data: all mass in [0, 1]. A 1-bin histogram badly
+  // overestimates a query at the empty end; 100 bins do not.
+  Rng rng(3);
+  std::vector<double> sample(1000);
+  for (double& x : sample) x = rng.NextDouble();
+  auto coarse = EquiWidthHistogram::Create(sample, kDomain, 1);
+  auto fine = EquiWidthHistogram::Create(sample, kDomain, 100);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GT(coarse->EstimateSelectivity(8.0, 10.0), 0.15);
+  EXPECT_DOUBLE_EQ(fine->EstimateSelectivity(8.0, 10.0), 0.0);
+}
+
+TEST(EquiWidthTest, NameContainsBinCount) {
+  const std::vector<double> sample{1.0};
+  auto est = EquiWidthHistogram::Create(sample, kDomain, 7);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->name(), "equi-width(7)");
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,142 @@
+#include "src/est/hybrid_estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+// Density with a hard step: 80% of mass on [0, 40], 20% on [40, 100].
+std::vector<double> StepSample(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample;
+  sample.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.8) {
+      sample.push_back(40.0 * rng.NextDouble());
+    } else {
+      sample.push_back(40.0 + 60.0 * rng.NextDouble());
+    }
+  }
+  return sample;
+}
+
+TEST(HybridTest, RejectsBadInput) {
+  EXPECT_FALSE(HybridEstimator::Create({}, kDomain, {}).ok());
+  const std::vector<double> sample{1.0};
+  HybridEstimatorOptions options;
+  options.min_bin_fraction = 1.5;
+  EXPECT_FALSE(HybridEstimator::Create(sample, kDomain, options).ok());
+}
+
+TEST(HybridTest, BuildsOnSmoothData) {
+  Rng rng(1);
+  std::vector<double> sample(2000);
+  for (double& x : sample) x = 100.0 * rng.NextDouble();
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(est->num_bins(), 1u);
+}
+
+TEST(HybridTest, PartitionCoversDomain) {
+  const auto sample = StepSample(2000, 2);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  ASSERT_GE(est->partition().size(), 2u);
+  EXPECT_DOUBLE_EQ(est->partition().front(), kDomain.lo);
+  EXPECT_DOUBLE_EQ(est->partition().back(), kDomain.hi);
+  for (size_t i = 1; i < est->partition().size(); ++i) {
+    EXPECT_GT(est->partition()[i], est->partition()[i - 1]);
+  }
+}
+
+TEST(HybridTest, SplitsAtDensityStep) {
+  const auto sample = StepSample(4000, 3);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  bool has_boundary_near_step = false;
+  for (double edge : est->partition()) {
+    if (std::fabs(edge - 40.0) < 6.0) has_boundary_near_step = true;
+  }
+  EXPECT_TRUE(has_boundary_near_step);
+}
+
+TEST(HybridTest, FullDomainSelectivityNearOne) {
+  const auto sample = StepSample(2000, 4);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(kDomain.lo, kDomain.hi), 1.0, 0.05);
+}
+
+TEST(HybridTest, EstimatesStepDataAccurately) {
+  const auto sample = StepSample(4000, 5);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  // True selectivities: [0,40] holds 0.8, [40,100] holds 0.2.
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 40.0), 0.8, 0.05);
+  EXPECT_NEAR(est->EstimateSelectivity(40.0, 100.0), 0.2, 0.05);
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 20.0), 0.4, 0.05);
+}
+
+TEST(HybridTest, EstimatesWithinUnitInterval) {
+  const auto sample = StepSample(1000, 6);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double a = 100.0 * rng.NextDouble();
+    const double b = a + (100.0 - a) * rng.NextDouble();
+    const double s = est->EstimateSelectivity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(HybridTest, MonotoneInUpperBound) {
+  const auto sample = StepSample(1500, 8);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  double prev = 0.0;
+  for (double b = 0.0; b <= 100.0; b += 0.5) {
+    const double s = est->EstimateSelectivity(0.0, b);
+    EXPECT_GE(s, prev - 1e-9);
+    prev = s;
+  }
+}
+
+TEST(HybridTest, MergesUnderpopulatedBins) {
+  const auto sample = StepSample(600, 9);
+  HybridEstimatorOptions options;
+  options.min_bin_fraction = 0.2;  // aggressive merging
+  options.change_points.max_change_points = 8;
+  auto est = HybridEstimator::Create(sample, kDomain, options);
+  ASSERT_TRUE(est.ok());
+  // Every remaining bin must hold at least ~20% of the samples, so there
+  // can be at most 5 bins.
+  EXPECT_LE(est->num_bins(), 5u);
+}
+
+TEST(HybridTest, ReflectionBoundaryPolicyWorksToo) {
+  const auto sample = StepSample(1000, 10);
+  HybridEstimatorOptions options;
+  options.boundary = BoundaryPolicy::kReflection;
+  auto est = HybridEstimator::Create(sample, kDomain, options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 40.0), 0.8, 0.07);
+}
+
+TEST(HybridTest, NameMentionsBins) {
+  const auto sample = StepSample(500, 11);
+  auto est = HybridEstimator::Create(sample, kDomain, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_NE(est->name().find("hybrid("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,267 @@
+#include "src/est/kernel_estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+std::vector<double> UniformSample(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample(n);
+  for (double& x : sample) x = 100.0 * rng.NextDouble();
+  return sample;
+}
+
+KernelEstimatorOptions Options(double bandwidth,
+                               BoundaryPolicy boundary = BoundaryPolicy::kNone) {
+  KernelEstimatorOptions options;
+  options.bandwidth = bandwidth;
+  options.boundary = boundary;
+  return options;
+}
+
+// Brute-force reference: direct CDF-difference sum over all samples.
+double BruteForce(const std::vector<double>& sample, const Kernel& kernel,
+                  double h, double a, double b) {
+  double sum = 0.0;
+  for (double x : sample) {
+    sum += kernel.Cdf((b - x) / h) - kernel.Cdf((a - x) / h);
+  }
+  return sum / static_cast<double>(sample.size());
+}
+
+TEST(KernelEstimatorTest, RejectsBadConfig) {
+  const std::vector<double> sample{1.0};
+  EXPECT_FALSE(KernelEstimator::Create({}, kDomain, Options(1.0)).ok());
+  EXPECT_FALSE(KernelEstimator::Create(sample, kDomain, Options(0.0)).ok());
+  EXPECT_FALSE(KernelEstimator::Create(sample, kDomain, Options(-2.0)).ok());
+  KernelEstimatorOptions bad = Options(1.0);
+  bad.quadrature_intervals = 1;
+  EXPECT_FALSE(KernelEstimator::Create(sample, kDomain, bad).ok());
+  KernelEstimatorOptions gaussian_boundary = Options(1.0);
+  gaussian_boundary.kernel = Kernel(KernelType::kGaussian);
+  gaussian_boundary.boundary = BoundaryPolicy::kBoundaryKernel;
+  EXPECT_FALSE(
+      KernelEstimator::Create(sample, kDomain, gaussian_boundary).ok());
+}
+
+TEST(KernelEstimatorTest, SingleSampleFullyCovered) {
+  const std::vector<double> sample{50.0};
+  auto est = KernelEstimator::Create(sample, kDomain, Options(2.0));
+  ASSERT_TRUE(est.ok());
+  // The whole bump lies inside [40, 60].
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(40.0, 60.0), 1.0);
+  // Half the bump lies right of the sample.
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(50.0, 60.0), 0.5);
+  // Nothing beyond one bandwidth.
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(60.0, 70.0), 0.0);
+}
+
+TEST(KernelEstimatorTest, SingleSamplePartialOverlap) {
+  const std::vector<double> sample{50.0};
+  auto est = KernelEstimator::Create(sample, kDomain, Options(2.0));
+  ASSERT_TRUE(est.ok());
+  // Query [51, 60]: overlap from t = 0.5 to 1 of the kernel.
+  const Kernel k;
+  EXPECT_NEAR(est->EstimateSelectivity(51.0, 60.0), 1.0 - k.Cdf(0.5), 1e-12);
+}
+
+TEST(KernelEstimatorTest, MatchesBruteForceOnRandomQueries) {
+  const auto sample = UniformSample(500, 1);
+  const double h = 3.0;
+  auto est = KernelEstimator::Create(sample, kDomain, Options(h));
+  ASSERT_TRUE(est.ok());
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = 100.0 * rng.NextDouble();
+    const double b = a + (100.0 - a) * rng.NextDouble();
+    const double expected = BruteForce(sample, Kernel(), h, a, b);
+    EXPECT_NEAR(est->EstimateSelectivity(a, b), expected, 1e-10);
+  }
+}
+
+TEST(KernelEstimatorTest, MatchesBruteForceForNarrowQueries) {
+  // Queries narrower than 2h exercise the overlapping-fringe path.
+  const auto sample = UniformSample(300, 3);
+  const double h = 10.0;
+  auto est = KernelEstimator::Create(sample, kDomain, Options(h));
+  ASSERT_TRUE(est.ok());
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double a = 90.0 * rng.NextDouble();
+    const double b = a + 5.0 * rng.NextDouble();
+    EXPECT_NEAR(est->EstimateSelectivity(a, b),
+                BruteForce(sample, Kernel(), h, a, b), 1e-10);
+  }
+}
+
+TEST(KernelEstimatorTest, Algorithm1MatchesCdfFormulation) {
+  const auto sample = UniformSample(400, 5);
+  const double h = 2.0;
+  auto est = KernelEstimator::Create(sample, kDomain, Options(h));
+  ASSERT_TRUE(est.ok());
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double a = 80.0 * rng.NextDouble();
+    const double b = a + 2.0 * h + 15.0 * rng.NextDouble();  // b − a >= 2h
+    EXPECT_NEAR(est->EstimateSelectivityAlgorithm1(a, b),
+                BruteForce(sample, Kernel(), h, a, b), 1e-10);
+  }
+}
+
+TEST(KernelEstimatorTest, EveryKernelTypeMatchesBruteForce) {
+  const auto sample = UniformSample(200, 7);
+  for (KernelType type :
+       {KernelType::kEpanechnikov, KernelType::kBiweight,
+        KernelType::kTriangular, KernelType::kUniform, KernelType::kGaussian}) {
+    KernelEstimatorOptions options = Options(4.0);
+    options.kernel = Kernel(type);
+    auto est = KernelEstimator::Create(sample, kDomain, options);
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(est->EstimateSelectivity(20.0, 45.0),
+                BruteForce(sample, Kernel(type), 4.0, 20.0, 45.0), 1e-9)
+        << Kernel(type).name();
+  }
+}
+
+TEST(KernelEstimatorTest, FullDomainNearOneForInteriorData) {
+  // Samples away from boundaries: no mass leaks, full-domain estimate = 1.
+  Rng rng(8);
+  std::vector<double> sample(300);
+  for (double& x : sample) x = 20.0 + 60.0 * rng.NextDouble();
+  auto est = KernelEstimator::Create(sample, kDomain, Options(2.0));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(KernelEstimatorTest, QueriesClampedToDomain) {
+  const std::vector<double> sample{50.0};
+  auto est = KernelEstimator::Create(sample, kDomain, Options(2.0));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(-100.0, 200.0),
+                   est->EstimateSelectivity(0.0, 100.0));
+}
+
+TEST(KernelEstimatorTest, MonotoneInUpperBound) {
+  const auto sample = UniformSample(200, 9);
+  auto est = KernelEstimator::Create(sample, kDomain, Options(5.0));
+  ASSERT_TRUE(est.ok());
+  double prev = 0.0;
+  for (double b = 0.0; b <= 100.0; b += 1.0) {
+    const double s = est->EstimateSelectivity(0.0, b);
+    EXPECT_GE(s, prev - 1e-12);
+    prev = s;
+  }
+}
+
+TEST(KernelEstimatorTest, AdditiveOverAdjacentRanges) {
+  const auto sample = UniformSample(200, 10);
+  auto est = KernelEstimator::Create(sample, kDomain, Options(5.0));
+  ASSERT_TRUE(est.ok());
+  const double whole = est->EstimateSelectivity(10.0, 90.0);
+  const double split = est->EstimateSelectivity(10.0, 47.0) +
+                       est->EstimateSelectivity(47.0, 90.0);
+  EXPECT_NEAR(whole, split, 1e-10);
+}
+
+TEST(KernelEstimatorTest, ReflectionMatchesManualMirroring) {
+  const std::vector<double> sample{1.0, 50.0};
+  const double h = 3.0;
+  auto est = KernelEstimator::Create(sample, kDomain,
+                                     Options(h, BoundaryPolicy::kReflection));
+  ASSERT_TRUE(est.ok());
+  // Manual: the sample at 1.0 gains a mirror at −1.0; queries are clamped
+  // to the domain, so integrate the mirrored mass over [0, 4].
+  const Kernel k;
+  const auto mass = [&](double x, double a, double b) {
+    return k.Cdf((b - x) / h) - k.Cdf((a - x) / h);
+  };
+  const double expected =
+      (mass(1.0, 0.0, 4.0) + mass(-1.0, 0.0, 4.0) + mass(50.0, 0.0, 4.0)) /
+      2.0;
+  EXPECT_NEAR(est->EstimateSelectivity(-2.0, 4.0), expected, 1e-12);
+}
+
+TEST(KernelEstimatorTest, ReflectionReducesBoundaryError) {
+  // Uniform data: true selectivity of [0, 5] is 0.05. The untreated
+  // estimator loses boundary mass; reflection recovers it.
+  const auto sample = UniformSample(5000, 11);
+  const double h = 5.0;
+  auto plain = KernelEstimator::Create(sample, kDomain, Options(h));
+  auto reflected = KernelEstimator::Create(
+      sample, kDomain, Options(h, BoundaryPolicy::kReflection));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(reflected.ok());
+  const double truth = 0.05;
+  const double plain_error =
+      std::fabs(plain->EstimateSelectivity(0.0, 5.0) - truth);
+  const double reflected_error =
+      std::fabs(reflected->EstimateSelectivity(0.0, 5.0) - truth);
+  EXPECT_LT(reflected_error, 0.5 * plain_error);
+}
+
+TEST(KernelEstimatorTest, BoundaryKernelReducesBoundaryError) {
+  const auto sample = UniformSample(5000, 12);
+  const double h = 5.0;
+  auto plain = KernelEstimator::Create(sample, kDomain, Options(h));
+  auto corrected = KernelEstimator::Create(
+      sample, kDomain, Options(h, BoundaryPolicy::kBoundaryKernel));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(corrected.ok());
+  const double truth = 0.05;
+  const double plain_error =
+      std::fabs(plain->EstimateSelectivity(0.0, 5.0) - truth);
+  const double corrected_error =
+      std::fabs(corrected->EstimateSelectivity(0.0, 5.0) - truth);
+  EXPECT_LT(corrected_error, 0.5 * plain_error);
+}
+
+TEST(KernelEstimatorTest, BoundaryKernelMatchesPlainInInterior) {
+  const auto sample = UniformSample(500, 13);
+  const double h = 4.0;
+  auto plain = KernelEstimator::Create(sample, kDomain, Options(h));
+  auto corrected = KernelEstimator::Create(
+      sample, kDomain, Options(h, BoundaryPolicy::kBoundaryKernel));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(corrected.ok());
+  // Queries at least one bandwidth away from both boundaries are untouched
+  // by the correction.
+  EXPECT_NEAR(corrected->EstimateSelectivity(20.0, 70.0),
+              plain->EstimateSelectivity(20.0, 70.0), 1e-10);
+}
+
+TEST(KernelEstimatorTest, EstimatesUniformSelectivities) {
+  const auto sample = UniformSample(2000, 14);
+  auto est = KernelEstimator::Create(
+      sample, kDomain, Options(3.0, BoundaryPolicy::kBoundaryKernel));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(10.0, 30.0), 0.2, 0.03);
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 50.0), 0.5, 0.03);
+}
+
+TEST(KernelEstimatorTest, InvertedAndPointQueries) {
+  const auto sample = UniformSample(100, 15);
+  auto est = KernelEstimator::Create(sample, kDomain, Options(2.0));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(60.0, 40.0), 0.0);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(50.0, 50.0), 0.0);
+}
+
+TEST(KernelEstimatorTest, StorageAndName) {
+  const auto sample = UniformSample(64, 16);
+  auto est = KernelEstimator::Create(sample, kDomain, Options(2.0));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->StorageBytes(), 65 * sizeof(double));
+  EXPECT_EQ(est->name(), "kernel(epanechnikov, none)");
+  EXPECT_EQ(est->sample_size(), 64u);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,83 @@
+#include "src/est/max_diff_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+TEST(MaxDiffTest, RejectsBadInput) {
+  EXPECT_FALSE(MaxDiffHistogram::Create({}, kDomain, 4).ok());
+  const std::vector<double> sample{1.0};
+  EXPECT_FALSE(MaxDiffHistogram::Create(sample, kDomain, 0).ok());
+}
+
+TEST(MaxDiffTest, BoundaryLandsInLargestGap) {
+  // Two clusters separated by a huge gap: with 2 bins the single boundary
+  // must fall inside the gap.
+  const std::vector<double> sample{1.0, 2.0, 3.0, 80.0, 81.0, 82.0};
+  auto est = MaxDiffHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  ASSERT_EQ(est->bins().edges().size(), 3u);
+  const double boundary = est->bins().edges()[1];
+  EXPECT_GT(boundary, 3.0);
+  EXPECT_LT(boundary, 80.0);
+  // Each cluster then fills its own bin.
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, boundary), 0.5);
+}
+
+TEST(MaxDiffTest, SeparatesClustersIntoBins) {
+  // Three clusters, three bins: each bin holds exactly one cluster's mass
+  // (spread uniformly within the bin, per formula (4)).
+  std::vector<double> sample;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) sample.push_back(5.0 + rng.NextDouble());
+  for (int i = 0; i < 200; ++i) sample.push_back(50.0 + rng.NextDouble());
+  for (int i = 0; i < 100; ++i) sample.push_back(95.0 + rng.NextDouble());
+  auto est = MaxDiffHistogram::Create(sample, kDomain, 3);
+  ASSERT_TRUE(est.ok());
+  const auto& edges = est->bins().edges();
+  ASSERT_EQ(edges.size(), 4u);
+  // Boundaries fall inside the two inter-cluster gaps.
+  EXPECT_GT(edges[1], 6.0);
+  EXPECT_LT(edges[1], 50.0);
+  EXPECT_GT(edges[2], 51.0);
+  EXPECT_LT(edges[2], 95.0);
+  // Whole-bin queries return the cluster masses exactly.
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, edges[1]), 0.25, 1e-12);
+  EXPECT_NEAR(est->EstimateSelectivity(edges[1], edges[2]), 0.5, 1e-12);
+  EXPECT_NEAR(est->EstimateSelectivity(edges[2], 100.0), 0.25, 1e-12);
+}
+
+TEST(MaxDiffTest, FewerGapsThanRequestedBins) {
+  // All samples identical: no positive gaps, so only one bin results.
+  const std::vector<double> sample(10, 42.0);
+  auto est = MaxDiffHistogram::Create(sample, kDomain, 5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_bins(), 1);
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(MaxDiffTest, FullDomainSelectivityIsOne) {
+  Rng rng(2);
+  std::vector<double> sample(300);
+  for (double& x : sample) x = 100.0 * rng.NextDouble();
+  auto est = MaxDiffHistogram::Create(sample, kDomain, 12);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(MaxDiffTest, NameContainsBinCount) {
+  const std::vector<double> sample{1.0, 50.0};
+  auto est = MaxDiffHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->name(), "max-diff(2)");
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,136 @@
+#include <cmath>
+#include "src/est/v_optimal_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/est/equi_width_histogram.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+TEST(VOptimalTest, RejectsBadInput) {
+  EXPECT_FALSE(VOptimalHistogram::Create({}, kDomain, 4).ok());
+  const std::vector<double> sample{1.0};
+  EXPECT_FALSE(VOptimalHistogram::Create(sample, kDomain, 0).ok());
+  EXPECT_FALSE(VOptimalHistogram::Create(sample, kDomain, 10, 5).ok());
+}
+
+TEST(VOptimalTest, SingleBucketMatchesUniformOverDomain) {
+  const std::vector<double> sample{10.0, 20.0, 30.0};
+  auto est = VOptimalHistogram::Create(sample, kDomain, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(0.0, 50.0), 0.5);
+}
+
+TEST(VOptimalTest, SeparatesTwoLevels) {
+  // Dense on [0, 50), sparse on [50, 100): the optimal 2-bucket partition
+  // splits at 50 and each bucket's frequencies are constant → SSE 0.
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 64; ++i) {
+    // 4 per cell in the left half, 1 per cell in the right half, with the
+    // default 512 base cells aligned to eighths.
+    sample.push_back(50.0 * (i + 0.5) / 64.0);
+    sample.push_back(50.0 * (i + 0.5) / 64.0);
+    sample.push_back(50.0 * (i + 0.5) / 64.0);
+    sample.push_back(50.0 + 50.0 * (i + 0.5) / 64.0);
+  }
+  auto est = VOptimalHistogram::Create(sample, kDomain, 2, 128);
+  ASSERT_TRUE(est.ok());
+  ASSERT_EQ(est->bins().edges().size(), 3u);
+  EXPECT_NEAR(est->bins().edges()[1], 50.0, 1.0);
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 50.0), 0.75, 0.02);
+}
+
+TEST(VOptimalTest, SseIsOptimalVersusManualPartitions) {
+  // Brute-force all 2-bucket partitions at a small base resolution and
+  // compare with the DP's reported SSE.
+  Rng rng(2);
+  std::vector<double> sample(200);
+  for (double& v : sample) v = 100.0 * rng.NextDouble() * rng.NextDouble();
+  const int base = 32;
+  auto est = VOptimalHistogram::Create(sample, kDomain, 2, base);
+  ASSERT_TRUE(est.ok());
+
+  // Rebuild the base frequency vector exactly as the implementation does.
+  std::vector<double> freq(base, 0.0);
+  for (double v : sample) {
+    auto cell = static_cast<int>(v / (100.0 / base));
+    cell = std::min(cell, base - 1);
+    freq[static_cast<size_t>(cell)] += 1.0;
+  }
+  const auto sse = [&](int lo, int hi) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int c = lo; c < hi; ++c) {
+      sum += freq[static_cast<size_t>(c)];
+      sum_sq += freq[static_cast<size_t>(c)] * freq[static_cast<size_t>(c)];
+    }
+    return sum_sq - sum * sum / (hi - lo);
+  };
+  double best = sse(0, base);
+  for (int split = 1; split < base; ++split) {
+    best = std::min(best, sse(0, split) + sse(split, base));
+  }
+  EXPECT_NEAR(est->sse(), best, 1e-9);
+}
+
+TEST(VOptimalTest, MoreBucketsNeverIncreaseSse) {
+  Rng rng(3);
+  std::vector<double> sample(500);
+  for (double& v : sample) v = 100.0 * rng.NextDouble() * rng.NextDouble();
+  double previous_sse = 1e300;
+  for (int buckets : {1, 2, 4, 8, 16, 32}) {
+    auto est = VOptimalHistogram::Create(sample, kDomain, buckets, 128);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(est->sse(), previous_sse + 1e-9) << buckets;
+    previous_sse = est->sse();
+  }
+}
+
+TEST(VOptimalTest, FullDomainSelectivityIsOne) {
+  Rng rng(4);
+  std::vector<double> sample(300);
+  for (double& v : sample) v = 100.0 * rng.NextDouble();
+  auto est = VOptimalHistogram::Create(sample, kDomain, 12);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(VOptimalTest, CompetitiveWithEquiWidthOnSkewedData) {
+  // On strongly two-level data, v-optimal with few buckets should beat an
+  // equi-width histogram with the same bucket budget.
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 900; ++i) sample.push_back(20.0 * rng.NextDouble());
+  for (int i = 0; i < 100; ++i) {
+    sample.push_back(20.0 + 80.0 * rng.NextDouble());
+  }
+  auto voh = VOptimalHistogram::Create(sample, kDomain, 3);
+  auto ewh = EquiWidthHistogram::Create(sample, kDomain, 3);
+  ASSERT_TRUE(voh.ok());
+  ASSERT_TRUE(ewh.ok());
+  // Query inside the dense region, truth 0.45 of the sample mass.
+  const double truth = 0.45;
+  const double voh_error =
+      std::fabs(voh->EstimateSelectivity(0.0, 10.0) - truth);
+  const double ewh_error =
+      std::fabs(ewh->EstimateSelectivity(0.0, 10.0) - truth);
+  EXPECT_LT(voh_error, ewh_error);
+}
+
+TEST(VOptimalTest, Name) {
+  const std::vector<double> sample{1.0, 2.0};
+  auto est = VOptimalHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->name(), "v-optimal(2)");
+}
+
+}  // namespace
+}  // namespace selest

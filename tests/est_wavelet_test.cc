@@ -1,0 +1,156 @@
+#include <cmath>
+
+#include "src/est/wavelet_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+TEST(HaarTransformTest, RoundTripsExactly) {
+  Rng rng(1);
+  std::vector<double> values(64);
+  for (double& v : values) v = rng.NextDouble() * 10.0 - 5.0;
+  std::vector<double> original = values;
+  HaarTransform(values);
+  InverseHaarTransform(values);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(values[i], original[i], 1e-12);
+  }
+}
+
+TEST(HaarTransformTest, PreservesEnergy) {
+  // Orthonormal transform: ‖x‖² is invariant (Parseval).
+  Rng rng(2);
+  std::vector<double> values(128);
+  double energy = 0.0;
+  for (double& v : values) {
+    v = rng.NextGaussian();
+    energy += v * v;
+  }
+  HaarTransform(values);
+  double transformed_energy = 0.0;
+  for (double v : values) transformed_energy += v * v;
+  EXPECT_NEAR(transformed_energy, energy, 1e-9);
+}
+
+TEST(HaarTransformTest, ConstantVectorIsSingleCoefficient) {
+  std::vector<double> values(16, 3.0);
+  HaarTransform(values);
+  // c0 = sum / sqrt(N); all detail coefficients vanish.
+  EXPECT_NEAR(values[0], 3.0 * 16.0 / 4.0, 1e-12);
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_NEAR(values[i], 0.0, 1e-12);
+  }
+}
+
+TEST(WaveletHistogramTest, RejectsBadInput) {
+  const std::vector<double> sample{1.0};
+  EXPECT_FALSE(WaveletHistogram::Create({}, kDomain, 8).ok());
+  EXPECT_FALSE(WaveletHistogram::Create(sample, kDomain, 0).ok());
+  EXPECT_FALSE(WaveletHistogram::Create(sample, kDomain, 8, 100).ok());
+  EXPECT_FALSE(WaveletHistogram::Create(sample, kDomain, 600, 512).ok());
+}
+
+TEST(WaveletHistogramTest, AllCoefficientsReproduceBaseHistogram) {
+  // Keeping every coefficient makes the reconstruction lossless, so a
+  // cell-aligned query returns the exact sample fraction.
+  Rng rng(3);
+  std::vector<double> sample(256);
+  for (double& v : sample) v = 100.0 * rng.NextDouble();
+  auto est = WaveletHistogram::Create(sample, kDomain, 64, 64);
+  ASSERT_TRUE(est.ok());
+  size_t exact = 0;
+  for (double v : sample) {
+    if (v < 50.0) ++exact;  // cells are [i·100/64, (i+1)·100/64)
+  }
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 50.0 - 1e-9),
+              static_cast<double>(exact) / sample.size(), 0.02);
+}
+
+TEST(WaveletHistogramTest, SingleCoefficientActsUniform) {
+  Rng rng(4);
+  std::vector<double> sample(500);
+  for (double& v : sample) v = 100.0 * rng.NextDouble();
+  auto est = WaveletHistogram::Create(sample, kDomain, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 25.0), 0.25, 1e-9);
+}
+
+TEST(WaveletHistogramTest, FullDomainSelectivityIsOne) {
+  Rng rng(5);
+  std::vector<double> sample(400);
+  for (double& v : sample) v = 100.0 * rng.NextDouble() * rng.NextDouble();
+  auto est = WaveletHistogram::Create(sample, kDomain, 32);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 100.0), 1.0, 1e-9);
+}
+
+TEST(WaveletHistogramTest, CapturesStepWithFewCoefficients) {
+  // A half-domain step is one Haar coefficient: 2 coefficients suffice.
+  Rng rng(6);
+  std::vector<double> sample;
+  for (int i = 0; i < 900; ++i) sample.push_back(50.0 * rng.NextDouble());
+  for (int i = 0; i < 100; ++i) {
+    sample.push_back(50.0 + 50.0 * rng.NextDouble());
+  }
+  auto est = WaveletHistogram::Create(sample, kDomain, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->EstimateSelectivity(0.0, 50.0), 0.9, 0.01);
+  EXPECT_NEAR(est->EstimateSelectivity(50.0, 100.0), 0.1, 0.01);
+}
+
+TEST(WaveletHistogramTest, MoreCoefficientsImproveSkewedEstimates) {
+  Rng rng(7);
+  std::vector<double> sample(2000);
+  for (double& v : sample) {
+    v = kDomain.Clamp(rng.NextExponential(1.0 / 12.0));
+  }
+  std::sort(sample.begin(), sample.end());
+  const auto truth = [&sample](double a, double b) {
+    const auto lo = std::lower_bound(sample.begin(), sample.end(), a);
+    const auto hi = std::upper_bound(sample.begin(), sample.end(), b);
+    return static_cast<double>(hi - lo) / static_cast<double>(sample.size());
+  };
+  const auto total_error = [&](int coefficients) {
+    auto est = WaveletHistogram::Create(sample, kDomain, coefficients);
+    EXPECT_TRUE(est.ok());
+    double error = 0.0;
+    for (double a = 0.0; a < 95.0; a += 5.0) {
+      error += std::fabs(est->EstimateSelectivity(a, a + 5.0) -
+                         truth(a, a + 5.0));
+    }
+    return error;
+  };
+  EXPECT_LT(total_error(64), total_error(4));
+}
+
+TEST(WaveletHistogramTest, EstimatesWithinUnitInterval) {
+  Rng rng(8);
+  std::vector<double> sample(300);
+  for (double& v : sample) v = 100.0 * rng.NextDouble();
+  auto est = WaveletHistogram::Create(sample, kDomain, 16);
+  ASSERT_TRUE(est.ok());
+  for (double a = -20.0; a < 120.0; a += 3.0) {
+    const double s = est->EstimateSelectivity(a, a + 10.0);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(WaveletHistogramTest, StorageTracksCoefficientBudget) {
+  const std::vector<double> sample{1.0, 2.0};
+  auto est = WaveletHistogram::Create(sample, kDomain, 24);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->StorageBytes(), 24 * (sizeof(uint32_t) + sizeof(double)));
+  EXPECT_EQ(est->name(), "wavelet(24)");
+}
+
+}  // namespace
+}  // namespace selest

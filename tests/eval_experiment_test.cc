@@ -1,0 +1,123 @@
+#include <cmath>
+#include "src/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/distribution.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+Dataset MakeData(uint64_t seed) {
+  Rng rng(seed);
+  const Domain domain = BitDomain(16);
+  const NormalDistribution dist(0.5 * domain.hi, domain.width() / 8.0);
+  return GenerateDataset("n", dist, 20000, domain, rng);
+}
+
+TEST(ExperimentTest, SetupHasRequestedShapes) {
+  const Dataset data = MakeData(1);
+  ProtocolConfig protocol;
+  protocol.sample_size = 500;
+  protocol.num_queries = 100;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EXPECT_EQ(setup.sample.size(), 500u);
+  EXPECT_EQ(setup.queries.size(), 100u);
+  EXPECT_EQ(setup.data, &data);
+}
+
+TEST(ExperimentTest, SetupIsDeterministic) {
+  const Dataset data = MakeData(2);
+  ProtocolConfig protocol;
+  protocol.sample_size = 100;
+  protocol.num_queries = 20;
+  protocol.seed = 7;
+  const ExperimentSetup a = MakeSetup(data, protocol);
+  const ExperimentSetup b = MakeSetup(data, protocol);
+  EXPECT_EQ(a.sample, b.sample);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.queries[i].a, b.queries[i].a);
+  }
+}
+
+TEST(ExperimentTest, DifferentSeedsDifferentSamples) {
+  const Dataset data = MakeData(3);
+  ProtocolConfig protocol;
+  protocol.sample_size = 100;
+  protocol.num_queries = 10;
+  protocol.seed = 1;
+  const ExperimentSetup a = MakeSetup(data, protocol);
+  protocol.seed = 2;
+  const ExperimentSetup b = MakeSetup(data, protocol);
+  EXPECT_NE(a.sample, b.sample);
+}
+
+TEST(ExperimentTest, RunConfigProducesSaneErrors) {
+  const Dataset data = MakeData(4);
+  ProtocolConfig protocol;
+  protocol.sample_size = 1000;
+  protocol.num_queries = 200;
+  protocol.query_fraction = 0.05;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  auto report = RunConfig(setup, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->evaluated, 0u);
+  // A 5% query on smooth normal data with 1000 samples: well under 100%.
+  EXPECT_LT(report->mean_relative_error, 1.0);
+  EXPECT_GT(report->mean_relative_error, 0.0);
+}
+
+TEST(ExperimentTest, RunConfigPropagatesBuildFailure) {
+  const Dataset data = MakeData(5);
+  ProtocolConfig protocol;
+  protocol.sample_size = 100;
+  protocol.num_queries = 10;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kKernel;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = -1.0;
+  EXPECT_FALSE(RunConfig(setup, config).ok());
+}
+
+TEST(ExperimentTest, BinCountObjectiveIsFiniteAndPositive) {
+  const Dataset data = MakeData(6);
+  ProtocolConfig protocol;
+  protocol.sample_size = 500;
+  protocol.num_queries = 100;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  auto objective = MakeBinCountObjective(setup, config);
+  for (int k : {1, 5, 20, 100}) {
+    const double error = objective(k);
+    EXPECT_GE(error, 0.0);
+    EXPECT_TRUE(std::isfinite(error));
+  }
+}
+
+TEST(ExperimentTest, BandwidthObjectivePenalizesExtremes) {
+  const Dataset data = MakeData(7);
+  ProtocolConfig protocol;
+  protocol.sample_size = 1000;
+  protocol.num_queries = 200;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kKernel;
+  config.boundary = BoundaryPolicy::kBoundaryKernel;
+  auto objective = MakeBandwidthObjective(setup, config);
+  const double domain_width = data.domain().width();
+  // A reasonable mid-range bandwidth beats an absurdly large one.
+  const double sane = objective(domain_width / 50.0);
+  const double oversmoothed = objective(domain_width);
+  EXPECT_LT(sane, oversmoothed);
+  // Invalid bandwidth maps to +inf rather than failing.
+  EXPECT_TRUE(std::isinf(objective(-1.0)));
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,157 @@
+#include "src/eval/metrics.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/data/domain.h"
+
+namespace selest {
+namespace {
+
+// A stub estimator returning a fixed selectivity.
+class ConstantEstimator : public SelectivityEstimator {
+ public:
+  explicit ConstantEstimator(double value) : value_(value) {}
+  double EstimateSelectivity(double, double) const override { return value_; }
+  size_t StorageBytes() const override { return 0; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double value_;
+};
+
+// An estimator that answers exactly from the full dataset.
+class ExactEstimator : public SelectivityEstimator {
+ public:
+  explicit ExactEstimator(const Dataset& data) : data_(data) {}
+  double EstimateSelectivity(double a, double b) const override {
+    return static_cast<double>(data_.CountInRange(a, b)) /
+           static_cast<double>(data_.size());
+  }
+  size_t StorageBytes() const override { return 0; }
+  std::string name() const override { return "exact"; }
+
+ private:
+  const Dataset& data_;
+};
+
+Dataset MakeData() {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  return Dataset("d", ContinuousDomain(0.0, 99.0), values);
+}
+
+TEST(MetricsTest, ExactEstimatorHasZeroError) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ExactEstimator est(data);
+  const std::vector<RangeQuery> queries{{0.0, 9.0}, {10.0, 39.0}, {50.0, 99.0}};
+  const ErrorReport report = Evaluate(est, queries, truth);
+  EXPECT_EQ(report.evaluated, 3u);
+  EXPECT_DOUBLE_EQ(report.mean_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 0.0);
+}
+
+TEST(MetricsTest, KnownConstantError) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  // Query [0, 9] has 10 records of 100 → truth 10. Estimator says 0.2 → 20.
+  const ConstantEstimator est(0.2);
+  const std::vector<RangeQuery> queries{{0.0, 9.0}};
+  const ErrorReport report = Evaluate(est, queries, truth);
+  EXPECT_DOUBLE_EQ(report.mean_absolute_error, 10.0);
+  EXPECT_DOUBLE_EQ(report.mean_relative_error, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 1.0);
+}
+
+TEST(MetricsTest, MeanOverMultipleQueries) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ConstantEstimator est(0.2);  // always predicts 20 records
+  // Truths: 10 and 40 → relative errors 1.0 and 0.5.
+  const std::vector<RangeQuery> queries{{0.0, 9.0}, {0.0, 39.0}};
+  const ErrorReport report = Evaluate(est, queries, truth);
+  EXPECT_DOUBLE_EQ(report.mean_relative_error, 0.75);
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_absolute_error, 15.0);
+}
+
+TEST(MetricsTest, PercentilesOfKnownErrorDistribution) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ConstantEstimator est(0.2);  // always predicts 20 records
+  // Truths 10, 20, 40, 80 → relative errors 1.0, 0.0, 0.5, 0.75.
+  const std::vector<RangeQuery> queries{
+      {0.0, 9.0}, {0.0, 19.0}, {0.0, 39.0}, {0.0, 79.0}};
+  const ErrorReport report = Evaluate(est, queries, truth);
+  // Sorted errors: 0.0, 0.5, 0.75, 1.0 (type-7 quantiles, interpolated).
+  EXPECT_DOUBLE_EQ(report.p50_relative_error, 0.625);
+  EXPECT_NEAR(report.p90_relative_error, 0.925, 1e-12);
+  EXPECT_NEAR(report.p99_relative_error, 0.9925, 1e-12);
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 1.0);
+}
+
+TEST(MetricsTest, PercentilesZeroForExactEstimator) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ExactEstimator est(data);
+  const std::vector<RangeQuery> queries{{0.0, 9.0}, {10.0, 39.0}};
+  const ErrorReport report = Evaluate(est, queries, truth);
+  EXPECT_DOUBLE_EQ(report.p50_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.p99_relative_error, 0.0);
+}
+
+TEST(MetricsTest, SkipsEmptyQueries) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ConstantEstimator est(0.0);
+  const std::vector<RangeQuery> queries{{0.25, 0.75},  // no integer inside
+                                        {0.0, 9.0}};
+  const ErrorReport report = Evaluate(est, queries, truth);
+  EXPECT_EQ(report.skipped_empty, 1u);
+  EXPECT_EQ(report.evaluated, 1u);
+}
+
+TEST(MetricsTest, EmptyWorkloadYieldsZeroedReport) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ConstantEstimator est(0.5);
+  const ErrorReport report = Evaluate(est, {}, truth);
+  EXPECT_EQ(report.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_relative_error, 0.0);
+}
+
+TEST(MetricsTest, PositionalErrorsSignedCorrectly) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ConstantEstimator over(1.0);   // always overestimates
+  const ConstantEstimator under(0.0);  // always underestimates
+  const std::vector<RangeQuery> queries{{10.0, 19.0}};
+  const auto over_errors = EvaluateByPosition(over, queries, truth);
+  const auto under_errors = EvaluateByPosition(under, queries, truth);
+  ASSERT_EQ(over_errors.size(), 1u);
+  EXPECT_DOUBLE_EQ(over_errors[0].position, 14.5);
+  EXPECT_DOUBLE_EQ(over_errors[0].signed_error, 100.0 - 10.0);
+  EXPECT_EQ(over_errors[0].exact_count, 10u);
+  EXPECT_DOUBLE_EQ(under_errors[0].signed_error, -10.0);
+  EXPECT_DOUBLE_EQ(under_errors[0].relative_error, 1.0);
+}
+
+TEST(MetricsTest, PositionalErrorsKeepEmptyQueries) {
+  const Dataset data = MakeData();
+  const GroundTruth truth(data);
+  const ConstantEstimator est(0.1);
+  const std::vector<RangeQuery> queries{{0.25, 0.75}};
+  const auto errors = EvaluateByPosition(est, queries, truth);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].exact_count, 0u);
+  EXPECT_DOUBLE_EQ(errors[0].relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(errors[0].signed_error, 10.0);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,106 @@
+#include "src/eval/paper_data.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(PaperDataTest, SpecTableMatchesTable2) {
+  const auto& specs = PaperFileSpecs();
+  EXPECT_EQ(specs.size(), 14u);
+  // Spot checks against Table 2.
+  std::set<std::string> names;
+  for (const auto& spec : specs) names.insert(spec.name);
+  EXPECT_TRUE(names.count("u(15)"));
+  EXPECT_TRUE(names.count("n(10)"));
+  EXPECT_TRUE(names.count("arap2"));
+  EXPECT_TRUE(names.count("rr1(12)"));
+  EXPECT_TRUE(names.count("iw"));
+}
+
+TEST(PaperDataTest, UnknownNameIsNotFound) {
+  auto result = MakePaperDataset("nope(99)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PaperDataTest, CiAliasesInstanceWeight) {
+  auto result = MakePaperDataset("ci");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 199523u);
+}
+
+// Generating every file is moderately expensive; verify them all in one
+// pass against their specs.
+TEST(PaperDataTest, EveryFileMatchesItsSpec) {
+  for (const PaperFileSpec& spec : PaperFileSpecs()) {
+    auto data = MakePaperDataset(spec.name);
+    ASSERT_TRUE(data.ok()) << spec.name;
+    EXPECT_EQ(data->size(), spec.records) << spec.name;
+    EXPECT_EQ(data->domain().bits, spec.bits) << spec.name;
+    for (double v : {data->values().front(), data->values().back()}) {
+      EXPECT_TRUE(data->domain().Contains(v)) << spec.name;
+    }
+  }
+}
+
+TEST(PaperDataTest, DeterministicAcrossCalls) {
+  auto a = MakePaperDataset("n(15)", 5);
+  auto b = MakePaperDataset("n(15)", 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->values(), b->values());
+}
+
+TEST(PaperDataTest, SeedChangesData) {
+  auto a = MakePaperDataset("u(15)", 1);
+  auto b = MakePaperDataset("u(15)", 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->values(), b->values());
+}
+
+TEST(PaperDataTest, NormalIsCenteredInDomain) {
+  auto data = MakePaperDataset("n(15)");
+  ASSERT_TRUE(data.ok());
+  const double center = 0.5 * (data->domain().lo + data->domain().hi);
+  double sum = 0.0;
+  for (double v : data->values()) sum += v;
+  const double mean = sum / static_cast<double>(data->size());
+  EXPECT_NEAR(mean, center, 0.01 * data->domain().width());
+}
+
+TEST(PaperDataTest, ExponentialIsLeftSkewed) {
+  auto data = MakePaperDataset("e(15)");
+  ASSERT_TRUE(data.ok());
+  const double quarter = data->domain().lo + 0.25 * data->domain().width();
+  // Exponential with mean = width/8 puts ~86% of mass below width/4.
+  EXPECT_GT(data->CountInRange(data->domain().lo, quarter),
+            data->size() * 4 / 5);
+}
+
+TEST(PaperDataTest, SmallDomainsHaveManyDuplicates) {
+  auto small = MakePaperDataset("n(10)");
+  auto large = MakePaperDataset("n(20)");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // n(10): 100k records on 1024 values → heavy duplication. n(20): mostly
+  // unique.
+  EXPECT_LT(small->CountDistinct(), 1100u);
+  EXPECT_GT(large->CountDistinct(), 50000u);
+}
+
+TEST(PaperDataTest, HeadlineNamesAreRegistered) {
+  for (const std::string& name : HeadlineFileNames()) {
+    EXPECT_TRUE(MakePaperDataset(name).ok()) << name;
+  }
+}
+
+TEST(PaperDataTest, PaperFileNamesMatchesSpecs) {
+  EXPECT_EQ(PaperFileNames().size(), PaperFileSpecs().size());
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,56 @@
+#include "src/eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"file", "MRE"});
+  table.AddRow({"n(20)", "7.0%"});
+  table.AddRow({"u(20)", "3.5%"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("file"), std::string::npos);
+  EXPECT_NE(out.find("n(20)"), std::string::npos);
+  EXPECT_NE(out.find("3.5%"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable table({"a", "b"});
+  table.AddRow({"longvalue", "x"});
+  table.AddRow({"s", "y"});
+  const std::string out = table.Render();
+  // Column b starts at the same offset in both data rows.
+  size_t line_start = out.find("longvalue");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t x_col = out.find('x', line_start) - line_start;
+  const size_t s_line = out.find("\ns", line_start) + 1;
+  const size_t y_col = out.find('y', s_line) - s_line;
+  EXPECT_EQ(x_col, y_col);
+}
+
+TEST(TextTableTest, HasRuleUnderHeader) {
+  TextTable table({"head"});
+  table.AddRow({"v"});
+  EXPECT_NE(table.Render().find("----"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, RowArityMustMatchHeader) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "SELEST_CHECK");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.175), "17.5%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.07123, 2), "7.12%");
+}
+
+}  // namespace
+}  // namespace selest

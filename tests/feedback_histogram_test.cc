@@ -1,0 +1,157 @@
+#include "src/feedback/feedback_histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+TEST(FeedbackHistogramTest, RejectsBadOptions) {
+  FeedbackHistogramOptions options;
+  options.num_bins = 0;
+  EXPECT_FALSE(FeedbackHistogram::Create(kDomain, options).ok());
+  options.num_bins = 8;
+  options.learning_rate = 0.0;
+  EXPECT_FALSE(FeedbackHistogram::Create(kDomain, options).ok());
+  options.learning_rate = 1.5;
+  EXPECT_FALSE(FeedbackHistogram::Create(kDomain, options).ok());
+}
+
+TEST(FeedbackHistogramTest, StartsUniform) {
+  auto histogram = FeedbackHistogram::Create(kDomain, {});
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_DOUBLE_EQ(histogram->EstimateSelectivity(0.0, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(histogram->EstimateSelectivity(20.0, 30.0), 0.1);
+  EXPECT_EQ(histogram->observations(), 0u);
+}
+
+TEST(FeedbackHistogramTest, CreateFromSampleMatchesData) {
+  Rng rng(1);
+  std::vector<double> sample(1000);
+  for (double& v : sample) v = 25.0 + 10.0 * rng.NextDouble();  // [25, 35]
+  auto histogram = FeedbackHistogram::CreateFromSample(sample, kDomain, {});
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_GT(histogram->EstimateSelectivity(25.0, 35.0), 0.9);
+  EXPECT_LT(histogram->EstimateSelectivity(60.0, 90.0), 0.05);
+}
+
+TEST(FeedbackHistogramTest, SingleObservationMovesEstimateTowardTruth) {
+  FeedbackHistogramOptions options;
+  options.learning_rate = 1.0;
+  options.renormalize = false;
+  auto histogram = FeedbackHistogram::Create(kDomain, options);
+  ASSERT_TRUE(histogram.ok());
+  const RangeQuery q{0.0, 25.0};
+  // Uniform start says 0.25; the truth is 0.75.
+  histogram->Observe(q, 0.75);
+  EXPECT_NEAR(histogram->EstimateSelectivity(q.a, q.b), 0.75, 1e-9);
+  EXPECT_EQ(histogram->observations(), 1u);
+}
+
+TEST(FeedbackHistogramTest, PartialLearningRate) {
+  FeedbackHistogramOptions options;
+  options.learning_rate = 0.5;
+  options.renormalize = false;
+  auto histogram = FeedbackHistogram::Create(kDomain, options);
+  ASSERT_TRUE(histogram.ok());
+  const RangeQuery q{0.0, 50.0};
+  histogram->Observe(q, 1.0);  // estimate was 0.5, error 0.5, correct half
+  EXPECT_NEAR(histogram->EstimateSelectivity(q.a, q.b), 0.75, 1e-9);
+}
+
+TEST(FeedbackHistogramTest, RenormalizationConservesMass) {
+  auto histogram = FeedbackHistogram::Create(kDomain, {});
+  ASSERT_TRUE(histogram.ok());
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const double a = 90.0 * rng.NextDouble();
+    const RangeQuery q{a, a + 10.0};
+    histogram->Observe(q, rng.NextDouble());
+    EXPECT_NEAR(histogram->total_mass(), 1.0, 1e-9);
+  }
+}
+
+TEST(FeedbackHistogramTest, MassesStayNonNegative) {
+  FeedbackHistogramOptions options;
+  options.learning_rate = 1.0;
+  auto histogram = FeedbackHistogram::Create(kDomain, options);
+  ASSERT_TRUE(histogram.ok());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double a = 80.0 * rng.NextDouble();
+    histogram->Observe({a, a + 20.0 * rng.NextDouble()}, rng.NextDouble());
+  }
+  for (double m : histogram->masses()) EXPECT_GE(m, 0.0);
+}
+
+TEST(FeedbackHistogramTest, ZeroEstimateRegionRecovers) {
+  // Start from a sample that left a region empty, then learn that the
+  // region actually holds mass.
+  std::vector<double> sample(100, 10.0);
+  FeedbackHistogramOptions options;
+  options.learning_rate = 1.0;
+  options.renormalize = false;
+  auto histogram =
+      FeedbackHistogram::CreateFromSample(sample, kDomain, options);
+  ASSERT_TRUE(histogram.ok());
+  const RangeQuery q{70.0, 90.0};
+  EXPECT_DOUBLE_EQ(histogram->EstimateSelectivity(q.a, q.b), 0.0);
+  histogram->Observe(q, 0.4);
+  EXPECT_NEAR(histogram->EstimateSelectivity(q.a, q.b), 0.4, 1e-9);
+}
+
+TEST(FeedbackHistogramTest, RepeatedFeedbackReducesWorkloadError) {
+  // Skewed truth, uniform start: cycling through a workload with feedback
+  // must cut the workload's mean relative error substantially.
+  Rng rng(4);
+  std::vector<double> data(20000);
+  for (double& v : data) {
+    v = kDomain.Clamp(30.0 + 10.0 * rng.NextGaussian());
+  }
+  std::sort(data.begin(), data.end());
+  const auto truth = [&data](const RangeQuery& q) {
+    const auto lo = std::lower_bound(data.begin(), data.end(), q.a);
+    const auto hi = std::upper_bound(data.begin(), data.end(), q.b);
+    return static_cast<double>(hi - lo) / static_cast<double>(data.size());
+  };
+  std::vector<RangeQuery> workload;
+  for (int i = 0; i < 100; ++i) {
+    const double center = data[rng.NextUint64(data.size())];
+    const double a = std::max(0.0, center - 5.0);
+    workload.push_back({a, std::min(100.0, a + 10.0)});
+  }
+  auto histogram = FeedbackHistogram::Create(kDomain, {});
+  ASSERT_TRUE(histogram.ok());
+  const auto workload_mre = [&] {
+    double total = 0.0;
+    int counted = 0;
+    for (const RangeQuery& q : workload) {
+      const double t = truth(q);
+      if (t <= 0.0) continue;
+      total += std::fabs(histogram->EstimateSelectivity(q.a, q.b) - t) / t;
+      ++counted;
+    }
+    return total / counted;
+  };
+  const double before = workload_mre();
+  for (int round = 0; round < 5; ++round) {
+    for (const RangeQuery& q : workload) histogram->Observe(q, truth(q));
+  }
+  const double after = workload_mre();
+  EXPECT_LT(after, 0.3 * before);
+}
+
+TEST(FeedbackHistogramTest, NameAndStorage) {
+  auto histogram = FeedbackHistogram::Create(kDomain, {});
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ(histogram->name(), "feedback(64)");
+  EXPECT_EQ(histogram->StorageBytes(), 64 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,186 @@
+// End-to-end tests reproducing the paper's qualitative findings on small
+// workloads: the theory-vs-practice claims of §5.2 at test-suite scale.
+#include <gtest/gtest.h>
+
+#include "src/data/distribution.h"
+#include "src/eval/experiment.h"
+#include "src/eval/paper_data.h"
+#include "src/smoothing/normal_scale.h"
+#include "src/smoothing/oracle.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+Dataset MakeNormalData(uint64_t seed) {
+  Rng rng(seed);
+  const Domain domain = BitDomain(18);
+  const NormalDistribution dist(0.5 * domain.hi, domain.width() / 8.0);
+  return GenerateDataset("n(18)", dist, 50000, domain, rng);
+}
+
+double Mre(const ExperimentSetup& setup, EstimatorKind kind,
+           BoundaryPolicy boundary = BoundaryPolicy::kBoundaryKernel) {
+  EstimatorConfig config;
+  config.kind = kind;
+  config.boundary = boundary;
+  auto report = RunConfig(setup, config);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report->mean_relative_error : 1e9;
+}
+
+TEST(IntegrationTest, KernelBeatsHistogramBeatsSampling) {
+  // §5.2.2 / Fig. 6 ordering on smooth normal data.
+  const Dataset data = MakeNormalData(1);
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 300;
+  protocol.query_fraction = 0.01;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  const double sampling = Mre(setup, EstimatorKind::kSampling);
+  const double histogram = Mre(setup, EstimatorKind::kEquiWidth);
+  const double kernel = Mre(setup, EstimatorKind::kKernel);
+  EXPECT_LT(histogram, sampling);
+  EXPECT_LT(kernel, sampling);
+  // The kernel estimator is at least competitive with the histogram.
+  EXPECT_LT(kernel, histogram * 1.2);
+}
+
+TEST(IntegrationTest, ErrorDecreasesWithSampleSize) {
+  // Consistency (§5.2.2): sampling, histograms and kernels all improve as
+  // the sample grows.
+  const Dataset data = MakeNormalData(2);
+  for (EstimatorKind kind :
+       {EstimatorKind::kSampling, EstimatorKind::kEquiWidth,
+        EstimatorKind::kKernel}) {
+    ProtocolConfig protocol;
+    protocol.num_queries = 300;
+    protocol.query_fraction = 0.02;
+    protocol.sample_size = 200;
+    const ExperimentSetup small = MakeSetup(data, protocol);
+    protocol.sample_size = 8000;
+    const ExperimentSetup large = MakeSetup(data, protocol);
+    EXPECT_LT(Mre(large, kind), Mre(small, kind))
+        << EstimatorKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, ErrorDecreasesWithQuerySize) {
+  // §5.2.3 / Fig. 7: larger queries are easier, relatively.
+  const Dataset data = MakeNormalData(3);
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 300;
+  protocol.query_fraction = 0.01;
+  const ExperimentSetup small_q = MakeSetup(data, protocol);
+  protocol.query_fraction = 0.10;
+  const ExperimentSetup large_q = MakeSetup(data, protocol);
+  EXPECT_LT(Mre(large_q, EstimatorKind::kEquiWidth),
+            Mre(small_q, EstimatorKind::kEquiWidth));
+}
+
+TEST(IntegrationTest, UniformEstimatorLosesOnSkewedData) {
+  // Fig. 8: the uniform (one-bin) estimator is the overall loser except on
+  // uniform data.
+  Rng rng(4);
+  const Domain domain = BitDomain(18);
+  const ExponentialDistribution dist(8.0 / domain.width());
+  const Dataset data = GenerateDataset("e", dist, 50000, domain, rng);
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 300;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  const double uniform = Mre(setup, EstimatorKind::kUniform);
+  for (EstimatorKind kind :
+       {EstimatorKind::kSampling, EstimatorKind::kEquiWidth,
+        EstimatorKind::kEquiDepth, EstimatorKind::kKernel}) {
+    EXPECT_LT(3.0 * Mre(setup, kind), uniform) << EstimatorKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, HybridBeatsKernelOnChangePointData) {
+  // §5.2.6: on rough densities with change points the hybrid wins against
+  // the pure kernel estimator.
+  Rng rng(5);
+  const Domain domain = BitDomain(18);
+  std::vector<double> values;
+  values.reserve(50000);
+  // Piecewise-uniform density with two hard steps.
+  while (values.size() < 50000) {
+    const double u = rng.NextDouble();
+    double x;
+    if (u < 0.7) {
+      x = 0.2 + 0.1 * rng.NextDouble();  // very dense narrow band
+    } else if (u < 0.9) {
+      x = 0.5 + 0.3 * rng.NextDouble();
+    } else {
+      x = rng.NextDouble();
+    }
+    values.push_back(domain.Quantize(x * domain.hi));
+  }
+  const Dataset data("steps", domain, std::move(values));
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 300;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  const double kernel = Mre(setup, EstimatorKind::kKernel);
+  const double hybrid = Mre(setup, EstimatorKind::kHybrid);
+  EXPECT_LT(hybrid, kernel);
+}
+
+TEST(IntegrationTest, OracleBinCountBeatsArbitraryChoices) {
+  // Fig. 4: the bin-count/error curve is U-shaped; the oracle minimum is at
+  // least as good as both extremes.
+  const Dataset data = MakeNormalData(6);
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 200;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  auto objective = MakeBinCountObjective(setup, config);
+  const int best = FindOptimalBinCount(objective, 1, 2000);
+  const double at_best = objective(best);
+  EXPECT_LE(at_best, objective(1));
+  EXPECT_LE(at_best, objective(2000));
+  // And the U-shape is genuine: both extremes are clearly worse.
+  EXPECT_GT(objective(1), 1.5 * at_best);
+  EXPECT_GT(objective(2000), 1.5 * at_best);
+}
+
+TEST(IntegrationTest, NormalScaleRuleNearOracleOnNormalData) {
+  // Fig. 9: h-NS costs only a few points of MRE over h-opt.
+  const Dataset data = MakeNormalData(7);
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 200;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  auto objective = MakeBinCountObjective(setup, config);
+  const double at_oracle = objective(FindOptimalBinCount(objective, 1, 2000));
+  const double at_ns = objective(NormalScaleNumBins(setup.sample, setup.domain()));
+  EXPECT_LE(at_ns, at_oracle + 0.05);
+}
+
+TEST(IntegrationTest, PaperDatasetEndToEnd) {
+  // Full pipeline on a registered paper file.
+  auto data = MakePaperDataset("n(15)");
+  ASSERT_TRUE(data.ok());
+  ProtocolConfig protocol;
+  protocol.sample_size = 2000;
+  protocol.num_queries = 200;
+  const ExperimentSetup setup = MakeSetup(*data, protocol);
+  for (EstimatorKind kind :
+       {EstimatorKind::kEquiWidth, EstimatorKind::kKernel,
+        EstimatorKind::kHybrid, EstimatorKind::kAverageShifted}) {
+    EstimatorConfig config;
+    config.kind = kind;
+    auto report = RunConfig(setup, config);
+    ASSERT_TRUE(report.ok()) << EstimatorKindName(kind);
+    EXPECT_LT(report->mean_relative_error, 0.5) << EstimatorKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,284 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/multidim/basic2d.h"
+#include "src/multidim/dataset2d.h"
+#include "src/multidim/grid_histogram.h"
+#include "src/multidim/kernel2d.h"
+#include "src/multidim/workload2d.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kSquare = ContinuousDomain(0.0, 100.0);
+
+std::vector<Point2> UniformPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> points(n);
+  for (Point2& p : points) {
+    p = {100.0 * rng.NextDouble(), 100.0 * rng.NextDouble()};
+  }
+  return points;
+}
+
+TEST(Dataset2dTest, CountInWindowMatchesBruteForce) {
+  const auto points = UniformPoints(400, 1);
+  const Dataset2d data("d", kSquare, kSquare, points);
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    WindowQuery q;
+    q.x_lo = 100.0 * rng.NextDouble();
+    q.x_hi = q.x_lo + (100.0 - q.x_lo) * rng.NextDouble();
+    q.y_lo = 100.0 * rng.NextDouble();
+    q.y_hi = q.y_lo + (100.0 - q.y_lo) * rng.NextDouble();
+    size_t brute = 0;
+    for (const Point2& p : points) {
+      if (p.x >= q.x_lo && p.x <= q.x_hi && p.y >= q.y_lo && p.y <= q.y_hi) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(data.CountInWindow(q), brute);
+  }
+}
+
+TEST(Dataset2dTest, InvertedWindowIsEmpty) {
+  const Dataset2d data("d", kSquare, kSquare, UniformPoints(10, 3));
+  EXPECT_EQ(data.CountInWindow({50.0, 40.0, 0.0, 100.0}), 0u);
+  EXPECT_EQ(data.CountInWindow({0.0, 100.0, 50.0, 40.0}), 0u);
+}
+
+TEST(Dataset2dTest, QuantizedConstruction) {
+  const auto unit = [] {
+    std::vector<Point2> pts;
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+      pts.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+    return pts;
+  }();
+  const Dataset2d data = MakeQuantizedDataset2d("q", unit, 10, 12, 80);
+  EXPECT_EQ(data.size(), 80u);
+  EXPECT_EQ(data.x_domain().bits, 10);
+  EXPECT_EQ(data.y_domain().bits, 12);
+  for (const Point2& p : data.points()) {
+    EXPECT_DOUBLE_EQ(p.x, std::round(p.x));
+    EXPECT_LE(p.x, 1023.0);
+    EXPECT_LE(p.y, 4095.0);
+  }
+}
+
+TEST(Workload2dTest, WindowsInsideDomainWithNonEmptyResults) {
+  const Dataset2d data("d", kSquare, kSquare, UniformPoints(5000, 5));
+  Rng rng(6);
+  Workload2dConfig config;
+  config.side_fraction = 0.1;
+  config.num_queries = 200;
+  const auto queries = GenerateWorkload2d(data, config, rng);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const WindowQuery& q : queries) {
+    EXPECT_GE(q.x_lo, 0.0);
+    EXPECT_LE(q.x_hi, 100.0);
+    EXPECT_GE(q.y_lo, 0.0);
+    EXPECT_LE(q.y_hi, 100.0);
+    EXPECT_NEAR(q.width(), 10.0, 1e-9);
+    EXPECT_NEAR(q.height(), 10.0, 1e-9);
+    EXPECT_GT(data.CountInWindow(q), 0u);
+  }
+}
+
+TEST(Uniform2dTest, AreaFraction) {
+  const Uniform2dEstimator est(kSquare, kSquare);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity({0.0, 100.0, 0.0, 100.0}), 1.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity({0.0, 50.0, 0.0, 50.0}), 0.25);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity({10.0, 20.0, 30.0, 80.0}), 0.05);
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity({-10.0, -5.0, 0.0, 100.0}), 0.0);
+}
+
+TEST(Sampling2dTest, ExactFractions) {
+  const std::vector<Point2> sample{{10, 10}, {20, 20}, {30, 30}, {90, 90}};
+  auto est = Sampling2dEstimator::Create(sample);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({0, 100, 0, 100}), 1.0);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({15, 35, 15, 35}), 0.5);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({0, 100, 85, 100}), 0.25);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({40, 60, 40, 60}), 0.0);
+}
+
+TEST(Sampling2dTest, RejectsEmptySample) {
+  EXPECT_FALSE(Sampling2dEstimator::Create({}).ok());
+}
+
+TEST(SamplePoints2dTest, SizeAndMembership) {
+  const auto population = UniformPoints(300, 7);
+  Rng rng(8);
+  const auto sample = SamplePointsWithoutReplacement(population, 50, rng);
+  EXPECT_EQ(sample.size(), 50u);
+}
+
+TEST(GridHistogramTest, ExactOnCellAlignedQueries) {
+  // One point per quadrant corner region.
+  const std::vector<Point2> sample{{25, 25}, {75, 25}, {25, 75}, {75, 75}};
+  auto grid = GridHistogram::Create(sample, kSquare, kSquare, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DOUBLE_EQ(grid->EstimateSelectivity({0, 50, 0, 50}), 0.25);
+  EXPECT_DOUBLE_EQ(grid->EstimateSelectivity({0, 100, 0, 50}), 0.5);
+  EXPECT_DOUBLE_EQ(grid->EstimateSelectivity({0, 100, 0, 100}), 1.0);
+}
+
+TEST(GridHistogramTest, UniformInCellAssumption) {
+  const std::vector<Point2> sample{{25, 25}};
+  auto grid = GridHistogram::Create(sample, kSquare, kSquare, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  // A quarter of the cell (half per axis) holds a quarter of its mass.
+  EXPECT_DOUBLE_EQ(grid->EstimateSelectivity({0, 25, 0, 25}), 0.25);
+}
+
+TEST(GridHistogramTest, RejectsBadInput) {
+  EXPECT_FALSE(GridHistogram::Create({}, kSquare, kSquare, 2, 2).ok());
+  const std::vector<Point2> sample{{1, 1}};
+  EXPECT_FALSE(GridHistogram::Create(sample, kSquare, kSquare, 0, 2).ok());
+}
+
+TEST(Kernel2dTest, RejectsBadConfig) {
+  const std::vector<Point2> sample{{1, 1}};
+  Kernel2dOptions options;
+  options.boundary = BoundaryPolicy::kBoundaryKernel;
+  EXPECT_FALSE(
+      Kernel2dEstimator::Create(sample, kSquare, kSquare, options).ok());
+  EXPECT_FALSE(Kernel2dEstimator::Create({}, kSquare, kSquare, {}).ok());
+}
+
+TEST(Kernel2dTest, SinglePointFullyCoveredWindow) {
+  const std::vector<Point2> sample{{50, 50}};
+  Kernel2dOptions options;
+  options.x_bandwidth = 2.0;
+  options.y_bandwidth = 3.0;
+  options.boundary = BoundaryPolicy::kNone;
+  auto est = Kernel2dEstimator::Create(sample, kSquare, kSquare, options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({40, 60, 40, 60}), 1.0);
+  // Half coverage per axis: product gives a quarter.
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({50, 60, 50, 60}), 0.25);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity({60, 70, 40, 60}), 0.0);
+}
+
+TEST(Kernel2dTest, MatchesBruteForceProduct) {
+  const auto population = UniformPoints(300, 9);
+  Kernel2dOptions options;
+  options.x_bandwidth = 5.0;
+  options.y_bandwidth = 4.0;
+  options.boundary = BoundaryPolicy::kNone;
+  auto est =
+      Kernel2dEstimator::Create(population, kSquare, kSquare, options);
+  ASSERT_TRUE(est.ok());
+  const Kernel kernel;
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x_lo = 80.0 * rng.NextDouble();
+    const double x_hi = x_lo + 15.0 * rng.NextDouble();
+    const double y_lo = 80.0 * rng.NextDouble();
+    const double y_hi = y_lo + 15.0 * rng.NextDouble();
+    double brute = 0.0;
+    for (const Point2& p : population) {
+      brute += (kernel.Cdf((x_hi - p.x) / 5.0) -
+                kernel.Cdf((x_lo - p.x) / 5.0)) *
+               (kernel.Cdf((y_hi - p.y) / 4.0) -
+                kernel.Cdf((y_lo - p.y) / 4.0));
+    }
+    brute /= static_cast<double>(population.size());
+    EXPECT_NEAR(est->EstimateSelectivity({x_lo, x_hi, y_lo, y_hi}), brute,
+                1e-10);
+  }
+}
+
+TEST(Kernel2dTest, NormalScaleBandwidthShrinksAsNToMinusOneSixth) {
+  const Kernel kernel;
+  const double h1 = NormalScaleBandwidth2d(1.0, 1000, kernel);
+  const double h64 = NormalScaleBandwidth2d(1.0, 64000, kernel);
+  EXPECT_NEAR(h1 / h64, 2.0, 1e-9);  // 64^(1/6) = 2
+}
+
+TEST(Kernel2dTest, ReflectionRestoresCornerMass) {
+  // Points clustered at a corner: without boundary treatment the window
+  // anchored at the corner loses ~3/4 of each point's mass.
+  Rng rng(11);
+  std::vector<Point2> sample(500);
+  for (Point2& p : sample) {
+    p = {2.0 * rng.NextDouble(), 2.0 * rng.NextDouble()};
+  }
+  Kernel2dOptions plain;
+  plain.x_bandwidth = 4.0;
+  plain.y_bandwidth = 4.0;
+  plain.boundary = BoundaryPolicy::kNone;
+  Kernel2dOptions reflected = plain;
+  reflected.boundary = BoundaryPolicy::kReflection;
+  auto est_plain = Kernel2dEstimator::Create(sample, kSquare, kSquare, plain);
+  auto est_reflected =
+      Kernel2dEstimator::Create(sample, kSquare, kSquare, reflected);
+  ASSERT_TRUE(est_plain.ok());
+  ASSERT_TRUE(est_reflected.ok());
+  // All sample points live in [0,2]²; the window [0,6]² should hold ~all
+  // mass.
+  const WindowQuery corner{0.0, 6.0, 0.0, 6.0};
+  EXPECT_LT(est_plain->EstimateSelectivity(corner), 0.6);
+  EXPECT_GT(est_reflected->EstimateSelectivity(corner), 0.85);
+}
+
+TEST(Kernel2dTest, EstimatesUniformWindowSelectivity) {
+  const auto population = UniformPoints(20000, 12);
+  Rng rng(13);
+  const auto sample = SamplePointsWithoutReplacement(population, 2000, rng);
+  auto est = Kernel2dEstimator::Create(sample, kSquare, kSquare, {});
+  ASSERT_TRUE(est.ok());
+  // 20×20 window on uniform data: true selectivity 0.04.
+  EXPECT_NEAR(est->EstimateSelectivity({40, 60, 40, 60}), 0.04, 0.012);
+}
+
+TEST(Kernel2dTest, MonotoneInWindowGrowth) {
+  const auto sample = UniformPoints(500, 14);
+  auto est = Kernel2dEstimator::Create(sample, kSquare, kSquare, {});
+  ASSERT_TRUE(est.ok());
+  double prev = 0.0;
+  for (double half = 1.0; half <= 50.0; half += 1.0) {
+    const double s = est->EstimateSelectivity(
+        {50.0 - half, 50.0 + half, 50.0 - half, 50.0 + half});
+    EXPECT_GE(s, prev - 1e-12);
+    prev = s;
+  }
+  EXPECT_NEAR(prev, 1.0, 0.02);
+}
+
+TEST(Kernel2dTest, AccuracyBeatsUniformOnClusteredData) {
+  // Clustered data: kernel2d adapts, uniform2d cannot.
+  Rng rng(15);
+  std::vector<Point2> population(20000);
+  for (Point2& p : population) {
+    p = {kSquare.Clamp(30.0 + 8.0 * rng.NextGaussian()),
+         kSquare.Clamp(70.0 + 8.0 * rng.NextGaussian())};
+  }
+  const Dataset2d data("clustered", kSquare, kSquare, population);
+  Rng sample_rng(16);
+  const auto sample =
+      SamplePointsWithoutReplacement(data.points(), 2000, sample_rng);
+  auto kernel = Kernel2dEstimator::Create(sample, kSquare, kSquare, {});
+  ASSERT_TRUE(kernel.ok());
+  const Uniform2dEstimator uniform(kSquare, kSquare);
+  Rng query_rng(17);
+  Workload2dConfig config;
+  config.num_queries = 100;
+  const auto queries = GenerateWorkload2d(data, config, query_rng);
+  double kernel_error = 0.0;
+  double uniform_error = 0.0;
+  for (const WindowQuery& q : queries) {
+    const double truth = data.Selectivity(q);
+    kernel_error += std::fabs(kernel->EstimateSelectivity(q) - truth) / truth;
+    uniform_error += std::fabs(uniform.EstimateSelectivity(q) - truth) / truth;
+  }
+  EXPECT_LT(kernel_error, 0.5 * uniform_error);
+}
+
+}  // namespace
+}  // namespace selest

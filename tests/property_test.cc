@@ -1,0 +1,266 @@
+// Property-based sweeps: invariants every selectivity estimator must hold,
+// checked for every estimator kind × data shape combination.
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/distribution.h"
+#include "src/est/estimator_factory.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+enum class DataShape { kUniform, kNormal, kExponential, kBimodal, kSpiky };
+
+const char* DataShapeName(DataShape shape) {
+  switch (shape) {
+    case DataShape::kUniform:
+      return "uniform";
+    case DataShape::kNormal:
+      return "normal";
+    case DataShape::kExponential:
+      return "exponential";
+    case DataShape::kBimodal:
+      return "bimodal";
+    case DataShape::kSpiky:
+      return "spiky";
+  }
+  return "?";
+}
+
+const Domain kDomain = ContinuousDomain(0.0, 1000.0);
+
+std::vector<double> MakeSample(DataShape shape, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample;
+  sample.reserve(n);
+  while (sample.size() < n) {
+    double x = 0.0;
+    switch (shape) {
+      case DataShape::kUniform:
+        x = 1000.0 * rng.NextDouble();
+        break;
+      case DataShape::kNormal:
+        x = 500.0 + 120.0 * rng.NextGaussian();
+        break;
+      case DataShape::kExponential:
+        x = rng.NextExponential(1.0 / 125.0);
+        break;
+      case DataShape::kBimodal:
+        x = (rng.NextDouble() < 0.5 ? 250.0 : 750.0) +
+            40.0 * rng.NextGaussian();
+        break;
+      case DataShape::kSpiky:
+        // Ten atoms with geometric masses plus thin background.
+        if (rng.NextDouble() < 0.9) {
+          x = 100.0 * (1 + static_cast<double>(rng.NextUint64(10)));
+        } else {
+          x = 1000.0 * rng.NextDouble();
+        }
+        break;
+    }
+    if (x >= kDomain.lo && x <= kDomain.hi) sample.push_back(x);
+  }
+  return sample;
+}
+
+using PropertyParam = std::tuple<EstimatorKind, DataShape>;
+
+class EstimatorPropertyTest
+    : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  std::unique_ptr<SelectivityEstimator> Build(size_t n, uint64_t seed) {
+    const auto [kind, shape] = GetParam();
+    sample_ = MakeSample(shape, n, seed);
+    EstimatorConfig config;
+    config.kind = kind;
+    auto est = BuildEstimator(sample_, kDomain, config);
+    EXPECT_TRUE(est.ok()) << est.status().ToString();
+    return est.ok() ? std::move(est).value() : nullptr;
+  }
+
+  std::vector<double> sample_;
+};
+
+TEST_P(EstimatorPropertyTest, EstimatesAreWithinUnitInterval) {
+  auto est = Build(400, 1);
+  ASSERT_NE(est, nullptr);
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double a = kDomain.lo - 100.0 + 1200.0 * rng.NextDouble();
+    const double b = a + 600.0 * rng.NextDouble();
+    const double s = est->EstimateSelectivity(a, b);
+    EXPECT_GE(s, 0.0) << "[" << a << ", " << b << "]";
+    EXPECT_LE(s, 1.0) << "[" << a << ", " << b << "]";
+  }
+}
+
+TEST_P(EstimatorPropertyTest, MonotoneInUpperBound) {
+  auto est = Build(400, 3);
+  ASSERT_NE(est, nullptr);
+  double prev = 0.0;
+  for (double b = 0.0; b <= 1000.0; b += 10.0) {
+    const double s = est->EstimateSelectivity(0.0, b);
+    EXPECT_GE(s, prev - 1e-9) << "b=" << b;
+    prev = s;
+  }
+}
+
+TEST_P(EstimatorPropertyTest, MonotoneUnderRangeInclusion) {
+  auto est = Build(400, 4);
+  ASSERT_NE(est, nullptr);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double a = 900.0 * rng.NextDouble();
+    const double b = a + 100.0 * rng.NextDouble();
+    const double widened_a = std::max(kDomain.lo, a - 50.0);
+    const double widened_b = std::min(kDomain.hi, b + 50.0);
+    EXPECT_LE(est->EstimateSelectivity(a, b),
+              est->EstimateSelectivity(widened_a, widened_b) + 1e-9);
+  }
+}
+
+TEST_P(EstimatorPropertyTest, FullDomainIsNearOne) {
+  auto est = Build(800, 6);
+  ASSERT_NE(est, nullptr);
+  // Sample-based estimators should assign (almost) all mass to the domain;
+  // kernel boundary effects can leak a little.
+  EXPECT_GT(est->EstimateSelectivity(kDomain.lo, kDomain.hi), 0.9);
+}
+
+TEST_P(EstimatorPropertyTest, InvertedRangeIsZero) {
+  auto est = Build(100, 7);
+  ASSERT_NE(est, nullptr);
+  EXPECT_DOUBLE_EQ(est->EstimateSelectivity(700.0, 300.0), 0.0);
+}
+
+TEST_P(EstimatorPropertyTest, OutsideDomainIsZero) {
+  auto est = Build(100, 8);
+  ASSERT_NE(est, nullptr);
+  EXPECT_NEAR(est->EstimateSelectivity(2000.0, 3000.0), 0.0, 1e-9);
+  EXPECT_NEAR(est->EstimateSelectivity(-3000.0, -2000.0), 0.0, 1e-9);
+}
+
+TEST_P(EstimatorPropertyTest, NearAdditivityOverSplits) {
+  auto est = Build(400, 9);
+  ASSERT_NE(est, nullptr);
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const double a = 800.0 * rng.NextDouble();
+    const double b = a + 200.0 * rng.NextDouble();
+    const double mid = 0.5 * (a + b);
+    const double whole = est->EstimateSelectivity(a, b);
+    const double split =
+        est->EstimateSelectivity(a, mid) + est->EstimateSelectivity(mid, b);
+    // Histograms/kernels are exactly additive except for atom double
+    // counting exactly at the split point and clamping; allow atoms' mass.
+    EXPECT_NEAR(whole, split, 0.15) << "[" << a << ", " << b << "]";
+  }
+}
+
+TEST_P(EstimatorPropertyTest, DeterministicAcrossRebuilds) {
+  auto est1 = Build(300, 11);
+  const auto sample_copy = sample_;
+  auto est2 = Build(300, 11);
+  ASSERT_NE(est1, nullptr);
+  ASSERT_NE(est2, nullptr);
+  ASSERT_EQ(sample_copy, sample_);
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const double a = 900.0 * rng.NextDouble();
+    const double b = a + 100.0;
+    EXPECT_DOUBLE_EQ(est1->EstimateSelectivity(a, b),
+                     est2->EstimateSelectivity(a, b));
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = EstimatorKindName(std::get<0>(info.param));
+  name += "_";
+  name += DataShapeName(std::get<1>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEstimatorsAllShapes, EstimatorPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(EstimatorKind::kSampling, EstimatorKind::kUniform,
+                          EstimatorKind::kEquiWidth, EstimatorKind::kEquiDepth,
+                          EstimatorKind::kMaxDiff,
+                          EstimatorKind::kAverageShifted,
+                          EstimatorKind::kKernel, EstimatorKind::kHybrid,
+                          EstimatorKind::kVOptimal,
+                          EstimatorKind::kAdaptiveKernel,
+                          EstimatorKind::kWavelet),
+        ::testing::Values(DataShape::kUniform, DataShape::kNormal,
+                          DataShape::kExponential, DataShape::kBimodal,
+                          DataShape::kSpiky)),
+    ParamName);
+
+// Bandwidth/bin-width sweep: the kernel estimator must stay sane across
+// smoothing extremes.
+class KernelBandwidthSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KernelBandwidthSweepTest, EstimatesStayInUnitInterval) {
+  const auto sample = MakeSample(DataShape::kNormal, 500, 13);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kKernel;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = GetParam();
+  auto est = BuildEstimator(sample, kDomain, config);
+  ASSERT_TRUE(est.ok());
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    const double a = 1000.0 * rng.NextDouble();
+    const double b = a + 500.0 * rng.NextDouble();
+    const double s = (*est)->EstimateSelectivity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, KernelBandwidthSweepTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0,
+                                           1000.0, 5000.0));
+
+// Bin-count sweep for each histogram family.
+using BinSweepParam = std::tuple<EstimatorKind, int>;
+
+class HistogramBinSweepTest : public ::testing::TestWithParam<BinSweepParam> {
+};
+
+TEST_P(HistogramBinSweepTest, FullDomainMassIsOne) {
+  const auto [kind, bins] = GetParam();
+  const auto sample = MakeSample(DataShape::kExponential, 600, 15);
+  EstimatorConfig config;
+  config.kind = kind;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = bins;
+  auto est = BuildEstimator(sample, kDomain, config);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR((*est)->EstimateSelectivity(kDomain.lo, kDomain.hi), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BinCounts, HistogramBinSweepTest,
+    ::testing::Combine(::testing::Values(EstimatorKind::kEquiWidth,
+                                         EstimatorKind::kEquiDepth,
+                                         EstimatorKind::kMaxDiff,
+                                         EstimatorKind::kAverageShifted),
+                       ::testing::Values(1, 2, 7, 32, 200)),
+    [](const ::testing::TestParamInfo<BinSweepParam>& info) {
+      std::string name = EstimatorKindName(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace selest

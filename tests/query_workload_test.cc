@@ -1,0 +1,127 @@
+#include "src/query/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/distribution.h"
+#include "src/query/ground_truth.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+Dataset MakeUniformData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const Domain domain = BitDomain(16);
+  const UniformDistribution dist(domain.lo, domain.hi);
+  return GenerateDataset("u", dist, n, domain, rng);
+}
+
+TEST(WorkloadTest, ProducesRequestedQueryCount) {
+  const Dataset data = MakeUniformData(10000, 1);
+  Rng rng(2);
+  WorkloadConfig config;
+  config.num_queries = 250;
+  const auto queries = GenerateWorkload(data, config, rng);
+  EXPECT_EQ(queries.size(), 250u);
+}
+
+TEST(WorkloadTest, QueriesHaveExactWidth) {
+  const Dataset data = MakeUniformData(10000, 3);
+  Rng rng(4);
+  WorkloadConfig config;
+  config.query_fraction = 0.05;
+  config.num_queries = 100;
+  const double expected = 0.05 * data.domain().width();
+  for (const RangeQuery& q : GenerateWorkload(data, config, rng)) {
+    EXPECT_NEAR(q.width(), expected, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, QueriesStayInsideDomain) {
+  const Dataset data = MakeUniformData(10000, 5);
+  Rng rng(6);
+  WorkloadConfig config;
+  config.query_fraction = 0.10;
+  config.num_queries = 500;
+  for (const RangeQuery& q : GenerateWorkload(data, config, rng)) {
+    EXPECT_GE(q.a, data.domain().lo);
+    EXPECT_LE(q.b, data.domain().hi);
+  }
+}
+
+TEST(WorkloadTest, RejectsEmptyResultQueries) {
+  const Dataset data = MakeUniformData(5000, 7);
+  Rng rng(8);
+  WorkloadConfig config;
+  config.num_queries = 200;
+  config.reject_empty = true;
+  const GroundTruth truth(data);
+  for (const RangeQuery& q : GenerateWorkload(data, config, rng)) {
+    EXPECT_GT(truth.Count(q), 0u);
+  }
+}
+
+TEST(WorkloadTest, PositionsFollowDataDistribution) {
+  // Skewed data: most queries should land in the dense region.
+  Rng data_rng(9);
+  const Domain domain = BitDomain(16);
+  const ExponentialDistribution dist(8.0 / domain.width());
+  const Dataset data = GenerateDataset("e", dist, 20000, domain, data_rng);
+  Rng rng(10);
+  WorkloadConfig config;
+  config.num_queries = 500;
+  size_t in_lower_quarter = 0;
+  for (const RangeQuery& q : GenerateWorkload(data, config, rng)) {
+    if (q.center() < domain.lo + 0.25 * domain.width()) ++in_lower_quarter;
+  }
+  // An exponential with mean width/8 puts ~86% of its mass there.
+  EXPECT_GT(in_lower_quarter, 350u);
+}
+
+TEST(WorkloadTest, DeterministicForFixedSeed) {
+  const Dataset data = MakeUniformData(5000, 11);
+  WorkloadConfig config;
+  config.num_queries = 50;
+  Rng rng1(12);
+  Rng rng2(12);
+  const auto a = GenerateWorkload(data, config, rng1);
+  const auto b = GenerateWorkload(data, config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].a, b[i].a);
+    EXPECT_DOUBLE_EQ(a[i].b, b[i].b);
+  }
+}
+
+TEST(PositionSweepTest, CoversDomainLeftToRight) {
+  const Dataset data = MakeUniformData(5000, 13);
+  const auto queries = GeneratePositionSweep(data, 0.01, 101);
+  ASSERT_EQ(queries.size(), 101u);
+  // First query touches the left boundary, last touches the right.
+  EXPECT_DOUBLE_EQ(queries.front().a, data.domain().lo);
+  EXPECT_DOUBLE_EQ(queries.back().b, data.domain().hi);
+  // Centers are non-decreasing.
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_GE(queries[i].center(), queries[i - 1].center());
+  }
+}
+
+TEST(PositionSweepTest, AllQueriesInsideDomainWithFixedWidth) {
+  const Dataset data = MakeUniformData(5000, 14);
+  for (const RangeQuery& q : GeneratePositionSweep(data, 0.02, 60)) {
+    EXPECT_GE(q.a, data.domain().lo);
+    EXPECT_LE(q.b, data.domain().hi);
+    EXPECT_NEAR(q.width(), 0.02 * data.domain().width(), 1e-9);
+  }
+}
+
+TEST(GroundTruthTest, SelectivityMatchesCounts) {
+  const Dataset data = MakeUniformData(1000, 15);
+  const GroundTruth truth(data);
+  const RangeQuery q{data.domain().lo, data.domain().hi};
+  EXPECT_EQ(truth.Count(q), 1000u);
+  EXPECT_DOUBLE_EQ(truth.Selectivity(q), 1.0);
+}
+
+}  // namespace
+}  // namespace selest

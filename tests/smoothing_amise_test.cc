@@ -1,0 +1,117 @@
+#include "src/smoothing/amise.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(RoughnessTest, GaussianDerivativeRoughness) {
+  // For N(0, σ²): R(f') = 1/(4√π σ³).
+  const double sigma = 2.0;
+  const NormalDistribution d(0.0, sigma);
+  const double expected =
+      1.0 / (4.0 * std::sqrt(std::numbers::pi) * std::pow(sigma, 3.0));
+  EXPECT_NEAR(DensityDerivativeRoughness(d, -10.0 * sigma, 10.0 * sigma),
+              expected, 1e-4 * expected);
+}
+
+TEST(RoughnessTest, GaussianSecondDerivativeRoughness) {
+  // For N(0, σ²): R(f'') = 3/(8√π σ⁵).
+  const double sigma = 1.5;
+  const NormalDistribution d(0.0, sigma);
+  const double expected =
+      3.0 / (8.0 * std::sqrt(std::numbers::pi) * std::pow(sigma, 5.0));
+  EXPECT_NEAR(DensitySecondDerivativeRoughness(d, -10.0 * sigma, 10.0 * sigma),
+              expected, 1e-3 * expected);
+}
+
+TEST(RoughnessTest, UniformHasZeroRoughnessInInterior) {
+  const UniformDistribution d(0.0, 1.0);
+  EXPECT_NEAR(DensityDerivativeRoughness(d, 0.1, 0.9), 0.0, 1e-12);
+}
+
+TEST(HistogramAmiseTest, Formula) {
+  // AMISE(h) = 1/(nh) + h² R(f')/12.
+  EXPECT_DOUBLE_EQ(HistogramAmise(0.5, 100, 2.0),
+                   1.0 / 50.0 + 0.25 * 2.0 / 12.0);
+}
+
+TEST(HistogramAmiseTest, OptimalBinWidthMinimizesAmise) {
+  const size_t n = 1000;
+  const double r = 0.8;
+  const double h_opt = OptimalBinWidth(n, r);
+  const double at_opt = HistogramAmise(h_opt, n, r);
+  for (double factor : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_LT(at_opt, HistogramAmise(h_opt * factor, n, r));
+  }
+}
+
+TEST(HistogramAmiseTest, OptimalBinWidthFormula) {
+  // Equation (7): h = (6/(n R(f')))^(1/3).
+  EXPECT_NEAR(OptimalBinWidth(500, 3.0), std::cbrt(6.0 / 1500.0), 1e-12);
+}
+
+TEST(HistogramAmiseTest, ConvergenceRateIsNToMinusTwoThirds) {
+  const double r = 1.0;
+  const double a1 = HistogramAmise(OptimalBinWidth(1000, r), 1000, r);
+  const double a8 = HistogramAmise(OptimalBinWidth(8000, r), 8000, r);
+  // AMISE scales as n^(−2/3): factor 8 in n → factor 4 in error.
+  EXPECT_NEAR(a1 / a8, 4.0, 0.01);
+}
+
+TEST(KernelAmiseTest, Formula) {
+  const Kernel k;
+  const double h = 0.3;
+  const size_t n = 200;
+  const double r = 1.7;
+  const double expected = k.squared_l2_norm() / (n * h) +
+                          0.25 * std::pow(h, 4.0) * 0.04 * r;
+  EXPECT_NEAR(KernelAmise(h, n, r, k), expected, 1e-12);
+}
+
+TEST(KernelAmiseTest, OptimalBandwidthMinimizesAmise) {
+  const size_t n = 2000;
+  const double r = 0.5;
+  const double h_opt = OptimalBandwidth(n, r);
+  const double at_opt = KernelAmise(h_opt, n, r);
+  for (double factor : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_LT(at_opt, KernelAmise(h_opt * factor, n, r));
+  }
+}
+
+TEST(KernelAmiseTest, ConvergenceRateIsNToMinusFourFifths) {
+  const double r = 1.0;
+  const double a1 = KernelAmise(OptimalBandwidth(1000, r), 1000, r);
+  const double a32 = KernelAmise(OptimalBandwidth(32000, r), 32000, r);
+  // n^(−4/5): factor 32 in n → factor 16 in error.
+  EXPECT_NEAR(a1 / a32, 16.0, 0.05);
+}
+
+TEST(KernelAmiseTest, KernelBeatsHistogramAsymptotically) {
+  // With Gaussian truth, at equal (large) n the optimal kernel AMISE is
+  // lower than the optimal histogram AMISE.
+  const NormalDistribution d(0.0, 1.0);
+  const double r1 = DensityDerivativeRoughness(d, -10.0, 10.0);
+  const double r2 = DensitySecondDerivativeRoughness(d, -10.0, 10.0);
+  const size_t n = 10000;
+  EXPECT_LT(KernelAmise(OptimalBandwidth(n, r2), n, r2),
+            HistogramAmise(OptimalBinWidth(n, r1), n, r1));
+}
+
+TEST(KernelAmiseTest, OptimalBandwidthMatchesNormalScaleConstant) {
+  // Plugging the Gaussian R(f'') into OptimalBandwidth must reproduce the
+  // 2.345·σ·n^(−1/5) constant of §4.2.
+  const double sigma = 3.0;
+  const NormalDistribution d(0.0, sigma);
+  const double r2 = DensitySecondDerivativeRoughness(d, -30.0, 30.0);
+  const size_t n = 2000;
+  EXPECT_NEAR(OptimalBandwidth(n, r2),
+              2.345 * sigma * std::pow(static_cast<double>(n), -0.2),
+              0.01 * sigma);
+}
+
+}  // namespace
+}  // namespace selest

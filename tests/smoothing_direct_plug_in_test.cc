@@ -1,0 +1,145 @@
+#include "src/smoothing/direct_plug_in.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/smoothing/normal_scale.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+std::vector<double> GaussianSample(size_t n, double mean, double sigma,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample(n);
+  for (double& x : sample) x = mean + sigma * rng.NextGaussian();
+  return sample;
+}
+
+TEST(NormalScalePsiTest, KnownGaussianFunctionals) {
+  // For N(0, σ²): ψ2 = −1/(4√π σ³), ψ4 = 3/(8√π σ⁵),
+  // ψ6 = −15/(16√π σ⁷), ψ8 = 105/(32√π σ⁹).
+  const double sigma = 2.0;
+  const double sqrt_pi = std::sqrt(std::numbers::pi);
+  EXPECT_NEAR(NormalScalePsi(2, sigma), -1.0 / (4.0 * sqrt_pi * 8.0), 1e-12);
+  EXPECT_NEAR(NormalScalePsi(4, sigma), 3.0 / (8.0 * sqrt_pi * 32.0), 1e-12);
+  EXPECT_NEAR(NormalScalePsi(6, sigma), -15.0 / (16.0 * sqrt_pi * 128.0),
+              1e-12);
+  EXPECT_NEAR(NormalScalePsi(8, sigma), 105.0 / (32.0 * sqrt_pi * 512.0),
+              1e-12);
+}
+
+TEST(NormalScalePsiTest, SignsAlternate) {
+  for (double sigma : {0.5, 1.0, 3.0}) {
+    EXPECT_LT(NormalScalePsi(2, sigma), 0.0);
+    EXPECT_GT(NormalScalePsi(4, sigma), 0.0);
+    EXPECT_LT(NormalScalePsi(6, sigma), 0.0);
+    EXPECT_GT(NormalScalePsi(8, sigma), 0.0);
+  }
+}
+
+TEST(EstimatePsiFunctionalTest, RecoversGaussianPsi4) {
+  // On Gaussian data the estimated ψ4 = R(f'') should approach the analytic
+  // value 3/(8√π σ⁵).
+  const double sigma = 5.0;
+  const auto sample = GaussianSample(2000, 50.0, sigma, 1);
+  const double truth = NormalScalePsi(4, sigma);
+  // Use the AMSE-optimal pilot bandwidth for ψ4 given exact ψ6.
+  const double psi6 = NormalScalePsi(6, sigma);
+  const double phi4_at_0 = 3.0 / std::sqrt(2.0 * std::numbers::pi);
+  const double g =
+      std::pow(-2.0 * phi4_at_0 / (psi6 * 2000.0), 1.0 / 7.0);
+  const double estimate = EstimatePsiFunctional(sample, 4, g);
+  EXPECT_NEAR(estimate, truth, 0.25 * std::fabs(truth));
+}
+
+TEST(EstimatePsiFunctionalTest, RecoversGaussianPsi2) {
+  const double sigma = 5.0;
+  const auto sample = GaussianSample(2000, 50.0, sigma, 2);
+  const double truth = NormalScalePsi(2, sigma);
+  const double psi4 = NormalScalePsi(4, sigma);
+  const double phi2_at_0 = -1.0 / std::sqrt(2.0 * std::numbers::pi);
+  const double g = std::pow(-2.0 * phi2_at_0 / (psi4 * 2000.0), 0.2);
+  const double estimate = EstimatePsiFunctional(sample, 2, g);
+  EXPECT_NEAR(estimate, truth, 0.25 * std::fabs(truth));
+}
+
+TEST(DirectPlugInBandwidthTest, CloseToNormalScaleOnGaussianData) {
+  // The DPI rule generalizes the normal scale rule; on actually-Gaussian
+  // data the two should agree within sampling noise.
+  const auto sample = GaussianSample(2000, 50.0, 5.0, 3);
+  const double ns = NormalScaleBandwidth(sample, kDomain);
+  const double dpi = DirectPlugInBandwidth(sample, kDomain, Kernel(), 2);
+  EXPECT_GT(dpi, 0.0);
+  EXPECT_NEAR(dpi, ns, 0.35 * ns);
+}
+
+TEST(DirectPlugInBandwidthTest, AdaptsToBimodalData) {
+  // Two well-separated Gaussian modes: R(f'') is much larger than a single
+  // Gaussian with the same overall stddev, so DPI picks a smaller h than NS.
+  Rng rng(4);
+  std::vector<double> sample(2000);
+  for (double& x : sample) {
+    const double center = rng.NextDouble() < 0.5 ? 25.0 : 75.0;
+    x = center + 3.0 * rng.NextGaussian();
+  }
+  const double ns = NormalScaleBandwidth(sample, kDomain);
+  const double dpi = DirectPlugInBandwidth(sample, kDomain, Kernel(), 2);
+  EXPECT_LT(dpi, 0.6 * ns);
+}
+
+TEST(DirectPlugInBandwidthTest, StagesOneThroughThreeAllWork) {
+  const auto sample = GaussianSample(1000, 50.0, 5.0, 5);
+  for (int stages = 1; stages <= 3; ++stages) {
+    const double h = DirectPlugInBandwidth(sample, kDomain, Kernel(), stages);
+    EXPECT_GT(h, 0.0) << "stages=" << stages;
+    EXPECT_LT(h, kDomain.width()) << "stages=" << stages;
+  }
+}
+
+TEST(DirectPlugInBandwidthTest, FallsBackOnDegenerateData) {
+  const std::vector<double> sample(50, 7.0);
+  EXPECT_DOUBLE_EQ(DirectPlugInBandwidth(sample, kDomain),
+                   NormalScaleBandwidth(sample, kDomain));
+}
+
+TEST(DirectPlugInBinWidthTest, CloseToNormalScaleOnGaussianData) {
+  const auto sample = GaussianSample(2000, 50.0, 5.0, 6);
+  const double ns = NormalScaleBinWidth(sample, kDomain);
+  const double dpi = DirectPlugInBinWidth(sample, kDomain, 2);
+  EXPECT_GT(dpi, 0.0);
+  EXPECT_NEAR(dpi, ns, 0.35 * ns);
+}
+
+TEST(DirectPlugInBinWidthTest, AdaptsToBimodalData) {
+  Rng rng(7);
+  std::vector<double> sample(2000);
+  for (double& x : sample) {
+    const double center = rng.NextDouble() < 0.5 ? 25.0 : 75.0;
+    x = center + 3.0 * rng.NextGaussian();
+  }
+  // Bimodal: R(f') larger than the NS Gaussian guess → narrower bins.
+  EXPECT_LT(DirectPlugInBinWidth(sample, kDomain, 2),
+            NormalScaleBinWidth(sample, kDomain));
+}
+
+TEST(DirectPlugInNumBinsTest, AtLeastOneBin) {
+  const std::vector<double> sample(10, 5.0);
+  EXPECT_GE(DirectPlugInNumBins(sample, kDomain), 1);
+}
+
+TEST(DirectPlugInNumBinsTest, MoreBinsForMoreSamples) {
+  const auto small = GaussianSample(200, 50.0, 10.0, 8);
+  const auto large = GaussianSample(5000, 50.0, 10.0, 8);
+  EXPECT_GT(DirectPlugInNumBins(large, kDomain),
+            DirectPlugInNumBins(small, kDomain));
+}
+
+}  // namespace
+}  // namespace selest

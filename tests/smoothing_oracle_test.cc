@@ -1,0 +1,73 @@
+#include "src/smoothing/oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(OracleTest, FindsConvexMinimum) {
+  const auto objective = [](double h) { return (h - 3.0) * (h - 3.0); };
+  EXPECT_NEAR(FindOptimalSmoothing(objective, 0.1, 100.0), 3.0, 0.01);
+}
+
+TEST(OracleTest, FindsAmiseShapedMinimum) {
+  // The typical AMISE shape: c1/h + c2 h⁴, minimized at (c1/(4c2))^(1/5).
+  const auto objective = [](double h) {
+    return 2.0 / h + 0.5 * h * h * h * h;
+  };
+  const double expected = std::pow(2.0 / (4.0 * 0.5), 0.2);
+  EXPECT_NEAR(FindOptimalSmoothing(objective, 1e-3, 1e3), expected, 0.01);
+}
+
+TEST(OracleTest, WithoutRefinementUsesGridWinner) {
+  const auto objective = [](double h) { return std::fabs(h - 8.0); };
+  OracleSearchOptions options;
+  options.refine = false;
+  options.grid_steps = 200;
+  const double h = FindOptimalSmoothing(objective, 1.0, 64.0, options);
+  EXPECT_NEAR(h, 8.0, 0.5);
+}
+
+TEST(OracleTest, HandlesPlateaus) {
+  // Flat objective: any answer in range is acceptable; must not crash or
+  // leave the interval.
+  const auto objective = [](double) { return 1.0; };
+  const double h = FindOptimalSmoothing(objective, 0.5, 2.0);
+  EXPECT_GE(h, 0.5);
+  EXPECT_LE(h, 2.0);
+}
+
+TEST(OracleBinCountTest, FindsExactInteger) {
+  const auto objective = [](int k) {
+    return static_cast<double>((k - 17) * (k - 17));
+  };
+  EXPECT_EQ(FindOptimalBinCount(objective, 1, 200), 17);
+}
+
+TEST(OracleBinCountTest, SingleCandidate) {
+  const auto objective = [](int) { return 1.0; };
+  EXPECT_EQ(FindOptimalBinCount(objective, 5, 5), 5);
+}
+
+TEST(OracleBinCountTest, LargeRangeUsesGeometricStride) {
+  // Minimum at a large k: the geometric scan must still get close (within
+  // ~5% since strides grow by 5%).
+  const auto objective = [](int k) {
+    return std::fabs(static_cast<double>(k) - 1000.0);
+  };
+  const int best = FindOptimalBinCount(objective, 1, 4000);
+  EXPECT_NEAR(best, 1000, 55);
+}
+
+TEST(OracleBinCountTest, DenseScanBelow64) {
+  // Every k <= 64 is visited exactly, so small minima are found exactly.
+  const auto objective = [](int k) {
+    return k == 41 ? 0.0 : 1.0;
+  };
+  EXPECT_EQ(FindOptimalBinCount(objective, 1, 500), 41);
+}
+
+}  // namespace
+}  // namespace selest

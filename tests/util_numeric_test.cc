@@ -1,0 +1,79 @@
+#include "src/util/numeric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(SimpsonTest, ExactForCubics) {
+  const auto cubic = [](double x) { return 2.0 * x * x * x - x + 1.0; };
+  // ∫_0^2 (2x³ − x + 1) dx = 8 − 2 + 2 = 8.
+  EXPECT_NEAR(SimpsonIntegrate(cubic, 0.0, 2.0, 2), 8.0, 1e-12);
+}
+
+TEST(SimpsonTest, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(SimpsonIntegrate([](double) { return 5.0; }, 1.0, 1.0), 0.0);
+}
+
+TEST(SimpsonTest, RoundsOddIntervalCountUp) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(SimpsonIntegrate(f, 0.0, 1.0, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SimpsonTest, ConvergesOnSmoothFunction) {
+  const auto f = [](double x) { return std::exp(x); };
+  const double exact = std::exp(1.0) - 1.0;
+  EXPECT_NEAR(SimpsonIntegrate(f, 0.0, 1.0, 128), exact, 1e-10);
+}
+
+TEST(SimpsonTest, NegativeOrientation) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(SimpsonIntegrate(f, 1.0, 0.0, 16), -0.5, 1e-12);
+}
+
+TEST(AdaptiveSimpsonTest, MatchesAnalyticIntegral) {
+  const auto f = [](double x) { return std::sin(x); };
+  EXPECT_NEAR(AdaptiveSimpson(f, 0.0, M_PI), 2.0, 1e-9);
+}
+
+TEST(AdaptiveSimpsonTest, HandlesSharpPeak) {
+  // Narrow Gaussian bump: total mass 1.
+  const auto f = [](double x) {
+    const double s = 0.01;
+    return std::exp(-0.5 * x * x / (s * s)) / (s * std::sqrt(2.0 * M_PI));
+  };
+  EXPECT_NEAR(AdaptiveSimpson(f, -1.0, 1.0, 1e-10), 1.0, 1e-6);
+}
+
+TEST(AdaptiveSimpsonTest, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(AdaptiveSimpson([](double) { return 1.0; }, 2.0, 2.0), 0.0);
+}
+
+TEST(GoldenSectionTest, FindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 2.0) * (x - 2.0); };
+  EXPECT_NEAR(GoldenSectionMinimize(f, 0.0, 5.0, 1e-9), 2.0, 1e-6);
+}
+
+TEST(GoldenSectionTest, FindsEdgeMinimum) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(GoldenSectionMinimize(f, 1.0, 3.0, 1e-9), 1.0, 1e-5);
+}
+
+TEST(GridMinimizeTest, FindsRoughMinimumOfMultimodal) {
+  // Two dips; the deeper one is near x = 8.
+  const auto f = [](double x) {
+    return std::min((x - 1.0) * (x - 1.0) + 1.0, (x - 8.0) * (x - 8.0));
+  };
+  const double best = GridMinimize(f, 0.1, 20.0, 200);
+  EXPECT_NEAR(best, 8.0, 0.5);
+}
+
+TEST(GridMinimizeTest, IncludesEndpoints) {
+  const auto f = [](double x) { return -x; };  // minimum at hi
+  EXPECT_DOUBLE_EQ(GridMinimize(f, 1.0, 16.0, 5), 16.0);
+}
+
+}  // namespace
+}  // namespace selest

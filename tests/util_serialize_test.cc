@@ -1,0 +1,97 @@
+#include "src/util/serialize.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  ByteWriter writer;
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefull);
+  writer.WriteDouble(-3.25);
+  writer.WriteString("hello");
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_EQ(reader.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble().value(), -3.25);
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripSpecialDoubles) {
+  ByteWriter writer;
+  writer.WriteDouble(0.0);
+  writer.WriteDouble(-0.0);
+  writer.WriteDouble(std::numeric_limits<double>::infinity());
+  writer.WriteDouble(std::numeric_limits<double>::denorm_min());
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_EQ(reader.ReadDouble().value(), 0.0);
+  EXPECT_TRUE(std::signbit(reader.ReadDouble().value()));
+  EXPECT_TRUE(std::isinf(reader.ReadDouble().value()));
+  EXPECT_EQ(reader.ReadDouble().value(),
+            std::numeric_limits<double>::denorm_min());
+}
+
+TEST(SerializeTest, RoundTripVector) {
+  ByteWriter writer;
+  const std::vector<double> values{1.0, 2.5, -7.75, 1e300};
+  writer.WriteDoubleVector(values);
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_EQ(reader.ReadDoubleVector().value(), values);
+}
+
+TEST(SerializeTest, EmptyStringAndVector) {
+  ByteWriter writer;
+  writer.WriteString("");
+  writer.WriteDoubleVector({});
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_EQ(reader.ReadString().value(), "");
+  EXPECT_TRUE(reader.ReadDoubleVector().value().empty());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedInputFailsCleanly) {
+  ByteWriter writer;
+  writer.WriteU64(42);
+  std::vector<uint8_t> bytes = writer.TakeBytes();
+  bytes.pop_back();
+  ByteReader reader(std::move(bytes));
+  auto result = reader.ReadU64();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, CorruptVectorLengthRejectedBeforeAllocation) {
+  ByteWriter writer;
+  writer.WriteU64(std::numeric_limits<uint64_t>::max() / 16);  // absurd count
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_FALSE(reader.ReadDoubleVector().ok());
+}
+
+TEST(SerializeTest, StringWithEmbeddedNul) {
+  ByteWriter writer;
+  const std::string value{"a\0b", 3};
+  writer.WriteString(value);
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_EQ(reader.ReadString().value(), value);
+}
+
+TEST(SerializeTest, RemainingTracksConsumption) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ByteReader reader(writer.TakeBytes());
+  EXPECT_EQ(reader.remaining(), 8u);
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+  EXPECT_FALSE(reader.AtEnd());
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,131 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(StatsTest, MeanOfSingleValue) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 42.0);
+}
+
+TEST(StatsTest, SampleVarianceOfKnownValues) {
+  // Var of {2, 4, 4, 4, 5, 5, 7, 9} around mean 5: sum sq = 32, /7.
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, StddevIsSqrtOfVariance) {
+  const std::vector<double> v{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(SampleStddev(v), std::sqrt(SampleVariance(v)));
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 7.5);
+}
+
+TEST(StatsTest, QuantileSortedMatchesQuantile) {
+  const std::vector<double> sorted{1.0, 2.0, 5.0, 9.0};
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(QuantileSorted(sorted, q), Quantile(sorted, q));
+  }
+}
+
+TEST(StatsTest, InterquartileRangeOfUniformGrid) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  EXPECT_NEAR(InterquartileRange(v), 50.0, 1e-9);
+}
+
+TEST(StatsTest, NormalScaleSigmaOnGaussianDataNearSigma) {
+  Rng rng(5);
+  std::vector<double> v(20000);
+  for (double& x : v) x = 3.0 * rng.NextGaussian();
+  // Both the stddev and IQR/1.348 estimate sigma = 3; the min is close too.
+  EXPECT_NEAR(NormalScaleSigma(v), 3.0, 0.1);
+}
+
+TEST(StatsTest, NormalScaleSigmaZeroForConstantData) {
+  const std::vector<double> v{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(NormalScaleSigma(v), 0.0);
+}
+
+TEST(StatsTest, NormalScaleSigmaFallsBackToStddevWhenIqrCollapses) {
+  // 90% duplicates: IQR = 0 but stddev > 0.
+  std::vector<double> v(100, 1.0);
+  v[0] = 0.0;
+  v[99] = 2.0;
+  EXPECT_GT(NormalScaleSigma(v), 0.0);
+}
+
+TEST(StatsTest, NormalScaleSigmaTakesMinimum) {
+  // Heavy-tailed data: stddev inflated, IQR robust — min should be the IQR
+  // estimate.
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 10);
+  v.push_back(1e6);  // outlier
+  const double iqr_estimate = InterquartileRange(v) / 1.348;
+  EXPECT_DOUBLE_EQ(NormalScaleSigma(v), iqr_estimate);
+}
+
+TEST(StatsTest, SummarizeMatchesDirectComputation) {
+  const std::vector<double> v{4.0, -1.0, 7.5, 2.0};
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.mean, Mean(v));
+  EXPECT_NEAR(s.stddev, SampleStddev(v), 1e-12);
+}
+
+TEST(StatsTest, SummarizeEmptyIsZeroed) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, RunningStatMatchesBatch) {
+  const std::vector<double> v{1.5, -2.0, 8.0, 3.25, 0.0};
+  RunningStat stat;
+  for (double x : v) stat.Add(x);
+  EXPECT_EQ(stat.count(), v.size());
+  EXPECT_NEAR(stat.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(stat.variance(), SampleVariance(v), 1e-12);
+}
+
+TEST(StatsTest, RunningStatSingleValue) {
+  RunningStat stat;
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(StatsTest, RunningStatEmpty) {
+  const RunningStat stat;
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace selest
