@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ash_shifts.dir/bench_abl_ash_shifts.cc.o"
+  "CMakeFiles/bench_abl_ash_shifts.dir/bench_abl_ash_shifts.cc.o.d"
+  "bench_abl_ash_shifts"
+  "bench_abl_ash_shifts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ash_shifts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

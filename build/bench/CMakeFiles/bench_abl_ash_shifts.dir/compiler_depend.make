@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_ash_shifts.
+# This may be replaced when dependencies are built.

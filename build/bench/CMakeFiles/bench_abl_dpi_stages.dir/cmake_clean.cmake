@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dpi_stages.dir/bench_abl_dpi_stages.cc.o"
+  "CMakeFiles/bench_abl_dpi_stages.dir/bench_abl_dpi_stages.cc.o.d"
+  "bench_abl_dpi_stages"
+  "bench_abl_dpi_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dpi_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

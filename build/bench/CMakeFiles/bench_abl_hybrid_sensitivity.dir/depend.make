@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_hybrid_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_kernel_choice.dir/bench_abl_kernel_choice.cc.o"
+  "CMakeFiles/bench_abl_kernel_choice.dir/bench_abl_kernel_choice.cc.o.d"
+  "bench_abl_kernel_choice"
+  "bench_abl_kernel_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_kernel_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

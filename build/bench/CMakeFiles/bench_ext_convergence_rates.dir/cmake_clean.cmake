@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_convergence_rates.dir/bench_ext_convergence_rates.cc.o"
+  "CMakeFiles/bench_ext_convergence_rates.dir/bench_ext_convergence_rates.cc.o.d"
+  "bench_ext_convergence_rates"
+  "bench_ext_convergence_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_convergence_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_feedback_adaptation.dir/bench_ext_feedback_adaptation.cc.o"
+  "CMakeFiles/bench_ext_feedback_adaptation.dir/bench_ext_feedback_adaptation.cc.o.d"
+  "bench_ext_feedback_adaptation"
+  "bench_ext_feedback_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_feedback_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

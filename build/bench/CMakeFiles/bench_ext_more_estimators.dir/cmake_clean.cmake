@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_more_estimators.dir/bench_ext_more_estimators.cc.o"
+  "CMakeFiles/bench_ext_more_estimators.dir/bench_ext_more_estimators.cc.o.d"
+  "bench_ext_more_estimators"
+  "bench_ext_more_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_more_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

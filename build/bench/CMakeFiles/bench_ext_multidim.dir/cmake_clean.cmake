@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multidim.dir/bench_ext_multidim.cc.o"
+  "CMakeFiles/bench_ext_multidim.dir/bench_ext_multidim.cc.o.d"
+  "bench_ext_multidim"
+  "bench_ext_multidim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multidim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

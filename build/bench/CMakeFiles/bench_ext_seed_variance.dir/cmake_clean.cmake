@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_seed_variance.dir/bench_ext_seed_variance.cc.o"
+  "CMakeFiles/bench_ext_seed_variance.dir/bench_ext_seed_variance.cc.o.d"
+  "bench_ext_seed_variance"
+  "bench_ext_seed_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_seed_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_kde_anatomy.dir/bench_fig01_kde_anatomy.cc.o"
+  "CMakeFiles/bench_fig01_kde_anatomy.dir/bench_fig01_kde_anatomy.cc.o.d"
+  "bench_fig01_kde_anatomy"
+  "bench_fig01_kde_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_kde_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_domain_cardinality.dir/bench_fig05_domain_cardinality.cc.o"
+  "CMakeFiles/bench_fig05_domain_cardinality.dir/bench_fig05_domain_cardinality.cc.o.d"
+  "bench_fig05_domain_cardinality"
+  "bench_fig05_domain_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_domain_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_boundary_treatments.dir/bench_fig10_boundary_treatments.cc.o"
+  "CMakeFiles/bench_fig10_boundary_treatments.dir/bench_fig10_boundary_treatments.cc.o.d"
+  "bench_fig10_boundary_treatments"
+  "bench_fig10_boundary_treatments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_boundary_treatments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

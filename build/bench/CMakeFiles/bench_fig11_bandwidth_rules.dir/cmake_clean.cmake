@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bandwidth_rules.dir/bench_fig11_bandwidth_rules.cc.o"
+  "CMakeFiles/bench_fig11_bandwidth_rules.dir/bench_fig11_bandwidth_rules.cc.o.d"
+  "bench_fig11_bandwidth_rules"
+  "bench_fig11_bandwidth_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bandwidth_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_build.dir/bench_perf_build.cc.o"
+  "CMakeFiles/bench_perf_build.dir/bench_perf_build.cc.o.d"
+  "bench_perf_build"
+  "bench_perf_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

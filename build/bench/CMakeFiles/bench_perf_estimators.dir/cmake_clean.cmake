@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_estimators.dir/bench_perf_estimators.cc.o"
+  "CMakeFiles/bench_perf_estimators.dir/bench_perf_estimators.cc.o.d"
+  "bench_perf_estimators"
+  "bench_perf_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_datafiles.dir/bench_table2_datafiles.cc.o"
+  "CMakeFiles/bench_table2_datafiles.dir/bench_table2_datafiles.cc.o.d"
+  "bench_table2_datafiles"
+  "bench_table2_datafiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_datafiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

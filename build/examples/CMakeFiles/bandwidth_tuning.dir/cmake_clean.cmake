@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_tuning.dir/bandwidth_tuning.cpp.o"
+  "CMakeFiles/bandwidth_tuning.dir/bandwidth_tuning.cpp.o.d"
+  "bandwidth_tuning"
+  "bandwidth_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_persistence.dir/catalog_persistence.cpp.o"
+  "CMakeFiles/catalog_persistence.dir/catalog_persistence.cpp.o.d"
+  "catalog_persistence"
+  "catalog_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_catalog.dir/spatial_catalog.cpp.o"
+  "CMakeFiles/spatial_catalog.dir/spatial_catalog.cpp.o.d"
+  "spatial_catalog"
+  "spatial_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/statistics_catalog.cc" "src/CMakeFiles/selest.dir/catalog/statistics_catalog.cc.o" "gcc" "src/CMakeFiles/selest.dir/catalog/statistics_catalog.cc.o.d"
+  "/root/repo/src/data/census.cc" "src/CMakeFiles/selest.dir/data/census.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/census.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/selest.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/distribution.cc" "src/CMakeFiles/selest.dir/data/distribution.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/distribution.cc.o.d"
+  "/root/repo/src/data/domain.cc" "src/CMakeFiles/selest.dir/data/domain.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/domain.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/selest.dir/data/io.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/io.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/CMakeFiles/selest.dir/data/relation.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/relation.cc.o.d"
+  "/root/repo/src/data/spatial.cc" "src/CMakeFiles/selest.dir/data/spatial.cc.o" "gcc" "src/CMakeFiles/selest.dir/data/spatial.cc.o.d"
+  "/root/repo/src/density/boundary_kernel.cc" "src/CMakeFiles/selest.dir/density/boundary_kernel.cc.o" "gcc" "src/CMakeFiles/selest.dir/density/boundary_kernel.cc.o.d"
+  "/root/repo/src/density/histogram_density.cc" "src/CMakeFiles/selest.dir/density/histogram_density.cc.o" "gcc" "src/CMakeFiles/selest.dir/density/histogram_density.cc.o.d"
+  "/root/repo/src/density/kde.cc" "src/CMakeFiles/selest.dir/density/kde.cc.o" "gcc" "src/CMakeFiles/selest.dir/density/kde.cc.o.d"
+  "/root/repo/src/density/kernel.cc" "src/CMakeFiles/selest.dir/density/kernel.cc.o" "gcc" "src/CMakeFiles/selest.dir/density/kernel.cc.o.d"
+  "/root/repo/src/est/adaptive_kernel_estimator.cc" "src/CMakeFiles/selest.dir/est/adaptive_kernel_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/adaptive_kernel_estimator.cc.o.d"
+  "/root/repo/src/est/average_shifted_histogram.cc" "src/CMakeFiles/selest.dir/est/average_shifted_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/average_shifted_histogram.cc.o.d"
+  "/root/repo/src/est/change_point.cc" "src/CMakeFiles/selest.dir/est/change_point.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/change_point.cc.o.d"
+  "/root/repo/src/est/equi_depth_histogram.cc" "src/CMakeFiles/selest.dir/est/equi_depth_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/equi_depth_histogram.cc.o.d"
+  "/root/repo/src/est/equi_width_histogram.cc" "src/CMakeFiles/selest.dir/est/equi_width_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/equi_width_histogram.cc.o.d"
+  "/root/repo/src/est/estimator_factory.cc" "src/CMakeFiles/selest.dir/est/estimator_factory.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/estimator_factory.cc.o.d"
+  "/root/repo/src/est/hybrid_estimator.cc" "src/CMakeFiles/selest.dir/est/hybrid_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/hybrid_estimator.cc.o.d"
+  "/root/repo/src/est/kernel_estimator.cc" "src/CMakeFiles/selest.dir/est/kernel_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/kernel_estimator.cc.o.d"
+  "/root/repo/src/est/max_diff_histogram.cc" "src/CMakeFiles/selest.dir/est/max_diff_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/max_diff_histogram.cc.o.d"
+  "/root/repo/src/est/sampling_estimator.cc" "src/CMakeFiles/selest.dir/est/sampling_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/sampling_estimator.cc.o.d"
+  "/root/repo/src/est/selectivity_estimator.cc" "src/CMakeFiles/selest.dir/est/selectivity_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/selectivity_estimator.cc.o.d"
+  "/root/repo/src/est/uniform_estimator.cc" "src/CMakeFiles/selest.dir/est/uniform_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/uniform_estimator.cc.o.d"
+  "/root/repo/src/est/v_optimal_histogram.cc" "src/CMakeFiles/selest.dir/est/v_optimal_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/v_optimal_histogram.cc.o.d"
+  "/root/repo/src/est/wavelet_histogram.cc" "src/CMakeFiles/selest.dir/est/wavelet_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/wavelet_histogram.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/selest.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/selest.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/mise.cc" "src/CMakeFiles/selest.dir/eval/mise.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/mise.cc.o.d"
+  "/root/repo/src/eval/paper_data.cc" "src/CMakeFiles/selest.dir/eval/paper_data.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/paper_data.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/selest.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/report.cc.o.d"
+  "/root/repo/src/feedback/feedback_histogram.cc" "src/CMakeFiles/selest.dir/feedback/feedback_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/feedback/feedback_histogram.cc.o.d"
+  "/root/repo/src/multidim/basic2d.cc" "src/CMakeFiles/selest.dir/multidim/basic2d.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/basic2d.cc.o.d"
+  "/root/repo/src/multidim/dataset2d.cc" "src/CMakeFiles/selest.dir/multidim/dataset2d.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/dataset2d.cc.o.d"
+  "/root/repo/src/multidim/grid_histogram.cc" "src/CMakeFiles/selest.dir/multidim/grid_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/grid_histogram.cc.o.d"
+  "/root/repo/src/multidim/kernel2d.cc" "src/CMakeFiles/selest.dir/multidim/kernel2d.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/kernel2d.cc.o.d"
+  "/root/repo/src/multidim/workload2d.cc" "src/CMakeFiles/selest.dir/multidim/workload2d.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/workload2d.cc.o.d"
+  "/root/repo/src/online/online_estimator.cc" "src/CMakeFiles/selest.dir/online/online_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/online/online_estimator.cc.o.d"
+  "/root/repo/src/query/ground_truth.cc" "src/CMakeFiles/selest.dir/query/ground_truth.cc.o" "gcc" "src/CMakeFiles/selest.dir/query/ground_truth.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/CMakeFiles/selest.dir/query/workload.cc.o" "gcc" "src/CMakeFiles/selest.dir/query/workload.cc.o.d"
+  "/root/repo/src/sample/sampler.cc" "src/CMakeFiles/selest.dir/sample/sampler.cc.o" "gcc" "src/CMakeFiles/selest.dir/sample/sampler.cc.o.d"
+  "/root/repo/src/smoothing/amise.cc" "src/CMakeFiles/selest.dir/smoothing/amise.cc.o" "gcc" "src/CMakeFiles/selest.dir/smoothing/amise.cc.o.d"
+  "/root/repo/src/smoothing/direct_plug_in.cc" "src/CMakeFiles/selest.dir/smoothing/direct_plug_in.cc.o" "gcc" "src/CMakeFiles/selest.dir/smoothing/direct_plug_in.cc.o.d"
+  "/root/repo/src/smoothing/normal_scale.cc" "src/CMakeFiles/selest.dir/smoothing/normal_scale.cc.o" "gcc" "src/CMakeFiles/selest.dir/smoothing/normal_scale.cc.o.d"
+  "/root/repo/src/smoothing/oracle.cc" "src/CMakeFiles/selest.dir/smoothing/oracle.cc.o" "gcc" "src/CMakeFiles/selest.dir/smoothing/oracle.cc.o.d"
+  "/root/repo/src/util/check.cc" "src/CMakeFiles/selest.dir/util/check.cc.o" "gcc" "src/CMakeFiles/selest.dir/util/check.cc.o.d"
+  "/root/repo/src/util/numeric.cc" "src/CMakeFiles/selest.dir/util/numeric.cc.o" "gcc" "src/CMakeFiles/selest.dir/util/numeric.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/selest.dir/util/random.cc.o" "gcc" "src/CMakeFiles/selest.dir/util/random.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/CMakeFiles/selest.dir/util/serialize.cc.o" "gcc" "src/CMakeFiles/selest.dir/util/serialize.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/selest.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/selest.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/selest.dir/util/status.cc.o" "gcc" "src/CMakeFiles/selest.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

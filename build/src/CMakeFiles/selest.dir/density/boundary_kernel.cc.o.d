@@ -1,0 +1,4 @@
+src/CMakeFiles/selest.dir/density/boundary_kernel.cc.o: \
+ /root/repo/src/density/boundary_kernel.cc /usr/include/stdc-predef.h \
+ /root/repo/src/../src/density/boundary_kernel.h \
+ /root/repo/src/../src/util/check.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_census_test.dir/data_census_test.cc.o"
+  "CMakeFiles/data_census_test.dir/data_census_test.cc.o.d"
+  "data_census_test"
+  "data_census_test.pdb"
+  "data_census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

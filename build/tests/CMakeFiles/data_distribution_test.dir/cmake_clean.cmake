@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_distribution_test.dir/data_distribution_test.cc.o"
+  "CMakeFiles/data_distribution_test.dir/data_distribution_test.cc.o.d"
+  "data_distribution_test"
+  "data_distribution_test.pdb"
+  "data_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

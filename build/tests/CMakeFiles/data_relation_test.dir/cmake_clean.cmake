@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_relation_test.dir/data_relation_test.cc.o"
+  "CMakeFiles/data_relation_test.dir/data_relation_test.cc.o.d"
+  "data_relation_test"
+  "data_relation_test.pdb"
+  "data_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_spatial_test.dir/data_spatial_test.cc.o"
+  "CMakeFiles/data_spatial_test.dir/data_spatial_test.cc.o.d"
+  "data_spatial_test"
+  "data_spatial_test.pdb"
+  "data_spatial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_histogram_test.dir/density_histogram_test.cc.o"
+  "CMakeFiles/density_histogram_test.dir/density_histogram_test.cc.o.d"
+  "density_histogram_test"
+  "density_histogram_test.pdb"
+  "density_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

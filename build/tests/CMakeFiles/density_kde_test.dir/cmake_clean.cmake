@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_kde_test.dir/density_kde_test.cc.o"
+  "CMakeFiles/density_kde_test.dir/density_kde_test.cc.o.d"
+  "density_kde_test"
+  "density_kde_test.pdb"
+  "density_kde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_kde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

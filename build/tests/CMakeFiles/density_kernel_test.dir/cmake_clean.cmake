@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_kernel_test.dir/density_kernel_test.cc.o"
+  "CMakeFiles/density_kernel_test.dir/density_kernel_test.cc.o.d"
+  "density_kernel_test"
+  "density_kernel_test.pdb"
+  "density_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for density_kernel_test.
+# This may be replaced when dependencies are built.

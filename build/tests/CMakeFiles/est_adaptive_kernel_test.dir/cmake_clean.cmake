@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_adaptive_kernel_test.dir/est_adaptive_kernel_test.cc.o"
+  "CMakeFiles/est_adaptive_kernel_test.dir/est_adaptive_kernel_test.cc.o.d"
+  "est_adaptive_kernel_test"
+  "est_adaptive_kernel_test.pdb"
+  "est_adaptive_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_adaptive_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_ash_test.dir/est_ash_test.cc.o"
+  "CMakeFiles/est_ash_test.dir/est_ash_test.cc.o.d"
+  "est_ash_test"
+  "est_ash_test.pdb"
+  "est_ash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_ash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

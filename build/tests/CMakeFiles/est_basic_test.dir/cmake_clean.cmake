@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_basic_test.dir/est_basic_test.cc.o"
+  "CMakeFiles/est_basic_test.dir/est_basic_test.cc.o.d"
+  "est_basic_test"
+  "est_basic_test.pdb"
+  "est_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_change_point_test.dir/est_change_point_test.cc.o"
+  "CMakeFiles/est_change_point_test.dir/est_change_point_test.cc.o.d"
+  "est_change_point_test"
+  "est_change_point_test.pdb"
+  "est_change_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_change_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_equi_depth_test.dir/est_equi_depth_test.cc.o"
+  "CMakeFiles/est_equi_depth_test.dir/est_equi_depth_test.cc.o.d"
+  "est_equi_depth_test"
+  "est_equi_depth_test.pdb"
+  "est_equi_depth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_equi_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_factory_test.dir/est_factory_test.cc.o"
+  "CMakeFiles/est_factory_test.dir/est_factory_test.cc.o.d"
+  "est_factory_test"
+  "est_factory_test.pdb"
+  "est_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_hybrid_test.dir/est_hybrid_test.cc.o"
+  "CMakeFiles/est_hybrid_test.dir/est_hybrid_test.cc.o.d"
+  "est_hybrid_test"
+  "est_hybrid_test.pdb"
+  "est_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

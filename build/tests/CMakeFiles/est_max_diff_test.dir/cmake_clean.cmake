@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_max_diff_test.dir/est_max_diff_test.cc.o"
+  "CMakeFiles/est_max_diff_test.dir/est_max_diff_test.cc.o.d"
+  "est_max_diff_test"
+  "est_max_diff_test.pdb"
+  "est_max_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_max_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

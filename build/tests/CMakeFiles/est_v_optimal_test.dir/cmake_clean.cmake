@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_v_optimal_test.dir/est_v_optimal_test.cc.o"
+  "CMakeFiles/est_v_optimal_test.dir/est_v_optimal_test.cc.o.d"
+  "est_v_optimal_test"
+  "est_v_optimal_test.pdb"
+  "est_v_optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_v_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_wavelet_test.dir/est_wavelet_test.cc.o"
+  "CMakeFiles/est_wavelet_test.dir/est_wavelet_test.cc.o.d"
+  "est_wavelet_test"
+  "est_wavelet_test.pdb"
+  "est_wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_mise_test.dir/eval_mise_test.cc.o"
+  "CMakeFiles/eval_mise_test.dir/eval_mise_test.cc.o.d"
+  "eval_mise_test"
+  "eval_mise_test.pdb"
+  "eval_mise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_mise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_paper_data_test.dir/eval_paper_data_test.cc.o"
+  "CMakeFiles/eval_paper_data_test.dir/eval_paper_data_test.cc.o.d"
+  "eval_paper_data_test"
+  "eval_paper_data_test.pdb"
+  "eval_paper_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_paper_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

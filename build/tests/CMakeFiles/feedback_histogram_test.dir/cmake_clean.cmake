@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_histogram_test.dir/feedback_histogram_test.cc.o"
+  "CMakeFiles/feedback_histogram_test.dir/feedback_histogram_test.cc.o.d"
+  "feedback_histogram_test"
+  "feedback_histogram_test.pdb"
+  "feedback_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

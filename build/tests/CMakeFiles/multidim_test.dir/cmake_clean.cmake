@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_test.dir/multidim_test.cc.o"
+  "CMakeFiles/multidim_test.dir/multidim_test.cc.o.d"
+  "multidim_test"
+  "multidim_test.pdb"
+  "multidim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

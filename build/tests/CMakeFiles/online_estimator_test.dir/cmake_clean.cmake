@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_estimator_test.dir/online_estimator_test.cc.o"
+  "CMakeFiles/online_estimator_test.dir/online_estimator_test.cc.o.d"
+  "online_estimator_test"
+  "online_estimator_test.pdb"
+  "online_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

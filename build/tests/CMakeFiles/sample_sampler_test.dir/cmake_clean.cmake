@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_sampler_test.dir/sample_sampler_test.cc.o"
+  "CMakeFiles/sample_sampler_test.dir/sample_sampler_test.cc.o.d"
+  "sample_sampler_test"
+  "sample_sampler_test.pdb"
+  "sample_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_amise_test.dir/smoothing_amise_test.cc.o"
+  "CMakeFiles/smoothing_amise_test.dir/smoothing_amise_test.cc.o.d"
+  "smoothing_amise_test"
+  "smoothing_amise_test.pdb"
+  "smoothing_amise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_amise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

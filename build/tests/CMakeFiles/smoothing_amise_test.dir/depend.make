@@ -1,0 +1,2 @@
+# Empty dependencies file for smoothing_amise_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_direct_plug_in_test.dir/smoothing_direct_plug_in_test.cc.o"
+  "CMakeFiles/smoothing_direct_plug_in_test.dir/smoothing_direct_plug_in_test.cc.o.d"
+  "smoothing_direct_plug_in_test"
+  "smoothing_direct_plug_in_test.pdb"
+  "smoothing_direct_plug_in_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_direct_plug_in_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_normal_scale_test.dir/smoothing_normal_scale_test.cc.o"
+  "CMakeFiles/smoothing_normal_scale_test.dir/smoothing_normal_scale_test.cc.o.d"
+  "smoothing_normal_scale_test"
+  "smoothing_normal_scale_test.pdb"
+  "smoothing_normal_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_normal_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for smoothing_normal_scale_test.
+# This may be replaced when dependencies are built.

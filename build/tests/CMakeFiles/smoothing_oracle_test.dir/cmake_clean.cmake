@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_oracle_test.dir/smoothing_oracle_test.cc.o"
+  "CMakeFiles/smoothing_oracle_test.dir/smoothing_oracle_test.cc.o.d"
+  "smoothing_oracle_test"
+  "smoothing_oracle_test.pdb"
+  "smoothing_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

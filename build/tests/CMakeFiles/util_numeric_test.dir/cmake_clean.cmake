@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_numeric_test.dir/util_numeric_test.cc.o"
+  "CMakeFiles/util_numeric_test.dir/util_numeric_test.cc.o.d"
+  "util_numeric_test"
+  "util_numeric_test.pdb"
+  "util_numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

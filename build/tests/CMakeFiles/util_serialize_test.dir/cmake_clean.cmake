@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_serialize_test.dir/util_serialize_test.cc.o"
+  "CMakeFiles/util_serialize_test.dir/util_serialize_test.cc.o.d"
+  "util_serialize_test"
+  "util_serialize_test.pdb"
+  "util_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
