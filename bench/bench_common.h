@@ -9,10 +9,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/eval/experiment.h"
 #include "src/eval/paper_data.h"
+#include "src/eval/parallel_experiment.h"
 #include "src/eval/report.h"
 
 namespace selest {
@@ -40,6 +43,26 @@ inline double MustMre(const ExperimentSetup& setup,
     std::exit(1);
   }
   return report->mean_relative_error;
+}
+
+// Runs a whole config sweep through the parallel runner and returns the
+// MREs in config order, aborting on any build failure. Bit-identical to
+// calling MustMre per config, at any thread count.
+inline std::vector<double> MustMres(const ExperimentSetup& setup,
+                                    std::span<const EstimatorConfig> configs) {
+  std::vector<double> mres;
+  mres.reserve(configs.size());
+  const auto reports = RunConfigsParallel(setup, configs);
+  for (size_t c = 0; c < reports.size(); ++c) {
+    if (!reports[c].ok()) {
+      std::fprintf(stderr, "estimator %s failed: %s\n",
+                   EstimatorKindName(configs[c].kind),
+                   reports[c].status().ToString().c_str());
+      std::exit(1);
+    }
+    mres.push_back(reports[c]->mean_relative_error);
+  }
+  return mres;
 }
 
 inline void PrintHeader(const char* artifact, const char* claim) {

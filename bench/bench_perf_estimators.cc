@@ -1,15 +1,28 @@
-// Micro-benchmark: per-query estimation cost.
+// Micro-benchmark: per-query estimation cost, plus the Fig. 12 sweep
+// wall-clock across thread counts.
 //
 // §3.2 gives the kernel selectivity estimator a Θ(n) scan cost and notes
 // that a search-tree organization reduces it to O(log n + k). The sorted-
 // sample implementation realizes the latter; Algorithm 1 is the Θ(n)
 // literal transcription. Histograms cost O(log k + bins touched).
+//
+// BM_Fig12SweepWallClock tracks the parallel trajectory: its JSON output
+// (--benchmark_format=json) carries `threads`, `speedup_vs_serial`, and
+// `mre_bit_identical` counters so successive BENCH_*.json files record how
+// the parallel runner scales — and that parallelism never changed a
+// result.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/data/domain.h"
 #include "src/est/equi_width_histogram.h"
 #include "src/est/kernel_estimator.h"
 #include "src/est/sampling_estimator.h"
+#include "src/eval/paper_data.h"
+#include "src/eval/parallel_experiment.h"
 #include "src/smoothing/normal_scale.h"
 #include "src/util/random.h"
 
@@ -98,6 +111,139 @@ void BM_SamplingEstimator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SamplingEstimator)->Range(1 << 10, 1 << 20);
+
+// --- The Fig. 12 sweep across thread counts ---
+//
+// One full sweep = the four headline configs of Fig. 12 (equi-width h-NS,
+// kernel h-DPI2 with boundary kernels, hybrid, ASH-10) built from the
+// standard 2,000-record sample and scored on the 1,000-query file of one
+// headline data file — builds and evaluation both included, exactly what
+// RunConfigsParallel fans out.
+
+struct Fig12Workload {
+  Dataset data;
+  ExperimentSetup setup;
+  std::vector<EstimatorConfig> configs;
+
+  Fig12Workload(Dataset d, const ProtocolConfig& protocol) : data(std::move(d)) {
+    setup = MakeSetup(data, protocol);
+  }
+};
+
+const Fig12Workload& GetFig12Workload() {
+  static const Fig12Workload* workload = [] {
+    auto data = MakePaperDataset("n(20)");
+    if (!data.ok()) {
+      std::fprintf(stderr, "loading n(20) failed: %s\n",
+                   data.status().ToString().c_str());
+      std::exit(1);
+    }
+    ProtocolConfig protocol;
+    protocol.seed = 17;
+    auto* out = new Fig12Workload(std::move(data).value(), protocol);
+
+    EstimatorConfig ewh;
+    ewh.kind = EstimatorKind::kEquiWidth;
+    out->configs.push_back(ewh);
+    EstimatorConfig kernel;
+    kernel.kind = EstimatorKind::kKernel;
+    kernel.smoothing = SmoothingRule::kDirectPlugIn;
+    kernel.boundary = BoundaryPolicy::kBoundaryKernel;
+    out->configs.push_back(kernel);
+    EstimatorConfig hybrid;
+    hybrid.kind = EstimatorKind::kHybrid;
+    hybrid.boundary = BoundaryPolicy::kBoundaryKernel;
+    out->configs.push_back(hybrid);
+    EstimatorConfig ash;
+    ash.kind = EstimatorKind::kAverageShifted;
+    ash.ash_shifts = 10;
+    out->configs.push_back(ash);
+    return out;
+  }();
+  return *workload;
+}
+
+// Serial reference: per-sweep wall-clock and the per-config MREs every
+// parallel run must reproduce bit-identically.
+struct SerialBaseline {
+  double seconds_per_sweep = 0.0;
+  std::vector<double> mres;
+};
+
+const SerialBaseline& GetSerialBaseline() {
+  static const SerialBaseline* baseline = [] {
+    const Fig12Workload& workload = GetFig12Workload();
+    ParallelExecOptions serial;
+    serial.threads = 1;
+    // Warm-up run sorts the ground-truth cache and faults in the sample.
+    auto warm = RunConfigsParallel(workload.setup, workload.configs, serial);
+    auto* out = new SerialBaseline();
+    for (const auto& report : warm) {
+      if (!report.ok()) {
+        std::fprintf(stderr, "fig12 config failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      out->mres.push_back(report->mean_relative_error);
+    }
+    constexpr int kReps = 3;
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto reports =
+          RunConfigsParallel(workload.setup, workload.configs, serial);
+      benchmark::DoNotOptimize(reports);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out->seconds_per_sweep = elapsed.count() / kReps;
+    return out;
+  }();
+  return *baseline;
+}
+
+void BM_Fig12SweepWallClock(benchmark::State& state) {
+  const Fig12Workload& workload = GetFig12Workload();
+  const SerialBaseline& baseline = GetSerialBaseline();
+  ParallelExecOptions options;
+  options.threads = static_cast<size_t>(state.range(0));
+
+  double seconds = 0.0;
+  size_t iterations = 0;
+  bool identical = true;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto reports =
+        RunConfigsParallel(workload.setup, workload.configs, options);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    seconds += elapsed.count();
+    ++iterations;
+    for (size_t c = 0; c < reports.size(); ++c) {
+      // Exact comparison: the determinism contract is bit-identity.
+      if (!reports[c].ok() ||
+          reports[c]->mean_relative_error != baseline.mres[c]) {
+        identical = false;
+      }
+    }
+    benchmark::DoNotOptimize(reports);
+  }
+  if (!identical) {
+    state.SkipWithError("MRE diverged from the serial baseline");
+  }
+  state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["mre_bit_identical"] = identical ? 1.0 : 0.0;
+  state.counters["speedup_vs_serial"] =
+      iterations > 0 && seconds > 0.0
+          ? baseline.seconds_per_sweep / (seconds / iterations)
+          : 0.0;
+}
+BENCHMARK(BM_Fig12SweepWallClock)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace selest

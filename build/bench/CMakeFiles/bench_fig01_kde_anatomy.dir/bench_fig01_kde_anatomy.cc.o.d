@@ -119,6 +119,9 @@ bench/CMakeFiles/bench_fig01_kde_anatomy.dir/bench_fig01_kde_anatomy.cc.o: \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/../bench/bench_common.h /usr/include/c++/12/cstdlib \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -136,8 +139,6 @@ bench/CMakeFiles/bench_fig01_kde_anatomy.dir/bench_fig01_kde_anatomy.cc.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/ranges_base.h \
- /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
  /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cerrno \
  /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
@@ -156,14 +157,12 @@ bench/CMakeFiles/bench_fig01_kde_anatomy.dir/bench_fig01_kde_anatomy.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/../src/data/dataset.h /usr/include/c++/12/cstddef \
- /root/repo/src/../src/data/distribution.h /usr/include/c++/12/memory \
+ /root/repo/src/../src/data/dataset.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -235,18 +234,33 @@ bench/CMakeFiles/bench_fig01_kde_anatomy.dir/bench_fig01_kde_anatomy.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h /root/repo/src/../src/data/domain.h \
- /root/repo/src/../src/est/estimator_factory.h /usr/include/c++/12/span \
+ /root/repo/src/../src/est/estimator_factory.h \
  /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/est/selectivity_estimator.h \
- /root/repo/src/../src/query/range_query.h \
+ /root/repo/src/../src/exec/parallel_for.h \
+ /root/repo/src/../src/exec/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/query/ground_truth.h \
  /root/repo/src/../src/query/workload.h \
  /root/repo/src/../src/eval/paper_data.h \
+ /root/repo/src/../src/eval/parallel_experiment.h \
  /root/repo/src/../src/eval/report.h

@@ -123,8 +123,7 @@ examples/CMakeFiles/spatial_catalog.dir/spatial_catalog.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/../src/data/dataset.h \
- /root/repo/src/../src/data/distribution.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -198,7 +197,12 @@ examples/CMakeFiles/spatial_catalog.dir/spatial_catalog.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h /root/repo/src/../src/data/domain.h \
  /root/repo/src/../src/eval/experiment.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -219,7 +223,17 @@ examples/CMakeFiles/spatial_catalog.dir/spatial_catalog.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/est/selectivity_estimator.h \
- /root/repo/src/../src/query/range_query.h \
+ /root/repo/src/../src/exec/parallel_for.h \
+ /root/repo/src/../src/exec/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/query/ground_truth.h \
  /root/repo/src/../src/query/workload.h \

@@ -38,7 +38,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/selest.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/metrics.cc.o.d"
   "/root/repo/src/eval/mise.cc" "src/CMakeFiles/selest.dir/eval/mise.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/mise.cc.o.d"
   "/root/repo/src/eval/paper_data.cc" "src/CMakeFiles/selest.dir/eval/paper_data.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/paper_data.cc.o.d"
+  "/root/repo/src/eval/parallel_experiment.cc" "src/CMakeFiles/selest.dir/eval/parallel_experiment.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/parallel_experiment.cc.o.d"
   "/root/repo/src/eval/report.cc" "src/CMakeFiles/selest.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/report.cc.o.d"
+  "/root/repo/src/exec/parallel_for.cc" "src/CMakeFiles/selest.dir/exec/parallel_for.cc.o" "gcc" "src/CMakeFiles/selest.dir/exec/parallel_for.cc.o.d"
+  "/root/repo/src/exec/thread_pool.cc" "src/CMakeFiles/selest.dir/exec/thread_pool.cc.o" "gcc" "src/CMakeFiles/selest.dir/exec/thread_pool.cc.o.d"
   "/root/repo/src/feedback/feedback_histogram.cc" "src/CMakeFiles/selest.dir/feedback/feedback_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/feedback/feedback_histogram.cc.o.d"
   "/root/repo/src/multidim/basic2d.cc" "src/CMakeFiles/selest.dir/multidim/basic2d.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/basic2d.cc.o.d"
   "/root/repo/src/multidim/dataset2d.cc" "src/CMakeFiles/selest.dir/multidim/dataset2d.cc.o" "gcc" "src/CMakeFiles/selest.dir/multidim/dataset2d.cc.o.d"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_property_batch_test.dir/est_property_batch_test.cc.o"
+  "CMakeFiles/est_property_batch_test.dir/est_property_batch_test.cc.o.d"
+  "est_property_batch_test"
+  "est_property_batch_test.pdb"
+  "est_property_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_property_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_parallel_test.dir/exec_parallel_test.cc.o"
+  "CMakeFiles/exec_parallel_test.dir/exec_parallel_test.cc.o.d"
+  "exec_parallel_test"
+  "exec_parallel_test.pdb"
+  "exec_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

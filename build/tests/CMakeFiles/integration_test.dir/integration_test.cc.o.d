@@ -296,13 +296,26 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h \
  /root/repo/src/../src/eval/experiment.h \
- /root/repo/src/../src/data/dataset.h /root/repo/src/../src/data/domain.h \
+ /root/repo/src/../src/data/dataset.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/../src/data/domain.h \
  /root/repo/src/../src/est/estimator_factory.h /usr/include/c++/12/span \
  /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
  /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/est/selectivity_estimator.h \
- /root/repo/src/../src/query/range_query.h \
+ /root/repo/src/../src/exec/parallel_for.h \
+ /root/repo/src/../src/exec/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/eval/metrics.h \
  /root/repo/src/../src/query/ground_truth.h \
  /root/repo/src/../src/query/workload.h \

@@ -319,7 +319,9 @@ tests/CMakeFiles/multidim_test.dir/multidim_test.cc.o: \
  /root/repo/src/../src/multidim/estimator2d.h \
  /root/repo/src/../src/multidim/dataset2d.h \
  /root/repo/src/../src/data/domain.h /root/repo/src/../src/data/spatial.h \
- /root/repo/src/../src/data/dataset.h \
+ /root/repo/src/../src/data/dataset.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h /root/repo/src/../src/util/status.h \
  /root/repo/src/../src/util/check.h \

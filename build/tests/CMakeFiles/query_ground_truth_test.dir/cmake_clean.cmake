@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_ground_truth_test.dir/query_ground_truth_test.cc.o"
+  "CMakeFiles/query_ground_truth_test.dir/query_ground_truth_test.cc.o.d"
+  "query_ground_truth_test"
+  "query_ground_truth_test.pdb"
+  "query_ground_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,17 +9,40 @@ namespace selest {
 Dataset::Dataset(std::string name, Domain domain, std::vector<double> values)
     : name_(std::move(name)),
       domain_(domain),
-      values_(std::move(values)) {
+      values_(std::move(values)),
+      sorted_cache_(std::make_shared<SortedCache>()) {
   SELEST_CHECK(!values_.empty());
   for (double v : values_) SELEST_CHECK(domain_.Contains(v));
 }
 
-const std::vector<double>& Dataset::sorted_values() const {
-  if (sorted_.empty()) {
-    sorted_ = values_;
-    std::sort(sorted_.begin(), sorted_.end());
+Dataset::Dataset(Dataset&& other) noexcept
+    : name_(std::move(other.name_)),
+      domain_(other.domain_),
+      values_(std::move(other.values_)),
+      sorted_cache_(std::move(other.sorted_cache_)) {
+  other.values_.clear();
+  other.sorted_cache_ = std::make_shared<SortedCache>();
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    domain_ = other.domain_;
+    values_ = std::move(other.values_);
+    sorted_cache_ = std::move(other.sorted_cache_);
+    other.values_.clear();
+    other.sorted_cache_ = std::make_shared<SortedCache>();
   }
-  return sorted_;
+  return *this;
+}
+
+const std::vector<double>& Dataset::sorted_values() const {
+  SortedCache& cache = *sorted_cache_;
+  std::call_once(cache.once, [this, &cache] {
+    cache.values = values_;
+    std::sort(cache.values.begin(), cache.values.end());
+  });
+  return cache.values;
 }
 
 size_t Dataset::CountDistinct() const {

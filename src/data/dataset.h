@@ -3,6 +3,8 @@
 #define SELEST_DATA_DATASET_H_
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,7 +18,16 @@ namespace selest {
 // of the attribute, and the attribute values of all records.
 class Dataset {
  public:
+  // Requires a non-empty value vector with every value inside `domain`.
   Dataset(std::string name, Domain domain, std::vector<double> values);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  // A moved-from Dataset is a valid *empty* dataset (size() == 0): anything
+  // still holding a reference to it — e.g. a GroundTruth — sees zero
+  // records, which is why GroundTruth::Selectivity guards its division.
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
 
   const std::string& name() const { return name_; }
   const Domain& domain() const { return domain_; }
@@ -25,6 +36,8 @@ class Dataset {
 
   // Values sorted ascending; computed lazily on first use and cached.
   // The sorted view backs exact selectivity counts and equi-depth bins.
+  // Thread-safe: the cache fills under a std::call_once, so concurrent
+  // ground-truth lookups from the parallel experiment runner are safe.
   const std::vector<double>& sorted_values() const;
 
   // Number of distinct attribute values (computed from the sorted view).
@@ -34,10 +47,18 @@ class Dataset {
   size_t CountInRange(double a, double b) const;
 
  private:
+  // Lazily filled sorted cache. Heap-allocated so Dataset stays movable and
+  // copyable (a copy shares the cache, which is sound: the cache content is
+  // a pure function of values_, which the copy shares the value of).
+  struct SortedCache {
+    std::once_flag once;
+    std::vector<double> values;
+  };
+
   std::string name_;
   Domain domain_;
   std::vector<double> values_;
-  mutable std::vector<double> sorted_;  // lazily filled cache
+  std::shared_ptr<SortedCache> sorted_cache_;
 };
 
 // Draws `count` records from `distribution`, quantizes them to the domain's

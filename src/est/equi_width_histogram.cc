@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/util/check.h"
+
 namespace selest {
 
 StatusOr<EquiWidthHistogram> EquiWidthHistogram::Create(
@@ -34,6 +36,13 @@ StatusOr<EquiWidthHistogram> EquiWidthHistogram::Create(
 
 double EquiWidthHistogram::EstimateSelectivity(double a, double b) const {
   return bins_.Selectivity(a, b);
+}
+
+void EquiWidthHistogram::EstimateSelectivityBatch(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  SELEST_CHECK_EQ(queries.size(), out.size());
+  BatchWith(queries, out,
+            [this](const RangeQuery& q) { return bins_.Selectivity(q.a, q.b); });
 }
 
 std::string EquiWidthHistogram::name() const {

@@ -126,6 +126,14 @@ double HybridEstimator::EstimateSelectivity(double a, double b) const {
   return std::clamp(total, 0.0, 1.0);
 }
 
+void HybridEstimator::EstimateSelectivityBatch(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  SELEST_CHECK_EQ(queries.size(), out.size());
+  BatchWith(queries, out, [this](const RangeQuery& q) {
+    return HybridEstimator::EstimateSelectivity(q.a, q.b);
+  });
+}
+
 size_t HybridEstimator::StorageBytes() const {
   size_t total = sizeof(double) * partition_.size();
   for (const Cell& cell : cells_) total += cell.estimator.StorageBytes();

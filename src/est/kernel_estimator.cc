@@ -175,6 +175,14 @@ double KernelEstimator::EstimateSelectivity(double a, double b) const {
   return std::clamp(total, 0.0, 1.0);
 }
 
+void KernelEstimator::EstimateSelectivityBatch(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  SELEST_CHECK_EQ(queries.size(), out.size());
+  BatchWith(queries, out, [this](const RangeQuery& q) {
+    return KernelEstimator::EstimateSelectivity(q.a, q.b);
+  });
+}
+
 double KernelEstimator::EstimateSelectivityAlgorithm1(double a,
                                                       double b) const {
   SELEST_CHECK(options_.boundary == BoundaryPolicy::kNone);

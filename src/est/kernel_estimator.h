@@ -50,6 +50,8 @@ class KernelEstimator : public SelectivityEstimator {
 
   // O(log n + k) estimate; the query is clamped to the domain first.
   double EstimateSelectivity(double a, double b) const override;
+  void EstimateSelectivityBatch(std::span<const RangeQuery> queries,
+                                std::span<double> out) const override;
 
   // Literal transcription of the paper's Algorithm 1: a Θ(n) scan with the
   // four-way case split. Requires b − a >= 2h (as the algorithm's interval

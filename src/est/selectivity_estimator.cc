@@ -1,4 +1,15 @@
 #include "src/est/selectivity_estimator.h"
 
-// Interface-only translation unit; anchors the vtable-less base in the
-// library.
+#include "src/util/check.h"
+
+namespace selest {
+
+void SelectivityEstimator::EstimateSelectivityBatch(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  SELEST_CHECK_EQ(queries.size(), out.size());
+  BatchWith(queries, out, [this](const RangeQuery& q) {
+    return EstimateSelectivity(q.a, q.b);
+  });
+}
+
+}  // namespace selest

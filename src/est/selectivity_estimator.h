@@ -3,12 +3,22 @@
 // A selectivity estimator approximates the distribution selectivity
 // σ(a, b) = P(a <= A <= b) of a range query from a sample of the relation.
 // The instance result size is estimated as N · σ̂(a, b).
+//
+// Thread-safety contract: after construction, every const member — in
+// particular EstimateSelectivity and EstimateSelectivityBatch — must be
+// safe to call concurrently from multiple threads. Implementations must
+// not hide mutable caches or lazy initialization behind const methods;
+// the parallel experiment runner (eval/parallel_experiment.h) calls into
+// one estimator instance from many threads at once, and the tsan CMake
+// preset exists to enforce this.
 #ifndef SELEST_EST_SELECTIVITY_ESTIMATOR_H_
 #define SELEST_EST_SELECTIVITY_ESTIMATOR_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 
+#include "src/exec/parallel_for.h"
 #include "src/query/range_query.h"
 
 namespace selest {
@@ -24,6 +34,14 @@ class SelectivityEstimator {
     return EstimateSelectivity(q.a, q.b);
   }
 
+  // Estimates every query into `out` (same size as `queries`). Each out[i]
+  // is exactly the value EstimateSelectivity(queries[i]) returns — batching
+  // changes the evaluation cost, never the result. The default fans query
+  // chunks across the shared thread pool (serially when already on a pool
+  // worker); hot estimators override it with a devirtualized inner loop.
+  virtual void EstimateSelectivityBatch(std::span<const RangeQuery> queries,
+                                        std::span<double> out) const;
+
   // Estimated result size for a relation of `num_records` records.
   double EstimateResultSize(const RangeQuery& q, size_t num_records) const {
     return EstimateSelectivity(q) * static_cast<double>(num_records);
@@ -35,6 +53,25 @@ class SelectivityEstimator {
 
   // Short human-readable name, e.g. "equi-width(20)".
   virtual std::string name() const = 0;
+
+ protected:
+  // Shared body for EstimateSelectivityBatch overrides: fans chunks across
+  // the shared pool and runs `per_query(query) -> double` over each chunk.
+  // Overrides pass a lambda that calls their concrete EstimateSelectivity
+  // qualified, so the inner loop is a direct (inlinable) call instead of a
+  // per-query virtual dispatch.
+  template <typename PerQuery>
+  static void BatchWith(std::span<const RangeQuery> queries,
+                        std::span<double> out, PerQuery&& per_query) {
+    ThreadPool& pool = ThreadPool::Default();
+    ParallelFor(&pool, queries.size(), 4 * pool.num_threads(),
+                [&queries, &out, &per_query](size_t begin, size_t end,
+                                             size_t /*chunk*/) {
+                  for (size_t i = begin; i < end; ++i) {
+                    out[i] = per_query(queries[i]);
+                  }
+                });
+  }
 };
 
 }  // namespace selest

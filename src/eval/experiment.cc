@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "src/eval/parallel_experiment.h"
 #include "src/sample/sampler.h"
 #include "src/util/check.h"
 
@@ -26,11 +27,11 @@ ExperimentSetup MakeSetup(const Dataset& data,
 
 StatusOr<ErrorReport> RunConfig(const ExperimentSetup& setup,
                                 const EstimatorConfig& config) {
-  SELEST_CHECK(setup.data != nullptr);
-  auto estimator = BuildEstimator(setup.sample, setup.domain(), config);
-  if (!estimator.ok()) return estimator.status();
-  const GroundTruth truth(*setup.data);
-  return Evaluate(*estimator.value(), setup.queries, truth);
+  // The parallel path is bit-identical to the serial one at any thread
+  // count (fixed-order reduction; see eval/parallel_experiment.h), so the
+  // default runner — and with it the oracle objectives below — always goes
+  // through it. ParallelExecOptions{.threads = 1} is the serial fallback.
+  return RunConfigParallel(setup, config, ParallelExecOptions{});
 }
 
 std::function<double(int)> MakeBinCountObjective(const ExperimentSetup& setup,

@@ -41,7 +41,10 @@ struct ProtocolConfig {
 ExperimentSetup MakeSetup(const Dataset& data, const ProtocolConfig& protocol);
 
 // Builds the configured estimator from the setup's sample and evaluates it
-// on the setup's queries.
+// on the setup's queries. Evaluation fans out across the shared thread
+// pool; the result is bit-identical to a serial evaluation (see
+// eval/parallel_experiment.h for the determinism contract and for the
+// batch/sweep entry points with explicit thread control).
 StatusOr<ErrorReport> RunConfig(const ExperimentSetup& setup,
                                 const EstimatorConfig& config);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/check.h"
 #include "src/util/stats.h"
 
 namespace selest {
@@ -10,19 +11,32 @@ namespace selest {
 ErrorReport Evaluate(const SelectivityEstimator& estimator,
                      std::span<const RangeQuery> queries,
                      const GroundTruth& truth) {
+  std::vector<size_t> exact_counts(queries.size());
+  std::vector<double> estimates(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    exact_counts[i] = truth.Count(queries[i]);
+    estimates[i] = estimator.EstimateSelectivity(queries[i]);
+  }
+  return AccumulateReport(exact_counts, estimates, truth.num_records());
+}
+
+ErrorReport AccumulateReport(std::span<const size_t> exact_counts,
+                             std::span<const double> estimated_selectivities,
+                             size_t num_records) {
+  SELEST_CHECK_EQ(exact_counts.size(), estimated_selectivities.size());
   ErrorReport report;
   double sum_relative = 0.0;
   double sum_absolute = 0.0;
   std::vector<double> relative_errors;
-  relative_errors.reserve(queries.size());
-  const double n = static_cast<double>(truth.num_records());
-  for (const RangeQuery& query : queries) {
-    const size_t exact = truth.Count(query);
+  relative_errors.reserve(exact_counts.size());
+  const double n = static_cast<double>(num_records);
+  for (size_t i = 0; i < exact_counts.size(); ++i) {
+    const size_t exact = exact_counts[i];
     if (exact == 0) {
       ++report.skipped_empty;
       continue;
     }
-    const double estimate = estimator.EstimateSelectivity(query) * n;
+    const double estimate = estimated_selectivities[i] * n;
     const double absolute = std::fabs(estimate - static_cast<double>(exact));
     const double relative = absolute / static_cast<double>(exact);
     sum_relative += relative;

@@ -42,6 +42,16 @@ ErrorReport Evaluate(const SelectivityEstimator& estimator,
                      std::span<const RangeQuery> queries,
                      const GroundTruth& truth);
 
+// The fixed-order reduction shared by the serial and parallel evaluation
+// paths: folds per-query exact counts and estimated selectivities into an
+// ErrorReport by one serial pass in query order. Because every per-query
+// quantity is computed independently of its neighbors, computing the two
+// arrays with any degree of parallelism and then reducing here yields a
+// report bit-identical to the fully serial path.
+ErrorReport AccumulateReport(std::span<const size_t> exact_counts,
+                             std::span<const double> estimated_selectivities,
+                             size_t num_records);
+
 // One point of the Fig. 3 / Fig. 10 curves.
 struct PositionalError {
   double position = 0.0;        // query center

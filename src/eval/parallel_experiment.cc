@@ -1,0 +1,144 @@
+#include "src/eval/parallel_experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/exec/parallel_for.h"
+#include "src/util/check.h"
+
+namespace selest {
+namespace {
+
+// Resolves the options to a pool: the shared default pool, a dedicated
+// transient pool kept alive by `owned`, or nullptr for the serial path.
+ThreadPool* ResolvePool(const ParallelExecOptions& options,
+                        std::unique_ptr<ThreadPool>& owned) {
+  if (options.threads == 1) return nullptr;
+  if (options.threads == 0) return &ThreadPool::Default();
+  owned = std::make_unique<ThreadPool>(options.threads);
+  return owned.get();
+}
+
+size_t NumChunks(const ThreadPool& pool, const ParallelExecOptions& options) {
+  return pool.num_threads() * std::max<size_t>(1, options.chunks_per_thread);
+}
+
+}  // namespace
+
+ErrorReport EvaluateParallel(const SelectivityEstimator& estimator,
+                             std::span<const RangeQuery> queries,
+                             const GroundTruth& truth,
+                             const ParallelExecOptions& options) {
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ResolvePool(options, owned);
+  if (pool == nullptr) return Evaluate(estimator, queries, truth);
+
+  std::vector<size_t> exact_counts(queries.size());
+  std::vector<double> estimates(queries.size());
+  ParallelFor(pool, queries.size(), NumChunks(*pool, options),
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  exact_counts[i] = truth.Count(queries[i]);
+                }
+                estimator.EstimateSelectivityBatch(
+                    queries.subspan(begin, end - begin),
+                    std::span<double>(estimates).subspan(begin, end - begin));
+              });
+  return AccumulateReport(exact_counts, estimates, truth.num_records());
+}
+
+StatusOr<ErrorReport> RunConfigParallel(const ExperimentSetup& setup,
+                                        const EstimatorConfig& config,
+                                        const ParallelExecOptions& options) {
+  SELEST_CHECK(setup.data != nullptr);
+  auto estimator = BuildEstimator(setup.sample, setup.domain(), config);
+  if (!estimator.ok()) return estimator.status();
+  const GroundTruth truth(*setup.data);
+  return EvaluateParallel(*estimator.value(), setup.queries, truth, options);
+}
+
+std::vector<StatusOr<ErrorReport>> RunConfigsParallel(
+    const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
+    const ParallelExecOptions& options) {
+  SELEST_CHECK(setup.data != nullptr);
+  std::vector<StatusOr<ErrorReport>> results;
+  results.reserve(configs.size());
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ResolvePool(options, owned);
+  if (pool == nullptr) {
+    for (const EstimatorConfig& config : configs) {
+      results.push_back(RunConfigParallel(setup, config, options));
+    }
+    return results;
+  }
+
+  const GroundTruth truth(*setup.data);
+  const std::span<const RangeQuery> queries(setup.queries);
+
+  // Phase 1 — shared inputs, each parallel on its own axis: the exact
+  // counts (identical for every config, so computed once) over query
+  // chunks, then the estimator builds over configs.
+  std::vector<size_t> exact_counts(queries.size());
+  ParallelFor(pool, queries.size(), NumChunks(*pool, options),
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  exact_counts[i] = truth.Count(queries[i]);
+                }
+              });
+
+  using BuildResult = StatusOr<std::unique_ptr<SelectivityEstimator>>;
+  std::vector<std::optional<BuildResult>> built(configs.size());
+  ParallelFor(pool, configs.size(), configs.size(),
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t c = begin; c < end; ++c) {
+                  built[c].emplace(
+                      BuildEstimator(setup.sample, setup.domain(), configs[c]));
+                }
+              });
+
+  // Phase 2 — the (config × query chunk) fan-out. Each task fills its own
+  // slice of its config's estimate array; no two tasks share output slots.
+  struct EstimationTask {
+    size_t config;
+    size_t begin;
+    size_t end;
+  };
+  const auto query_chunks =
+      SplitRange(queries.size(), NumChunks(*pool, options));
+  std::vector<EstimationTask> tasks;
+  std::vector<std::vector<double>> estimates(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    if (!built[c]->ok()) continue;
+    estimates[c].resize(queries.size());
+    for (const auto& [begin, end] : query_chunks) {
+      tasks.push_back({c, begin, end});
+    }
+  }
+  ParallelFor(pool, tasks.size(), tasks.size(),
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t t = begin; t < end; ++t) {
+                  const EstimationTask& task = tasks[t];
+                  const SelectivityEstimator& est = *built[task.config]->value();
+                  est.EstimateSelectivityBatch(
+                      queries.subspan(task.begin, task.end - task.begin),
+                      std::span<double>(estimates[task.config])
+                          .subspan(task.begin, task.end - task.begin));
+                }
+              });
+
+  // Phase 3 — fixed-order reduction, serial and in config order.
+  for (size_t c = 0; c < configs.size(); ++c) {
+    if (!built[c]->ok()) {
+      results.push_back(built[c]->status());
+      continue;
+    }
+    results.push_back(
+        AccumulateReport(exact_counts, estimates[c], truth.num_records()));
+  }
+  return results;
+}
+
+}  // namespace selest

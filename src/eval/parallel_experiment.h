@@ -1,0 +1,61 @@
+// Parallel batch evaluation of experiment configurations.
+//
+// The paper's evaluation (§5) is an embarrassingly parallel sweep:
+// thousands of range queries scored against many estimator configurations
+// per data file. This runner fans that sweep out across (estimator config ×
+// query chunk) tasks on a shared thread pool, with a determinism contract:
+//
+//   * per-query quantities (exact count, estimated selectivity) are
+//     computed independently, each exactly as the serial path computes it;
+//   * every floating-point reduction happens after the fan-out in a fixed
+//     serial order (AccumulateReport, in query order).
+//
+// Reports are therefore bit-identical to the serial RunConfig/Evaluate path
+// at any thread count. See DESIGN.md, "Execution layer".
+#ifndef SELEST_EVAL_PARALLEL_EXPERIMENT_H_
+#define SELEST_EVAL_PARALLEL_EXPERIMENT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/eval/experiment.h"
+#include "src/eval/metrics.h"
+#include "src/exec/thread_pool.h"
+
+namespace selest {
+
+struct ParallelExecOptions {
+  // 0 → the shared default pool (ThreadPool::DefaultThreadCount() workers);
+  // 1 → fully serial, no pool involvement (the serial fallback);
+  // N → a dedicated pool of N workers for this call (used by the
+  //     determinism tests and the speedup benchmark).
+  size_t threads = 0;
+  // Query chunks per worker; more chunks even out per-chunk cost skew
+  // without affecting results (chunk boundaries never change values).
+  size_t chunks_per_thread = 4;
+};
+
+// Evaluate() with query chunks fanned across the pool. Bit-identical to
+// Evaluate() on the same inputs.
+ErrorReport EvaluateParallel(const SelectivityEstimator& estimator,
+                             std::span<const RangeQuery> queries,
+                             const GroundTruth& truth,
+                             const ParallelExecOptions& options = {});
+
+// RunConfig() with parallel evaluation: builds the estimator, then scores
+// the setup's queries via EvaluateParallel.
+StatusOr<ErrorReport> RunConfigParallel(const ExperimentSetup& setup,
+                                        const EstimatorConfig& config,
+                                        const ParallelExecOptions& options = {});
+
+// Runs a whole sweep: exact counts are computed once, estimators are built
+// in parallel across configs, and estimation fans out over every
+// (config, query chunk) pair. Results are returned in config order and are
+// bit-identical to calling RunConfig on each config serially.
+std::vector<StatusOr<ErrorReport>> RunConfigsParallel(
+    const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
+    const ParallelExecOptions& options = {});
+
+}  // namespace selest
+
+#endif  // SELEST_EVAL_PARALLEL_EXPERIMENT_H_

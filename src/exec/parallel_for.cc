@@ -1,0 +1,102 @@
+#include "src/exec/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace selest {
+
+std::vector<std::pair<size_t, size_t>> SplitRange(size_t n, size_t num_chunks) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (n == 0) return chunks;
+  num_chunks = std::clamp<size_t>(num_chunks, 1, n);
+  chunks.reserve(num_chunks);
+  const size_t base = n / num_chunks;
+  const size_t remainder = n % num_chunks;
+  size_t begin = 0;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    const size_t size = base + (i < remainder ? 1 : 0);
+    chunks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return chunks;
+}
+
+namespace {
+
+// True while the calling (non-worker) thread is executing its own chunk of
+// an active fan-out. Nested ParallelFor calls from such a context run
+// serially, exactly like calls from worker threads: one fan-out at a time
+// is the policy, nested parallelism never multiplies.
+thread_local bool t_in_parallel_region = false;
+
+// Completion latch for one fan-out. Each chunk decrements once; the caller
+// blocks until the count reaches zero.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t num_chunks,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  const auto chunks = SplitRange(n, num_chunks);
+  if (chunks.empty()) return;
+
+  const bool serial = pool == nullptr || chunks.size() == 1 ||
+                      ThreadPool::InWorkerThread() || t_in_parallel_region;
+  if (serial) {
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      body(chunks[i].first, chunks[i].second, i);
+    }
+    return;
+  }
+
+  // One exception slot per chunk so the rethrow choice is deterministic
+  // (lowest chunk index), not a race between throwing chunks.
+  std::vector<std::exception_ptr> errors(chunks.size());
+  Latch latch(chunks.size());
+  auto run_chunk = [&](size_t i) {
+    try {
+      body(chunks[i].first, chunks[i].second, i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+    latch.CountDown();
+  };
+
+  // The calling thread takes chunk 0 while the workers drain the rest:
+  // with a single-worker pool this still overlaps caller and worker, and a
+  // caller-side chunk guarantees progress even if every worker is busy.
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    pool->Schedule([&run_chunk, i] { run_chunk(i); });
+  }
+  t_in_parallel_region = true;
+  run_chunk(0);
+  t_in_parallel_region = false;
+  latch.Wait();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace selest

@@ -23,8 +23,12 @@ class GroundTruth {
     return data_.CountInRange(q.a, q.b);
   }
 
-  // Instance selectivity: Count / N.
+  // Instance selectivity: Count / N. An empty dataset (N = 0, reachable
+  // when the referenced Dataset was moved from) has no records in any
+  // range, so the selectivity is 0 — not the NaN the unguarded division
+  // would produce.
   double Selectivity(const RangeQuery& q) const {
+    if (data_.size() == 0) return 0.0;
     return static_cast<double>(Count(q)) / static_cast<double>(data_.size());
   }
 

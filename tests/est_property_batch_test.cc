@@ -1,0 +1,183 @@
+// Property/metamorphic suite over every factory-constructible estimator:
+//
+//   * σ̂(a, b) ∈ [0, 1] for arbitrary queries;
+//   * σ̂(a, b) is non-decreasing in b (monotonicity);
+//   * σ̂(a, m) + σ̂(m, b) ≈ σ̂(a, b) for histogram estimators (additivity
+//     of the bin-mass integral);
+//   * EstimateSelectivityBatch ≡ per-query EstimateSelectivity,
+//     element-wise and exactly (the batch API's core contract).
+#include "src/est/estimator_factory.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 100.0);
+
+std::vector<double> MixtureSample(size_t n, uint64_t seed) {
+  // Two humps plus a uniform floor: enough structure that histograms have
+  // uneven bins and kernels have boundary mass, without leaving any region
+  // of the domain empty.
+  Rng rng(seed);
+  std::vector<double> sample;
+  sample.reserve(n);
+  while (sample.size() < n) {
+    const double u = rng.NextDouble();
+    double x;
+    if (u < 0.4) {
+      x = 25.0 + 8.0 * (rng.NextDouble() + rng.NextDouble() - 1.0);
+    } else if (u < 0.8) {
+      x = 70.0 + 5.0 * (rng.NextDouble() + rng.NextDouble() - 1.0);
+    } else {
+      x = 100.0 * rng.NextDouble();
+    }
+    if (x >= kDomain.lo && x <= kDomain.hi) sample.push_back(x);
+  }
+  return sample;
+}
+
+std::vector<RangeQuery> RandomQueries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RangeQuery> queries(n);
+  for (RangeQuery& q : queries) {
+    const double x = kDomain.lo + kDomain.width() * rng.NextDouble();
+    const double y = kDomain.lo + kDomain.width() * rng.NextDouble();
+    q = {std::min(x, y), std::max(x, y)};
+  }
+  return queries;
+}
+
+const EstimatorKind kAllKinds[] = {
+    EstimatorKind::kSampling,   EstimatorKind::kUniform,
+    EstimatorKind::kEquiWidth,  EstimatorKind::kEquiDepth,
+    EstimatorKind::kMaxDiff,    EstimatorKind::kAverageShifted,
+    EstimatorKind::kKernel,     EstimatorKind::kHybrid,
+    EstimatorKind::kVOptimal,   EstimatorKind::kAdaptiveKernel,
+    EstimatorKind::kWavelet,
+};
+
+// The estimators whose estimate is the integral of a piecewise density
+// over the query range, for which σ̂ is exactly additive over adjacent
+// ranges (up to floating-point association).
+bool IsHistogramKind(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kUniform:
+    case EstimatorKind::kEquiWidth:
+    case EstimatorKind::kEquiDepth:
+    case EstimatorKind::kMaxDiff:
+    case EstimatorKind::kAverageShifted:
+    case EstimatorKind::kVOptimal:
+    case EstimatorKind::kWavelet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::unique_ptr<SelectivityEstimator> Build(EstimatorKind kind) {
+  static const std::vector<double>* sample =
+      new std::vector<double>(MixtureSample(1500, 99));
+  EstimatorConfig config;
+  config.kind = kind;
+  auto est = BuildEstimator(*sample, kDomain, config);
+  if (!est.ok()) {
+    ADD_FAILURE() << EstimatorKindName(kind)
+                  << " failed to build: " << est.status().ToString();
+    return nullptr;
+  }
+  return std::move(est).value();
+}
+
+class EstimatorPropertyTest : public ::testing::TestWithParam<EstimatorKind> {};
+
+TEST_P(EstimatorPropertyTest, SelectivityStaysInUnitInterval) {
+  const auto est = Build(GetParam());
+  ASSERT_NE(est, nullptr);
+  for (const RangeQuery& q : RandomQueries(300, 1)) {
+    const double s = est->EstimateSelectivity(q.a, q.b);
+    EXPECT_GE(s, 0.0) << est->name() << " on [" << q.a << ", " << q.b << "]";
+    EXPECT_LE(s, 1.0) << est->name() << " on [" << q.a << ", " << q.b << "]";
+  }
+}
+
+TEST_P(EstimatorPropertyTest, MonotoneInUpperBound) {
+  const auto est = Build(GetParam());
+  ASSERT_NE(est, nullptr);
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double a = kDomain.lo + 0.5 * kDomain.width() * rng.NextDouble();
+    double b = a;
+    double previous = est->EstimateSelectivity(a, b);
+    for (int step = 0; step < 12; ++step) {
+      b = std::min(kDomain.hi, b + kDomain.width() / 16.0 * rng.NextDouble());
+      const double current = est->EstimateSelectivity(a, b);
+      // Exactly monotone implementations pass with 0 slack; the tolerance
+      // only absorbs last-bit rounding in the kernel quadrature tables.
+      EXPECT_GE(current, previous - 1e-12)
+          << est->name() << " shrank on [" << a << ", " << b << "]";
+      previous = current;
+    }
+  }
+}
+
+TEST_P(EstimatorPropertyTest, HistogramSelectivityIsAdditive) {
+  if (!IsHistogramKind(GetParam())) {
+    GTEST_SKIP() << "additivity only holds for density-integral estimators";
+  }
+  const auto est = Build(GetParam());
+  ASSERT_NE(est, nullptr);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = kDomain.lo + kDomain.width() * rng.NextDouble();
+    const double y = kDomain.lo + kDomain.width() * rng.NextDouble();
+    const double a = std::min(x, y), b = std::max(x, y);
+    const double m = a + (b - a) * rng.NextDouble();
+    const double whole = est->EstimateSelectivity(a, b);
+    const double split =
+        est->EstimateSelectivity(a, m) + est->EstimateSelectivity(m, b);
+    EXPECT_NEAR(split, whole, 1e-9)
+        << est->name() << " at a=" << a << " m=" << m << " b=" << b;
+  }
+}
+
+TEST_P(EstimatorPropertyTest, BatchMatchesPerQueryExactly) {
+  const auto est = Build(GetParam());
+  ASSERT_NE(est, nullptr);
+  const auto queries = RandomQueries(500, 4);
+  std::vector<double> batch(queries.size());
+  est->EstimateSelectivityBatch(queries, batch);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double single = est->EstimateSelectivity(queries[i]);
+    // Exact equality: batching must never change a value.
+    EXPECT_EQ(batch[i], single)
+        << est->name() << " query " << i << " [" << queries[i].a << ", "
+        << queries[i].b << "]";
+  }
+}
+
+TEST_P(EstimatorPropertyTest, BatchHandlesEmptySpan) {
+  const auto est = Build(GetParam());
+  ASSERT_NE(est, nullptr);
+  est->EstimateSelectivityBatch({}, {});  // must be a no-op, not a crash
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, EstimatorPropertyTest, ::testing::ValuesIn(kAllKinds),
+    [](const ::testing::TestParamInfo<EstimatorKind>& info) {
+      std::string name = EstimatorKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,253 @@
+// Determinism and robustness of the exec layer and the parallel runner:
+// reports must be bit-identical at every thread count, and the pool must
+// survive task exceptions and degenerate chunkings.
+#include "src/eval/parallel_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/data/distribution.h"
+#include "src/exec/parallel_for.h"
+#include "src/exec/thread_pool.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+Dataset MakeData(uint64_t seed) {
+  Rng rng(seed);
+  const Domain domain = BitDomain(16);
+  const NormalDistribution dist(0.5 * domain.hi, domain.width() / 8.0);
+  return GenerateDataset("n", dist, 20000, domain, rng);
+}
+
+// Every field, compared exactly: the determinism contract is bit-identity,
+// not tolerance-identity.
+void ExpectBitIdentical(const ErrorReport& a, const ErrorReport& b) {
+  EXPECT_EQ(a.mean_relative_error, b.mean_relative_error);
+  EXPECT_EQ(a.mean_absolute_error, b.mean_absolute_error);
+  EXPECT_EQ(a.max_relative_error, b.max_relative_error);
+  EXPECT_EQ(a.p50_relative_error, b.p50_relative_error);
+  EXPECT_EQ(a.p90_relative_error, b.p90_relative_error);
+  EXPECT_EQ(a.p99_relative_error, b.p99_relative_error);
+  EXPECT_EQ(a.skipped_empty, b.skipped_empty);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+std::vector<EstimatorConfig> SweepConfigs() {
+  std::vector<EstimatorConfig> configs;
+  EstimatorConfig ewh;
+  ewh.kind = EstimatorKind::kEquiWidth;
+  configs.push_back(ewh);
+  EstimatorConfig kernel;
+  kernel.kind = EstimatorKind::kKernel;
+  kernel.boundary = BoundaryPolicy::kBoundaryKernel;
+  configs.push_back(kernel);
+  EstimatorConfig hybrid;
+  hybrid.kind = EstimatorKind::kHybrid;
+  hybrid.boundary = BoundaryPolicy::kBoundaryKernel;
+  configs.push_back(hybrid);
+  EstimatorConfig ash;
+  ash.kind = EstimatorKind::kAverageShifted;
+  configs.push_back(ash);
+  return configs;
+}
+
+TEST(ExecParallelTest, ReportsBitIdenticalAcrossThreadCounts) {
+  const Dataset data = MakeData(11);
+  ProtocolConfig protocol;
+  protocol.sample_size = 1000;
+  protocol.num_queries = 400;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  const auto configs = SweepConfigs();
+
+  ParallelExecOptions serial;
+  serial.threads = 1;
+  const auto baseline = RunConfigsParallel(setup, configs, serial);
+  ASSERT_EQ(baseline.size(), configs.size());
+
+  for (size_t threads : {2u, 8u}) {
+    ParallelExecOptions options;
+    options.threads = threads;
+    const auto reports = RunConfigsParallel(setup, configs, options);
+    ASSERT_EQ(reports.size(), configs.size());
+    for (size_t c = 0; c < configs.size(); ++c) {
+      ASSERT_TRUE(baseline[c].ok());
+      ASSERT_TRUE(reports[c].ok()) << "threads=" << threads;
+      ExpectBitIdentical(*baseline[c], *reports[c]);
+    }
+  }
+}
+
+TEST(ExecParallelTest, RunConfigMatchesSerialRunConfigParallel) {
+  const Dataset data = MakeData(12);
+  ProtocolConfig protocol;
+  protocol.sample_size = 500;
+  protocol.num_queries = 200;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kKernel;
+  config.boundary = BoundaryPolicy::kBoundaryKernel;
+
+  const auto via_default = RunConfig(setup, config);
+  ParallelExecOptions serial;
+  serial.threads = 1;
+  const auto via_serial = RunConfigParallel(setup, config, serial);
+  ASSERT_TRUE(via_default.ok());
+  ASSERT_TRUE(via_serial.ok());
+  ExpectBitIdentical(*via_default, *via_serial);
+}
+
+TEST(ExecParallelTest, SweepPropagatesPerConfigBuildFailures) {
+  const Dataset data = MakeData(13);
+  ProtocolConfig protocol;
+  protocol.sample_size = 200;
+  protocol.num_queries = 50;
+  const ExperimentSetup setup = MakeSetup(data, protocol);
+
+  std::vector<EstimatorConfig> configs;
+  EstimatorConfig good;
+  good.kind = EstimatorKind::kEquiWidth;
+  configs.push_back(good);
+  EstimatorConfig bad;  // negative fixed bandwidth cannot build
+  bad.kind = EstimatorKind::kKernel;
+  bad.smoothing = SmoothingRule::kFixed;
+  bad.fixed_smoothing = -1.0;
+  configs.push_back(bad);
+
+  ParallelExecOptions options;
+  options.threads = 2;
+  const auto reports = RunConfigsParallel(setup, configs, options);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok());
+  EXPECT_FALSE(reports[1].ok());
+}
+
+TEST(SplitRangeTest, HandlesDegenerateChunkCounts) {
+  EXPECT_TRUE(SplitRange(0, 4).empty());
+  EXPECT_TRUE(SplitRange(0, 0).empty());
+
+  // A chunk count of zero behaves like one chunk.
+  const auto one = SplitRange(10, 0);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, 0u);
+  EXPECT_EQ(one[0].second, 10u);
+
+  // Oversized chunk counts clamp to one element per chunk.
+  const auto clamped = SplitRange(10, 1000);
+  ASSERT_EQ(clamped.size(), 10u);
+
+  // Chunks tile [0, n) exactly, in order, with sizes differing by <= 1.
+  for (size_t n : {1u, 7u, 64u, 1000u}) {
+    for (size_t k : {1u, 3u, 8u, 1001u}) {
+      const auto chunks = SplitRange(n, k);
+      size_t expected_begin = 0;
+      size_t min_size = n, max_size = 0;
+      for (const auto& [begin, end] : chunks) {
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LT(begin, end);
+        min_size = std::min(min_size, end - begin);
+        max_size = std::max(max_size, end - begin);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(&pool, touched.size(), 16,
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) touched[i]++;
+              });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeAndOversizedChunksAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, 8,
+              [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::vector<std::atomic<int>> touched(3);
+  ParallelFor(&pool, touched.size(), 500,
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) touched[i]++;
+              });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, RethrowsLowestChunkExceptionAndPoolSurvives) {
+  ThreadPool pool(4);
+  // Several chunks throw; the rethrown exception must be chunk 2's (the
+  // lowest throwing index), deterministically.
+  auto throwing_body = [](size_t /*begin*/, size_t /*end*/, size_t chunk) {
+    if (chunk >= 2 && chunk % 2 == 0) {
+      throw std::runtime_error("chunk " + std::to_string(chunk));
+    }
+  };
+  try {
+    ParallelFor(&pool, 100, 10, throwing_body);
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2");
+  }
+
+  // The pool is still fully usable after the failed fan-out.
+  std::atomic<size_t> sum{0};
+  ParallelFor(&pool, 100, 10,
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) sum += i;
+              });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelForTest, NestedFanOutRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> touched(64);
+  ParallelFor(&pool, 8, 8, [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (size_t outer = begin; outer < end; ++outer) {
+      // A nested fan-out from inside a chunk (worker thread or the caller
+      // running chunk 0) must degrade to serial, not deadlock.
+      ParallelFor(&pool, 8, 8, [&](size_t b, size_t e, size_t /*c*/) {
+        for (size_t inner = b; inner < e; ++inner) {
+          touched[outer * 8 + inner]++;
+        }
+      });
+    }
+  });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleSurvivesThrowingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Schedule([&ran] {
+      ++ran;
+      throw std::runtime_error("dropped by contract");
+    });
+  }
+  // A fan-out after the throwing tasks proves the workers are all alive.
+  std::atomic<int> chunks_run{0};
+  ParallelFor(&pool, 16, 16,
+              [&](size_t, size_t, size_t) { ++chunks_run; });
+  EXPECT_EQ(chunks_run.load(), 16);
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  EXPECT_GE(ThreadPool::Default().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,49 @@
+// GroundTruth over normal and empty datasets. The empty case is the
+// regression target: Selectivity used to divide by N unguarded, returning
+// NaN for an empty dataset (reachable when the referenced Dataset is
+// moved from).
+#include "src/query/ground_truth.h"
+
+#include <cmath>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace selest {
+namespace {
+
+TEST(GroundTruthTest, CountsAndSelectivityOnSmallDataset) {
+  const Dataset data("t", ContinuousDomain(0.0, 10.0),
+                     {1.0, 2.0, 2.0, 5.0, 9.0});
+  const GroundTruth truth(data);
+  EXPECT_EQ(truth.num_records(), 5u);
+  EXPECT_EQ(truth.Count({1.5, 5.0}), 3u);
+  EXPECT_DOUBLE_EQ(truth.Selectivity({1.5, 5.0}), 0.6);
+  EXPECT_EQ(truth.Count({6.0, 8.0}), 0u);
+  EXPECT_DOUBLE_EQ(truth.Selectivity({6.0, 8.0}), 0.0);
+  // Inverted ranges are empty by convention.
+  EXPECT_EQ(truth.Count({5.0, 1.0}), 0u);
+}
+
+TEST(GroundTruthTest, EmptyDatasetSelectivityIsZeroNotNaN) {
+  Dataset data("t", ContinuousDomain(0.0, 10.0), {1.0, 2.0, 3.0});
+  const GroundTruth truth(data);
+  EXPECT_DOUBLE_EQ(truth.Selectivity({0.0, 10.0}), 1.0);
+
+  // Moving the dataset out from under the GroundTruth leaves a valid empty
+  // dataset behind (see Dataset's move contract). The regression: the
+  // division by N = 0 must not produce NaN.
+  const Dataset stolen = std::move(data);
+  EXPECT_EQ(truth.num_records(), 0u);
+  EXPECT_EQ(truth.Count({0.0, 10.0}), 0u);
+  const double selectivity = truth.Selectivity({0.0, 10.0});
+  EXPECT_FALSE(std::isnan(selectivity));
+  EXPECT_DOUBLE_EQ(selectivity, 0.0);
+
+  // The moved-to dataset carries the records.
+  EXPECT_EQ(stolen.size(), 3u);
+  EXPECT_EQ(stolen.CountInRange(0.0, 10.0), 3u);
+}
+
+}  // namespace
+}  // namespace selest
