@@ -10,6 +10,7 @@
 // its 1-D advantage on the smoother workloads (larger windows).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_common.h"
 #include "src/multidim/basic2d.h"
@@ -83,7 +84,13 @@ int main() {
     Workload2dConfig workload;
     workload.side_fraction = side;
     workload.num_queries = 500;
-    const auto queries = GenerateWorkload2d(data, workload, query_rng);
+    auto queries_or = GenerateWorkload2d(data, workload, query_rng);
+    if (!queries_or.ok()) {
+      std::fprintf(stderr, "2-D workload failed: %s\n",
+                   queries_or.status().ToString().c_str());
+      std::exit(1);
+    }
+    const auto& queries = *queries_or;
 
     const Uniform2dEstimator uniform(data.x_domain(), data.y_domain());
     auto sampling = Sampling2dEstimator::Create(sample);

@@ -100,10 +100,9 @@ bench/CMakeFiles/bench_ext_multidim.dir/bench_ext_multidim.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /root/repo/src/../bench/bench_common.h /usr/include/c++/12/cstdlib \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/initializer_list \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstdlib \
+ /root/repo/src/../bench/bench_common.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -246,12 +245,13 @@ bench/CMakeFiles/bench_ext_multidim.dir/bench_ext_multidim.cc.o: \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h /usr/include/c++/12/atomic \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h \
  /root/repo/src/../src/exec/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

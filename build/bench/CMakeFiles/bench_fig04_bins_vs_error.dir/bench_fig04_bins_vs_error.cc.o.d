@@ -225,12 +225,13 @@ bench/CMakeFiles/bench_fig04_bins_vs_error.dir/bench_fig04_bins_vs_error.cc.o: \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h /usr/include/c++/12/atomic \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h \
  /root/repo/src/../src/exec/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -218,6 +218,7 @@ bench/CMakeFiles/bench_perf_build.dir/bench_perf_build.cc.o: \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

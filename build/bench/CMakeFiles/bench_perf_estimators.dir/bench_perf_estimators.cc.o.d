@@ -203,7 +203,20 @@ bench/CMakeFiles/bench_perf_estimators.dir/bench_perf_estimators.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/../src/data/domain.h \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/../src/data/domain.h \
  /root/repo/src/../src/est/equi_width_histogram.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/../src/density/histogram_density.h \
@@ -218,13 +231,7 @@ bench/CMakeFiles/bench_perf_estimators.dir/bench_perf_estimators.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/../src/exec/thread_pool.h \
  /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -234,18 +241,13 @@ bench/CMakeFiles/bench_perf_estimators.dir/bench_perf_estimators.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/../src/query/range_query.h \
+ /root/repo/src/../src/est/guarded_estimator.h \
  /root/repo/src/../src/est/kernel_estimator.h \
  /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
  /root/repo/src/../src/est/sampling_estimator.h \
  /root/repo/src/../src/eval/paper_data.h \
- /root/repo/src/../src/data/dataset.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/../src/data/dataset.h \
  /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h \
  /root/repo/src/../src/eval/parallel_experiment.h \

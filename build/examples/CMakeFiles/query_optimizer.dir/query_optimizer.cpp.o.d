@@ -213,6 +213,7 @@ examples/CMakeFiles/query_optimizer.dir/query_optimizer.cpp.o: \
  /root/repo/src/../src/est/estimator_factory.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
+ /root/repo/src/../src/est/guarded_estimator.h /usr/include/c++/12/atomic \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -226,8 +227,8 @@ examples/CMakeFiles/query_optimizer.dir/query_optimizer.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/exec/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

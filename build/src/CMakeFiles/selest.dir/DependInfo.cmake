@@ -26,6 +26,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/est/equi_depth_histogram.cc" "src/CMakeFiles/selest.dir/est/equi_depth_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/equi_depth_histogram.cc.o.d"
   "/root/repo/src/est/equi_width_histogram.cc" "src/CMakeFiles/selest.dir/est/equi_width_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/equi_width_histogram.cc.o.d"
   "/root/repo/src/est/estimator_factory.cc" "src/CMakeFiles/selest.dir/est/estimator_factory.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/estimator_factory.cc.o.d"
+  "/root/repo/src/est/guarded_estimator.cc" "src/CMakeFiles/selest.dir/est/guarded_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/guarded_estimator.cc.o.d"
   "/root/repo/src/est/hybrid_estimator.cc" "src/CMakeFiles/selest.dir/est/hybrid_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/hybrid_estimator.cc.o.d"
   "/root/repo/src/est/kernel_estimator.cc" "src/CMakeFiles/selest.dir/est/kernel_estimator.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/kernel_estimator.cc.o.d"
   "/root/repo/src/est/max_diff_histogram.cc" "src/CMakeFiles/selest.dir/est/max_diff_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/est/max_diff_histogram.cc.o.d"
@@ -40,6 +41,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/eval/paper_data.cc" "src/CMakeFiles/selest.dir/eval/paper_data.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/paper_data.cc.o.d"
   "/root/repo/src/eval/parallel_experiment.cc" "src/CMakeFiles/selest.dir/eval/parallel_experiment.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/parallel_experiment.cc.o.d"
   "/root/repo/src/eval/report.cc" "src/CMakeFiles/selest.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/selest.dir/eval/report.cc.o.d"
+  "/root/repo/src/exec/fault_injection.cc" "src/CMakeFiles/selest.dir/exec/fault_injection.cc.o" "gcc" "src/CMakeFiles/selest.dir/exec/fault_injection.cc.o.d"
   "/root/repo/src/exec/parallel_for.cc" "src/CMakeFiles/selest.dir/exec/parallel_for.cc.o" "gcc" "src/CMakeFiles/selest.dir/exec/parallel_for.cc.o.d"
   "/root/repo/src/exec/thread_pool.cc" "src/CMakeFiles/selest.dir/exec/thread_pool.cc.o" "gcc" "src/CMakeFiles/selest.dir/exec/thread_pool.cc.o.d"
   "/root/repo/src/feedback/feedback_histogram.cc" "src/CMakeFiles/selest.dir/feedback/feedback_histogram.cc.o" "gcc" "src/CMakeFiles/selest.dir/feedback/feedback_histogram.cc.o.d"

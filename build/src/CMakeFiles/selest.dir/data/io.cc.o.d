@@ -236,4 +236,5 @@ src/CMakeFiles/selest.dir/data/io.cc.o: /root/repo/src/data/io.cc \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/exec/fault_injection.h \
  /root/repo/src/../src/util/serialize.h

@@ -196,15 +196,16 @@ src/CMakeFiles/selest.dir/est/estimator_factory.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/../src/data/domain.h /root/repo/src/../src/density/kde.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/../src/data/domain.h \
+ /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h /usr/include/c++/12/atomic \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -221,8 +222,8 @@ src/CMakeFiles/selest.dir/est/estimator_factory.cc.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -257,6 +258,7 @@ src/CMakeFiles/selest.dir/est/estimator_factory.cc.o: \
  /root/repo/src/../src/est/average_shifted_histogram.h \
  /root/repo/src/../src/est/equi_width_histogram.h \
  /root/repo/src/../src/density/histogram_density.h \
+ /root/repo/src/../src/exec/fault_injection.h \
  /root/repo/src/../src/est/equi_depth_histogram.h \
  /root/repo/src/../src/est/hybrid_estimator.h \
  /root/repo/src/../src/est/change_point.h \

@@ -219,6 +219,8 @@ src/CMakeFiles/selest.dir/est/uniform_estimator.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/query/range_query.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \

@@ -219,6 +219,8 @@ src/CMakeFiles/selest.dir/eval/metrics.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/query/ground_truth.h \
  /root/repo/src/../src/data/dataset.h /usr/include/c++/12/memory \
@@ -256,4 +258,4 @@ src/CMakeFiles/selest.dir/eval/metrics.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/../src/util/check.h /root/repo/src/../src/util/stats.h
+ /root/repo/src/../src/util/stats.h

@@ -207,4 +207,8 @@ src/CMakeFiles/selest.dir/multidim/workload2d.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/data/distribution.h \
- /root/repo/src/../src/util/random.h /root/repo/src/../src/util/check.h
+ /root/repo/src/../src/util/random.h /root/repo/src/../src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/check.h

@@ -203,12 +203,15 @@ src/CMakeFiles/selest.dir/query/workload.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h /root/repo/src/../src/data/domain.h \
- /root/repo/src/../src/query/range_query.h /usr/include/c++/12/algorithm \
+ /root/repo/src/../src/query/range_query.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/check.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/../src/util/check.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -216,6 +216,7 @@ tests/CMakeFiles/catalog_test.dir/catalog_test.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h /usr/include/c++/12/atomic \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -228,8 +229,8 @@ tests/CMakeFiles/catalog_test.dir/catalog_test.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/exec/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -322,4 +322,5 @@ tests/CMakeFiles/data_spatial_test.dir/data_spatial_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/../src/util/stats.h /usr/include/c++/12/span
+ /root/repo/src/../src/util/stats.h /usr/include/c++/12/span \
+ /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h

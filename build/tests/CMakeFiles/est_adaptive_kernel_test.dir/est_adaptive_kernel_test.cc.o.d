@@ -220,9 +220,9 @@ tests/CMakeFiles/est_adaptive_kernel_test.dir/est_adaptive_kernel_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
- /root/repo/src/../src/util/check.h /usr/include/c++/12/cmath \
+ /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/query/range_query.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -307,7 +307,7 @@ tests/CMakeFiles/est_basic_test.dir/est_basic_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/est/uniform_estimator.h \
  /root/repo/src/../src/util/random.h

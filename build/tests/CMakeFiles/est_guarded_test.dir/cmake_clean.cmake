@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_guarded_test.dir/est_guarded_test.cc.o"
+  "CMakeFiles/est_guarded_test.dir/est_guarded_test.cc.o.d"
+  "est_guarded_test"
+  "est_guarded_test.pdb"
+  "est_guarded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_guarded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

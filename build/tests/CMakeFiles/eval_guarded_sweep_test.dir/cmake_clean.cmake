@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_guarded_sweep_test.dir/eval_guarded_sweep_test.cc.o"
+  "CMakeFiles/eval_guarded_sweep_test.dir/eval_guarded_sweep_test.cc.o.d"
+  "eval_guarded_sweep_test"
+  "eval_guarded_sweep_test.pdb"
+  "eval_guarded_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_guarded_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

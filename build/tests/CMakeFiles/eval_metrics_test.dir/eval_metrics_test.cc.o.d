@@ -219,6 +219,8 @@ tests/CMakeFiles/eval_metrics_test.dir/eval_metrics_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /root/repo/src/../src/util/check.h \
  /root/repo/src/../src/query/range_query.h \
  /root/repo/src/../src/query/ground_truth.h \
  /root/repo/src/../src/data/dataset.h /usr/include/c++/12/memory \
@@ -261,8 +263,7 @@ tests/CMakeFiles/eval_metrics_test.dir/eval_metrics_test.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_fault_injection_test.dir/exec_fault_injection_test.cc.o"
+  "CMakeFiles/exec_fault_injection_test.dir/exec_fault_injection_test.cc.o.d"
+  "exec_fault_injection_test"
+  "exec_fault_injection_test.pdb"
+  "exec_fault_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_fault_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

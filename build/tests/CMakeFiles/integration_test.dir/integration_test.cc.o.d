@@ -304,6 +304,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
  /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h \
  /root/repo/src/../src/exec/thread_pool.h \

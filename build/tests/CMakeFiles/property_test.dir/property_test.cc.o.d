@@ -299,6 +299,7 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/../src/data/domain.h /root/repo/src/../src/density/kde.h \
  /root/repo/src/../src/density/kernel.h \
  /root/repo/src/../src/util/status.h /root/repo/src/../src/util/check.h \
+ /root/repo/src/../src/est/guarded_estimator.h \
  /root/repo/src/../src/est/selectivity_estimator.h \
  /root/repo/src/../src/exec/parallel_for.h \
  /root/repo/src/../src/exec/thread_pool.h \

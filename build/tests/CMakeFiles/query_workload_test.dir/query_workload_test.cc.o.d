@@ -204,7 +204,10 @@ tests/CMakeFiles/query_workload_test.dir/query_workload_test.cc.o: \
  /root/repo/src/../src/data/distribution.h \
  /root/repo/src/../src/util/random.h /root/repo/src/../src/data/domain.h \
  /root/repo/src/../src/query/range_query.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/../src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/util/check.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -233,11 +236,8 @@ tests/CMakeFiles/query_workload_test.dir/query_workload_test.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/variant /usr/include/x86_64-linux-gnu/sys/wait.h \
- /usr/include/signal.h \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
+ /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
  /usr/include/x86_64-linux-gnu/bits/types/sig_atomic_t.h \
@@ -288,8 +288,7 @@ tests/CMakeFiles/query_workload_test.dir/query_workload_test.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/exec/fault_injection.h"
 #include "src/util/serialize.h"
 
 namespace selest {
@@ -47,6 +48,7 @@ Status SaveDatasetText(const Dataset& data, const std::string& path) {
 StatusOr<Dataset> LoadDatasetText(const std::string& path) {
   std::ifstream in(path);
   if (!in) return NotFoundError("cannot open '" + path + "'");
+  SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointDatasetReadText));
   std::string magic;
   std::string name;
   Domain domain;
@@ -85,6 +87,7 @@ Status SaveDatasetBinary(const Dataset& data, const std::string& path) {
 StatusOr<Dataset> LoadDatasetBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open '" + path + "'");
+  SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointDatasetReadBinary));
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
   ByteReader reader(std::move(bytes));

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
 
 #include "src/est/average_shifted_histogram.h"
+#include "src/exec/fault_injection.h"
 #include "src/est/equi_depth_histogram.h"
 #include "src/est/equi_width_histogram.h"
 #include "src/est/hybrid_estimator.h"
@@ -26,30 +30,92 @@ std::unique_ptr<SelectivityEstimator> Wrap(T estimator) {
   return std::make_unique<T>(std::move(estimator));
 }
 
-int ResolveNumBins(std::span<const double> sample, const Domain& domain,
-                   const EstimatorConfig& config) {
-  switch (config.smoothing) {
-    case SmoothingRule::kNormalScale:
-      return NormalScaleNumBins(sample, domain);
-    case SmoothingRule::kDirectPlugIn:
-      return DirectPlugInNumBins(sample, domain, config.dpi_stages);
-    case SmoothingRule::kFixed:
-      return std::max(1, static_cast<int>(std::lround(config.fixed_smoothing)));
+// A sample or domain read from an external file can carry NaN/Inf; catch
+// it here once so no estimator sees a poisoned value.
+Status ValidateBuildInputs(std::span<const double> sample,
+                           const Domain& domain) {
+  if (!std::isfinite(domain.lo) || !std::isfinite(domain.hi) ||
+      !(domain.lo < domain.hi)) {
+    return InvalidArgumentError("estimator domain must be a finite non-empty "
+                                "range, got " +
+                                domain.ToString());
   }
-  return 1;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    if (!std::isfinite(sample[i])) {
+      return InvalidArgumentError("sample value at index " + std::to_string(i) +
+                                  " is not finite");
+    }
+  }
+  return Status::Ok();
 }
 
-double ResolveBandwidth(std::span<const double> sample, const Domain& domain,
-                        const EstimatorConfig& config, const Kernel& kernel) {
+StatusOr<int> ResolveNumBins(std::span<const double> sample,
+                             const Domain& domain,
+                             const EstimatorConfig& config) {
+  int num_bins = 1;
+  switch (config.smoothing) {
+    case SmoothingRule::kNormalScale: {
+      SELEST_ASSIGN_OR_RETURN(num_bins, TryNormalScaleNumBins(sample, domain));
+      break;
+    }
+    case SmoothingRule::kDirectPlugIn: {
+      SELEST_ASSIGN_OR_RETURN(
+          num_bins, TryDirectPlugInNumBins(sample, domain, config.dpi_stages));
+      break;
+    }
+    case SmoothingRule::kFixed: {
+      if (!std::isfinite(config.fixed_smoothing)) {
+        return InvalidArgumentError("fixed bin count must be finite");
+      }
+      if (config.fixed_smoothing > static_cast<double>(kMaxNumBins)) {
+        return InvalidArgumentError(
+            "fixed bin count " + std::to_string(config.fixed_smoothing) +
+            " exceeds the factory limit " + std::to_string(kMaxNumBins));
+      }
+      num_bins =
+          std::max(1, static_cast<int>(std::lround(config.fixed_smoothing)));
+      break;
+    }
+  }
+  // More bins than a discrete domain has representable values buys no
+  // resolution; clamp instead of allocating empty bins.
+  if (domain.discrete && domain.cardinality() > 0) {
+    const uint64_t cardinality = domain.cardinality();
+    if (static_cast<uint64_t>(num_bins) > cardinality) {
+      num_bins = static_cast<int>(
+          std::min<uint64_t>(cardinality, static_cast<uint64_t>(kMaxNumBins)));
+    }
+  }
+  if (num_bins > kMaxNumBins) {
+    return InvalidArgumentError("resolved bin count " +
+                                std::to_string(num_bins) +
+                                " exceeds the factory limit " +
+                                std::to_string(kMaxNumBins));
+  }
+  return num_bins;
+}
+
+StatusOr<double> ResolveBandwidth(std::span<const double> sample,
+                                  const Domain& domain,
+                                  const EstimatorConfig& config,
+                                  const Kernel& kernel) {
   switch (config.smoothing) {
     case SmoothingRule::kNormalScale:
-      return NormalScaleBandwidth(sample, domain, kernel);
+      return TryNormalScaleBandwidth(sample, domain, kernel);
     case SmoothingRule::kDirectPlugIn:
-      return DirectPlugInBandwidth(sample, domain, kernel, config.dpi_stages);
-    case SmoothingRule::kFixed:
+      return TryDirectPlugInBandwidth(sample, domain, kernel,
+                                      config.dpi_stages);
+    case SmoothingRule::kFixed: {
+      if (!std::isfinite(config.fixed_smoothing) ||
+          config.fixed_smoothing <= 0.0) {
+        return InvalidArgumentError(
+            "fixed bandwidth must be finite and positive, got " +
+            std::to_string(config.fixed_smoothing));
+      }
       return config.fixed_smoothing;
+    }
   }
-  return 0.0;
+  return InvalidArgumentError("unknown smoothing rule");
 }
 
 }  // namespace
@@ -97,6 +163,8 @@ const char* SmoothingRuleName(SmoothingRule rule) {
 StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
     std::span<const double> sample, const Domain& domain,
     const EstimatorConfig& config) {
+  SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointEstimatorBuild));
+  SELEST_RETURN_IF_ERROR(ValidateBuildInputs(sample, domain));
   if (sample.empty() && config.kind != EstimatorKind::kUniform) {
     return InvalidArgumentError("estimator needs a non-empty sample");
   }
@@ -111,27 +179,31 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
       return std::unique_ptr<SelectivityEstimator>(
           std::make_unique<UniformEstimator>(domain));
     case EstimatorKind::kEquiWidth: {
-      auto estimator = EquiWidthHistogram::Create(
-          sample, domain, ResolveNumBins(sample, domain, config));
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveNumBins(sample, domain, config));
+      auto estimator = EquiWidthHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kEquiDepth: {
-      auto estimator = EquiDepthHistogram::Create(
-          sample, domain, ResolveNumBins(sample, domain, config));
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveNumBins(sample, domain, config));
+      auto estimator = EquiDepthHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kMaxDiff: {
-      auto estimator = MaxDiffHistogram::Create(
-          sample, domain, ResolveNumBins(sample, domain, config));
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveNumBins(sample, domain, config));
+      auto estimator = MaxDiffHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kAverageShifted: {
-      auto estimator = AverageShiftedHistogram::Create(
-          sample, domain, ResolveNumBins(sample, domain, config),
-          config.ash_shifts);
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveNumBins(sample, domain, config));
+      auto estimator = AverageShiftedHistogram::Create(sample, domain, num_bins,
+                                                       config.ash_shifts);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
@@ -139,7 +211,8 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
       KernelEstimatorOptions options;
       options.kernel = kernel;
       options.boundary = config.boundary;
-      options.bandwidth = ResolveBandwidth(sample, domain, config, kernel);
+      SELEST_ASSIGN_OR_RETURN(options.bandwidth,
+                              ResolveBandwidth(sample, domain, config, kernel));
       auto estimator = KernelEstimator::Create(sample, domain, options);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
@@ -153,15 +226,17 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kVOptimal: {
-      auto estimator = VOptimalHistogram::Create(
-          sample, domain, ResolveNumBins(sample, domain, config));
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveNumBins(sample, domain, config));
+      auto estimator = VOptimalHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kAdaptiveKernel: {
       AdaptiveKernelOptions options;
       options.kernel = kernel;
-      options.base_bandwidth = ResolveBandwidth(sample, domain, config, kernel);
+      SELEST_ASSIGN_OR_RETURN(options.base_bandwidth,
+                              ResolveBandwidth(sample, domain, config, kernel));
       auto estimator =
           AdaptiveKernelEstimator::Create(sample, domain, options);
       if (!estimator.ok()) return estimator.status();
@@ -171,13 +246,57 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
       // The bin-count rules double as the coefficient budget: a histogram
       // with k buckets and a synopsis of k coefficients store comparable
       // state.
-      auto estimator = WaveletHistogram::Create(
-          sample, domain, ResolveNumBins(sample, domain, config));
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveNumBins(sample, domain, config));
+      auto estimator = WaveletHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
   }
   return InvalidArgumentError("unknown estimator kind");
+}
+
+std::vector<EstimatorConfig> DefaultFallbackConfigs() {
+  EstimatorConfig equi_width;
+  equi_width.kind = EstimatorKind::kEquiWidth;
+  equi_width.smoothing = SmoothingRule::kNormalScale;
+  return {equi_width};
+}
+
+StatusOr<GuardedBuild> BuildGuardedEstimator(
+    std::span<const double> sample, const Domain& domain,
+    const EstimatorConfig& config,
+    std::span<const EstimatorConfig> fallbacks) {
+  // The uniform safety net needs a usable domain; nothing can degrade past
+  // a range that does not describe an attribute.
+  if (!std::isfinite(domain.lo) || !std::isfinite(domain.hi) ||
+      !(domain.lo < domain.hi)) {
+    return InvalidArgumentError("guarded build needs a finite non-empty "
+                                "domain, got " +
+                                domain.ToString());
+  }
+  GuardedBuild build;
+  std::vector<std::unique_ptr<SelectivityEstimator>> chain;
+  auto primary = BuildEstimator(sample, domain, config);
+  build.primary_status = primary.status();
+  if (primary.ok()) chain.push_back(std::move(primary).value());
+  for (const EstimatorConfig& fallback : fallbacks) {
+    auto link = BuildEstimator(sample, domain, fallback);
+    if (link.ok()) chain.push_back(std::move(link).value());
+  }
+  // The uniform baseline is constructed directly (not via BuildEstimator)
+  // so that build-time fault injection cannot strip the last rung.
+  chain.push_back(std::make_unique<UniformEstimator>(domain));
+  build.estimator =
+      std::make_unique<GuardedEstimator>(std::move(chain), domain);
+  return build;
+}
+
+StatusOr<GuardedBuild> BuildGuardedEstimator(std::span<const double> sample,
+                                             const Domain& domain,
+                                             const EstimatorConfig& config) {
+  const std::vector<EstimatorConfig> fallbacks = DefaultFallbackConfigs();
+  return BuildGuardedEstimator(sample, domain, config, fallbacks);
 }
 
 }  // namespace selest

@@ -9,10 +9,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/data/domain.h"
 #include "src/density/kde.h"
 #include "src/density/kernel.h"
+#include "src/est/guarded_estimator.h"
 #include "src/est/selectivity_estimator.h"
 #include "src/util/status.h"
 
@@ -65,9 +67,52 @@ struct EstimatorConfig {
 };
 
 // Builds the configured estimator from a sample over `domain`.
+//
+// Status-first for every failure reachable from external input: a
+// non-finite domain or sample value, an empty sample (except kUniform), a
+// smoothing rule that cannot produce a parameter (zero-spread or too-small
+// samples, non-finite or absurd fixed parameters), and bin counts beyond
+// kMaxNumBins are all kInvalidArgument. Bin counts above a discrete
+// domain's cardinality are clamped to it (extra bins cannot hold distinct
+// values). Honors the "est/build" fault point (exec/fault_injection.h).
 StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
     std::span<const double> sample, const Domain& domain,
     const EstimatorConfig& config);
+
+// Upper bound on histogram bin counts / wavelet coefficient budgets the
+// factory will construct; larger requests are kInvalidArgument rather than
+// an allocation of attacker-controlled size.
+inline constexpr int kMaxNumBins = 1 << 22;
+
+// The default degradation ladder appended after the primary estimator in a
+// guarded build: an equi-width histogram under the normal scale rule (the
+// paper's most robust cheap estimator). The uniform baseline is always the
+// implicit last rung — it is built from the domain alone and cannot fail.
+std::vector<EstimatorConfig> DefaultFallbackConfigs();
+
+// Result of BuildGuardedEstimator: a never-null guarded chain, plus why
+// the requested primary is missing from it (OK when it built).
+struct GuardedBuild {
+  std::unique_ptr<GuardedEstimator> estimator;
+  Status primary_status;
+
+  bool degraded() const { return !primary_status.ok(); }
+};
+
+// Builds `config` and the fallback ladder into one GuardedEstimator.
+// Fallbacks that fail to build are skipped; the uniform baseline always
+// terminates the chain, so on OK the returned estimator answers every
+// query. Only a malformed domain (non-finite or empty range) fails — that
+// is the one input the uniform rung itself needs.
+StatusOr<GuardedBuild> BuildGuardedEstimator(
+    std::span<const double> sample, const Domain& domain,
+    const EstimatorConfig& config,
+    std::span<const EstimatorConfig> fallbacks);
+
+// Overload with the DefaultFallbackConfigs ladder.
+StatusOr<GuardedBuild> BuildGuardedEstimator(std::span<const double> sample,
+                                             const Domain& domain,
+                                             const EstimatorConfig& config);
 
 }  // namespace selest
 

@@ -8,21 +8,29 @@
 
 namespace selest {
 
-ExperimentSetup MakeSetup(const Dataset& data,
-                          const ProtocolConfig& protocol) {
-  SELEST_CHECK_LE(protocol.sample_size, data.size());
+StatusOr<ExperimentSetup> TryMakeSetup(const Dataset& data,
+                                       const ProtocolConfig& protocol) {
   Rng rng(protocol.seed);
   Rng sample_rng = rng.Fork();
   Rng query_rng = rng.Fork();
   ExperimentSetup setup;
   setup.data = &data;
-  setup.sample =
-      SampleWithoutReplacement(data.values(), protocol.sample_size, sample_rng);
+  SELEST_ASSIGN_OR_RETURN(
+      setup.sample, TrySampleWithoutReplacement(
+                        data.values(), protocol.sample_size, sample_rng));
   WorkloadConfig workload;
   workload.query_fraction = protocol.query_fraction;
   workload.num_queries = protocol.num_queries;
-  setup.queries = GenerateWorkload(data, workload, query_rng);
+  SELEST_ASSIGN_OR_RETURN(setup.queries,
+                          TryGenerateWorkload(data, workload, query_rng));
   return setup;
+}
+
+ExperimentSetup MakeSetup(const Dataset& data,
+                          const ProtocolConfig& protocol) {
+  auto setup = TryMakeSetup(data, protocol);
+  SELEST_CHECK(setup.ok());
+  return std::move(setup).value();
 }
 
 StatusOr<ErrorReport> RunConfig(const ExperimentSetup& setup,

@@ -37,7 +37,16 @@ struct ProtocolConfig {
   uint64_t seed = 1;
 };
 
-// Draws the sample and generates the query file.
+// Draws the sample and generates the query file. Status-first: a sample
+// size exceeding the dataset is kInvalidArgument and workload
+// rejection-sampling exhaustion is kResourceExhausted (see
+// query/workload.h), never an abort — both are reachable from externally
+// supplied data files.
+StatusOr<ExperimentSetup> TryMakeSetup(const Dataset& data,
+                                       const ProtocolConfig& protocol);
+
+// Aborting form of TryMakeSetup, for protocols already known to fit the
+// dataset (the paper benches on the generated stand-ins).
 ExperimentSetup MakeSetup(const Dataset& data, const ProtocolConfig& protocol);
 
 // Builds the configured estimator from the setup's sample and evaluates it

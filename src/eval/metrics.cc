@@ -51,9 +51,16 @@ ErrorReport AccumulateReport(std::span<const size_t> exact_counts,
     report.mean_absolute_error =
         sum_absolute / static_cast<double>(report.evaluated);
     std::sort(relative_errors.begin(), relative_errors.end());
-    report.p50_relative_error = QuantileSorted(relative_errors, 0.50);
-    report.p90_relative_error = QuantileSorted(relative_errors, 0.90);
-    report.p99_relative_error = QuantileSorted(relative_errors, 0.99);
+    // Status-first quantiles; `evaluated > 0` guarantees a non-empty set,
+    // so a degenerate report keeps its zeroed percentiles instead of
+    // aborting the aggregation.
+    const auto percentile = [&relative_errors](double q) {
+      auto value = TryQuantileSorted(relative_errors, q);
+      return value.ok() ? value.value() : 0.0;
+    };
+    report.p50_relative_error = percentile(0.50);
+    report.p90_relative_error = percentile(0.90);
+    report.p99_relative_error = percentile(0.99);
   }
   return report;
 }

@@ -141,4 +141,78 @@ std::vector<StatusOr<ErrorReport>> RunConfigsParallel(
   return results;
 }
 
+std::vector<GuardedCellReport> RunConfigsGuarded(
+    const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
+    const ParallelExecOptions& options) {
+  SELEST_CHECK(setup.data != nullptr);
+  std::vector<GuardedCellReport> cells(configs.size());
+  if (configs.empty()) return cells;
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ResolvePool(options, owned);
+  const size_t num_chunks = pool == nullptr ? 1 : NumChunks(*pool, options);
+
+  const GroundTruth truth(*setup.data);
+  const std::span<const RangeQuery> queries(setup.queries);
+
+  // Phase 1a — exact counts, once (they are estimator-independent). A
+  // failure here (an injected `exec/task` fault) poisons every cell the
+  // same way, recorded per cell below.
+  std::vector<size_t> exact_counts(queries.size());
+  const Status counts_status =
+      TryParallelFor(pool, queries.size(), num_chunks,
+                     [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+                       for (size_t i = begin; i < end; ++i) {
+                         exact_counts[i] = truth.Count(queries[i]);
+                       }
+                       return Status::Ok();
+                     });
+
+  // Phase 1b — guarded builds, serial in config order so the `est/build`
+  // fault point sees a schedule-independent hit sequence.
+  std::vector<std::unique_ptr<GuardedEstimator>> chains(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    auto build =
+        BuildGuardedEstimator(setup.sample, setup.domain(), configs[c]);
+    if (!build.ok()) {
+      // Nothing can answer (malformed domain): the cell records the error
+      // and keeps its zeroed report.
+      cells[c].primary_status = build.status();
+      cells[c].eval_status = build.status();
+      cells[c].estimator_name = "unavailable";
+      continue;
+    }
+    cells[c].primary_status = build.value().primary_status;
+    chains[c] = std::move(build.value().estimator);
+  }
+
+  // Phase 2 — one fan-out per config (per-config error attribution), each
+  // parallel over query chunks. Serial fan-outs share one estimate buffer.
+  std::vector<double> estimates(queries.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    if (chains[c] == nullptr) continue;
+    GuardedCellReport& cell = cells[c];
+    cell.estimator_name = chains[c]->name();
+    Status eval = counts_status;
+    if (eval.ok()) {
+      const GuardedEstimator& chain = *chains[c];
+      eval = TryParallelFor(
+          pool, queries.size(), num_chunks,
+          [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+            chain.EstimateSelectivityBatch(
+                queries.subspan(begin, end - begin),
+                std::span<double>(estimates).subspan(begin, end - begin));
+            return Status::Ok();
+          });
+    }
+    cell.eval_status = eval;
+    cell.stats = chains[c]->stats();
+    if (eval.ok()) {
+      cell.report =
+          AccumulateReport(exact_counts, estimates, truth.num_records());
+    }
+  }
+  return cells;
+}
+
 }  // namespace selest

@@ -16,11 +16,14 @@
 #define SELEST_EVAL_PARALLEL_EXPERIMENT_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
+#include "src/est/guarded_estimator.h"
 #include "src/eval/experiment.h"
 #include "src/eval/metrics.h"
 #include "src/exec/thread_pool.h"
+#include "src/util/status.h"
 
 namespace selest {
 
@@ -53,6 +56,38 @@ StatusOr<ErrorReport> RunConfigParallel(const ExperimentSetup& setup,
 // (config, query chunk) pair. Results are returned in config order and are
 // bit-identical to calling RunConfig on each config serially.
 std::vector<StatusOr<ErrorReport>> RunConfigsParallel(
+    const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
+    const ParallelExecOptions& options = {});
+
+// One sweep cell from RunConfigsGuarded: the report is always present
+// (filled from whatever the guarded chain answered), annotated with what
+// went wrong and how often the guard had to intervene.
+struct GuardedCellReport {
+  ErrorReport report;
+  // Why the requested config is missing from the chain; OK when the
+  // primary built and headed the chain.
+  Status primary_status;
+  // Non-OK when the evaluation fan-out itself failed (an injected
+  // `exec/task` fault or a thrown chunk); the report is zeroed then.
+  Status eval_status;
+  // Degradation counters observed while scoring this cell's queries.
+  GuardedStats stats;
+  // name() of the guarded chain that produced the report.
+  std::string estimator_name;
+
+  bool degraded() const {
+    return !primary_status.ok() || !eval_status.ok() || stats.degraded();
+  }
+};
+
+// RunConfigsParallel with graceful degradation: every config is built via
+// BuildGuardedEstimator, so a config that cannot build (or an estimator
+// that emits garbage) yields a recorded error plus fallback-chain
+// estimates instead of aborting or voiding the sweep. Cells whose primary
+// builds cleanly carry reports bit-identical to RunConfigsParallel — the
+// guard only rewrites answers it had to repair. Cells are returned in
+// config order at any thread count.
+std::vector<GuardedCellReport> RunConfigsGuarded(
     const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
     const ParallelExecOptions& options = {});
 

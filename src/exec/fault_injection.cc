@@ -1,0 +1,116 @@
+#include "src/exec/fault_injection.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace selest {
+namespace {
+
+struct PointState {
+  FaultPlan plan;
+  std::atomic<size_t> hits{0};
+  std::atomic<size_t> fired{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // Node-stable map: Check holds a pointer to a PointState across the
+  // unlocked fire decision; nodes must not move when other points are
+  // armed concurrently.
+  std::map<std::string, PointState> points;
+};
+
+// Fast path: Check returns immediately when nothing is armed anywhere.
+std::atomic<size_t> g_armed_points{0};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// SplitMix64: a seeded stateless hash of the hit index, giving each hit an
+// independent uniform draw in [0, 1).
+double HashToUnit(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool PlanFires(const FaultPlan& plan, size_t hit_index) {
+  if (hit_index < plan.skip) return false;
+  if (hit_index - plan.skip >= plan.count) return false;
+  if (plan.probability > 0.0) {
+    return HashToUnit(plan.seed, hit_index) < plan.probability;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& point, const FaultPlan& plan) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.points.try_emplace(point);
+  it->second.plan = plan;
+  it->second.hits.store(0, std::memory_order_relaxed);
+  it->second.fired.store(0, std::memory_order_relaxed);
+  if (inserted) g_armed_points.fetch_add(1, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.erase(point) > 0) {
+    g_armed_points.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed_points.fetch_sub(registry.points.size(), std::memory_order_release);
+  registry.points.clear();
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (g_armed_points.load(std::memory_order_acquire) == 0) {
+    return Status::Ok();
+  }
+  Registry& registry = GetRegistry();
+  size_t hit_index = 0;
+  bool fires = false;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(point);
+    if (it == registry.points.end()) return Status::Ok();
+    hit_index = it->second.hits.fetch_add(1, std::memory_order_relaxed);
+    fires = PlanFires(it->second.plan, hit_index);
+    if (fires) it->second.fired.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!fires) return Status::Ok();
+  return InternalError("injected fault at '" + std::string(point) + "' (hit " +
+                       std::to_string(hit_index) + ")");
+}
+
+size_t FaultInjector::HitCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(point);
+  return it == registry.points.end()
+             ? 0
+             : it->second.hits.load(std::memory_order_relaxed);
+}
+
+size_t FaultInjector::FiredCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(point);
+  return it == registry.points.end()
+             ? 0
+             : it->second.fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace selest

@@ -1,0 +1,100 @@
+// Deterministic fault injection for robustness tests.
+//
+// A fault point is a named call site that asks the process-global injector
+// whether this execution should fail:
+//
+//   SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointDatasetRead));
+//
+// Unarmed points cost one relaxed atomic load (the armed-point count), so
+// instrumentation stays on hot paths permanently. Tests arm points with a
+// deterministic plan — fail hits [skip, skip+count) of the point's hit
+// counter, or fail a seeded pseudo-random subset of hits — and assert that
+// every injected failure surfaces as an error Status or a recorded
+// degradation event, never as an abort or a hang.
+//
+// Registered fault points (see DESIGN.md, "Error-handling contract"):
+//   data/io/read-text    LoadDatasetText, after opening the file
+//   data/io/read-binary  LoadDatasetBinary, after opening the file
+//   est/build            BuildEstimator, before dispatching on the kind
+//   exec/task            TryParallelFor, before each chunk body (runs on
+//                        pool workers and the calling thread)
+//
+// Thread-safety: Check may race with Arm/Disarm from other threads; the
+// registry is mutex-protected and hit counters are atomic. The injector
+// itself runs clean under TSan; arming is typically test-scoped via
+// ScopedFault.
+#ifndef SELEST_EXEC_FAULT_INJECTION_H_
+#define SELEST_EXEC_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace selest {
+
+// Canonical fault-point names. Call sites and tests share these constants
+// so a typo cannot silently arm a point nothing checks.
+inline constexpr char kFaultPointDatasetReadText[] = "data/io/read-text";
+inline constexpr char kFaultPointDatasetReadBinary[] = "data/io/read-binary";
+inline constexpr char kFaultPointEstimatorBuild[] = "est/build";
+inline constexpr char kFaultPointExecTask[] = "exec/task";
+
+// How an armed point decides which hits fail. Deterministic: the decision
+// depends only on the plan and the point's hit index, never on timing.
+struct FaultPlan {
+  // Hits [skip, skip + count) fail; all others pass.
+  size_t skip = 0;
+  size_t count = static_cast<size_t>(-1);
+  // When probability > 0, a hit fails iff a hash of (seed, hit index)
+  // lands below it — a seeded coin flip per hit, reproducible across runs
+  // and thread schedules that preserve per-point hit order. The window
+  // above still applies on top.
+  double probability = 0.0;
+  uint64_t seed = 0;
+};
+
+class FaultInjector {
+ public:
+  // Arms `point` with `plan`, replacing any previous plan and resetting
+  // the point's hit and fired counters.
+  static void Arm(const std::string& point, const FaultPlan& plan = {});
+
+  // Disarms `point`; its counters are discarded. No-op when unarmed.
+  static void Disarm(const std::string& point);
+
+  // Disarms every point (test teardown).
+  static void DisarmAll();
+
+  // Returns OK when `point` is unarmed or this hit does not fire, else an
+  // InternalError naming the point and the hit index. Each call advances
+  // the point's hit counter by one.
+  static Status Check(const char* point);
+
+  // Counters observed so far for an armed point (0 when unarmed).
+  static size_t HitCount(const std::string& point);
+  static size_t FiredCount(const std::string& point);
+};
+
+// Arms a point for the enclosing scope and disarms it on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string point, const FaultPlan& plan = {})
+      : point_(std::move(point)) {
+    FaultInjector::Arm(point_, plan);
+  }
+  ~ScopedFault() { FaultInjector::Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_EXEC_FAULT_INJECTION_H_

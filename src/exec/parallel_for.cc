@@ -5,6 +5,9 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <string>
+
+#include "src/exec/fault_injection.h"
 
 namespace selest {
 
@@ -97,6 +100,68 @@ void ParallelFor(ThreadPool* pool, size_t n, size_t num_chunks,
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+namespace {
+
+// One chunk of a TryParallelFor: the fault-point check, the body, and an
+// exception-to-Status firewall, in that order. Runs on pool workers and on
+// the calling thread.
+Status RunTryChunk(const std::function<Status(size_t, size_t, size_t)>& body,
+                   size_t begin, size_t end, size_t chunk) {
+  SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointExecTask));
+  try {
+    return body(begin, end, chunk);
+  } catch (const std::exception& e) {
+    return InternalError(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return InternalError("task threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+Status TryParallelFor(
+    ThreadPool* pool, size_t n, size_t num_chunks,
+    const std::function<Status(size_t, size_t, size_t)>& body) {
+  const auto chunks = SplitRange(n, num_chunks);
+  if (chunks.empty()) return Status::Ok();
+
+  const bool serial = pool == nullptr || chunks.size() == 1 ||
+                      ThreadPool::InWorkerThread() || t_in_parallel_region;
+  if (serial) {
+    // Like the parallel path, every chunk runs even after a failure —
+    // determinism of the outputs (and of the fault-point hit counters)
+    // over early exit.
+    Status first_error;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      Status status = RunTryChunk(body, chunks[i].first, chunks[i].second, i);
+      if (!status.ok() && first_error.ok()) first_error = std::move(status);
+    }
+    return first_error;
+  }
+
+  // One Status slot per chunk so the returned error is deterministically
+  // the lowest-indexed failure, not a race between failing chunks.
+  std::vector<Status> statuses(chunks.size());
+  Latch latch(chunks.size());
+  auto run_chunk = [&](size_t i) {
+    statuses[i] = RunTryChunk(body, chunks[i].first, chunks[i].second, i);
+    latch.CountDown();
+  };
+
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    pool->Schedule([&run_chunk, i] { run_chunk(i); });
+  }
+  t_in_parallel_region = true;
+  run_chunk(0);
+  t_in_parallel_region = false;
+  latch.Wait();
+
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::Ok();
 }
 
 }  // namespace selest

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/exec/thread_pool.h"
+#include "src/util/status.h"
 
 namespace selest {
 
@@ -37,6 +38,20 @@ std::vector<std::pair<size_t, size_t>> SplitRange(size_t n, size_t num_chunks);
 // chunk is rethrown after all chunks complete; the pool remains usable.
 void ParallelFor(ThreadPool* pool, size_t n, size_t num_chunks,
                  const std::function<void(size_t, size_t, size_t)>& body);
+
+// Status-first fan-out, same scheduling and determinism contract as
+// ParallelFor. Every chunk runs to completion regardless of other chunks'
+// outcomes; afterwards the error of the lowest-indexed failing chunk is
+// returned (OK when all chunks succeed). A chunk fails when its body
+// returns a non-OK Status, when it throws (reported as kInternal), or when
+// the `exec/task` fault point (exec/fault_injection.h) fires for it —
+// the hook that lets the robustness suite prove an injected task failure
+// surfaces as a Status instead of crashing or hanging the pool.
+//
+// Guarded pipelines (eval/parallel_experiment.h RunConfigsGuarded) use
+// this; the void ParallelFor above remains for bodies that cannot fail.
+Status TryParallelFor(ThreadPool* pool, size_t n, size_t num_chunks,
+                      const std::function<Status(size_t, size_t, size_t)>& body);
 
 }  // namespace selest
 

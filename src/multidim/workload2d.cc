@@ -1,15 +1,17 @@
 #include "src/multidim/workload2d.h"
 
-#include "src/util/check.h"
+#include <string>
 
 namespace selest {
 
-std::vector<WindowQuery> GenerateWorkload2d(const Dataset2d& data,
-                                            const Workload2dConfig& config,
-                                            Rng& rng) {
-  SELEST_CHECK_GT(config.side_fraction, 0.0);
-  SELEST_CHECK_LE(config.side_fraction, 1.0);
-  SELEST_CHECK_GT(config.num_queries, 0u);
+StatusOr<std::vector<WindowQuery>> GenerateWorkload2d(
+    const Dataset2d& data, const Workload2dConfig& config, Rng& rng) {
+  if (!(config.side_fraction > 0.0 && config.side_fraction <= 1.0)) {
+    return InvalidArgumentError("side_fraction must be in (0, 1]");
+  }
+  if (config.num_queries == 0) {
+    return InvalidArgumentError("num_queries must be positive");
+  }
   const double half_w = 0.5 * config.side_fraction * data.x_domain().width();
   const double half_h = 0.5 * config.side_fraction * data.y_domain().width();
 
@@ -18,7 +20,14 @@ std::vector<WindowQuery> GenerateWorkload2d(const Dataset2d& data,
   size_t attempts = 0;
   const size_t max_attempts = 1000 * config.num_queries;
   while (queries.size() < config.num_queries) {
-    SELEST_CHECK_LT(attempts, max_attempts);
+    if (attempts >= max_attempts) {
+      return ResourceExhaustedError(
+          "2-D workload generation rejected " + std::to_string(attempts) +
+          " candidate windows before reaching " +
+          std::to_string(config.num_queries) +
+          " (data too concentrated near a boundary, or no non-empty window "
+          "of this size exists)");
+    }
     ++attempts;
     const Point2& center = data.points()[rng.NextUint64(data.size())];
     const WindowQuery query{center.x - half_w, center.x + half_w,

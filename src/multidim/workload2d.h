@@ -6,6 +6,7 @@
 
 #include "src/multidim/dataset2d.h"
 #include "src/util/random.h"
+#include "src/util/status.h"
 
 namespace selest {
 
@@ -19,10 +20,12 @@ struct Workload2dConfig {
 
 // Windows centered on randomly drawn data points (positions follow the
 // data distribution, as in §5.1.2); windows crossing the domain boundary
-// are re-drawn.
-std::vector<WindowQuery> GenerateWorkload2d(const Dataset2d& data,
-                                            const Workload2dConfig& config,
-                                            Rng& rng);
+// are re-drawn. Status-first: an invalid config is kInvalidArgument and
+// rejection-sampling exhaustion (1000·num_queries rejected draws — e.g.
+// every candidate window crosses a boundary or is empty) is
+// kResourceExhausted, never an abort.
+StatusOr<std::vector<WindowQuery>> GenerateWorkload2d(
+    const Dataset2d& data, const Workload2dConfig& config, Rng& rng);
 
 }  // namespace selest
 

@@ -6,12 +6,14 @@
 
 namespace selest {
 
-std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
-                                         const WorkloadConfig& config,
-                                         Rng& rng) {
-  SELEST_CHECK_GT(config.query_fraction, 0.0);
-  SELEST_CHECK_LE(config.query_fraction, 1.0);
-  SELEST_CHECK_GT(config.num_queries, 0u);
+StatusOr<std::vector<RangeQuery>> TryGenerateWorkload(
+    const Dataset& data, const WorkloadConfig& config, Rng& rng) {
+  if (!(config.query_fraction > 0.0 && config.query_fraction <= 1.0)) {
+    return InvalidArgumentError("query_fraction must be in (0, 1]");
+  }
+  if (config.num_queries == 0) {
+    return InvalidArgumentError("num_queries must be positive");
+  }
   const Domain& domain = data.domain();
   const double width = config.query_fraction * domain.width();
   const double half = 0.5 * width;
@@ -21,7 +23,14 @@ std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
   size_t attempts = 0;
   const size_t max_attempts = 1000 * config.num_queries;
   while (queries.size() < config.num_queries) {
-    SELEST_CHECK_LT(attempts, max_attempts);
+    if (attempts >= max_attempts) {
+      return ResourceExhaustedError(
+          "workload generation rejected " + std::to_string(attempts) +
+          " candidate queries before reaching " +
+          std::to_string(config.num_queries) +
+          " (data too concentrated near a boundary, or no non-empty query "
+          "of this size exists)");
+    }
     ++attempts;
     // Query position follows the data distribution: center on a record.
     const double center =
@@ -35,6 +44,14 @@ std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
     queries.push_back(query);
   }
   return queries;
+}
+
+std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
+                                         const WorkloadConfig& config,
+                                         Rng& rng) {
+  auto queries = TryGenerateWorkload(data, config, rng);
+  SELEST_CHECK(queries.ok());
+  return std::move(queries).value();
 }
 
 std::vector<RangeQuery> GeneratePositionSweep(const Dataset& data,

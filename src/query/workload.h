@@ -13,6 +13,7 @@
 #include "src/data/dataset.h"
 #include "src/query/range_query.h"
 #include "src/util/random.h"
+#include "src/util/status.h"
 
 namespace selest {
 
@@ -29,7 +30,16 @@ struct WorkloadConfig {
 
 // Generates a query file for `data`. Positions are drawn from the records
 // themselves, so query placement follows the data distribution as in the
-// paper; queries overlapping a domain boundary are re-drawn.
+// paper; queries overlapping a domain boundary are re-drawn. Status-first:
+// an invalid config is kInvalidArgument, and rejection-sampling exhaustion
+// (every candidate rejected for 1000·num_queries draws — e.g. all data
+// piled against a boundary, or reject_empty on a query size no record
+// satisfies) is kResourceExhausted, never an abort.
+StatusOr<std::vector<RangeQuery>> TryGenerateWorkload(
+    const Dataset& data, const WorkloadConfig& config, Rng& rng);
+
+// Aborting form of TryGenerateWorkload, for call sites with a config and
+// dataset already known to be generatable.
 std::vector<RangeQuery> GenerateWorkload(const Dataset& data,
                                          const WorkloadConfig& config,
                                          Rng& rng);

@@ -6,9 +6,14 @@
 
 namespace selest {
 
-std::vector<double> SampleWithoutReplacement(std::span<const double> population,
-                                             size_t sample_size, Rng& rng) {
-  SELEST_CHECK_LE(sample_size, population.size());
+StatusOr<std::vector<double>> TrySampleWithoutReplacement(
+    std::span<const double> population, size_t sample_size, Rng& rng) {
+  if (sample_size > population.size()) {
+    return InvalidArgumentError(
+        "cannot sample " + std::to_string(sample_size) +
+        " values without replacement from a population of " +
+        std::to_string(population.size()));
+  }
   const size_t n = population.size();
   // Floyd's algorithm over indices: for j = n-k .. n-1 pick t in [0, j];
   // insert t, or j if t was already chosen.
@@ -25,9 +30,20 @@ std::vector<double> SampleWithoutReplacement(std::span<const double> population,
   return sample;
 }
 
-std::vector<double> ReservoirSample(std::span<const double> population,
-                                    size_t sample_size, Rng& rng) {
-  SELEST_CHECK_LE(sample_size, population.size());
+std::vector<double> SampleWithoutReplacement(std::span<const double> population,
+                                             size_t sample_size, Rng& rng) {
+  auto sample = TrySampleWithoutReplacement(population, sample_size, rng);
+  SELEST_CHECK(sample.ok());
+  return std::move(sample).value();
+}
+
+StatusOr<std::vector<double>> TryReservoirSample(
+    std::span<const double> population, size_t sample_size, Rng& rng) {
+  if (sample_size > population.size()) {
+    return InvalidArgumentError(
+        "reservoir of " + std::to_string(sample_size) +
+        " exceeds the population of " + std::to_string(population.size()));
+  }
   std::vector<double> reservoir(population.begin(),
                                 population.begin() + sample_size);
   for (size_t i = sample_size; i < population.size(); ++i) {
@@ -37,15 +53,30 @@ std::vector<double> ReservoirSample(std::span<const double> population,
   return reservoir;
 }
 
-std::vector<double> BernoulliSample(std::span<const double> population,
-                                    double rate, Rng& rng) {
-  SELEST_CHECK_GE(rate, 0.0);
-  SELEST_CHECK_LE(rate, 1.0);
+std::vector<double> ReservoirSample(std::span<const double> population,
+                                    size_t sample_size, Rng& rng) {
+  auto sample = TryReservoirSample(population, sample_size, rng);
+  SELEST_CHECK(sample.ok());
+  return std::move(sample).value();
+}
+
+StatusOr<std::vector<double>> TryBernoulliSample(
+    std::span<const double> population, double rate, Rng& rng) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    return InvalidArgumentError("Bernoulli rate must be in [0, 1]");
+  }
   std::vector<double> sample;
   for (double v : population) {
     if (rng.NextDouble() < rate) sample.push_back(v);
   }
   return sample;
+}
+
+std::vector<double> BernoulliSample(std::span<const double> population,
+                                    double rate, Rng& rng) {
+  auto sample = TryBernoulliSample(population, rate, rng);
+  SELEST_CHECK(sample.ok());
+  return std::move(sample).value();
 }
 
 }  // namespace selest

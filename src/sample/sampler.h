@@ -13,23 +13,36 @@
 #include <vector>
 
 #include "src/util/random.h"
+#include "src/util/status.h"
 
 namespace selest {
+
+// The Try* forms are Status-first: a sample size exceeding the population
+// (reachable whenever the population is an externally supplied data file)
+// or a rate outside [0, 1] is an error, never an abort. The plain forms
+// keep the historical aborting contract for call sites that already hold
+// the precondition.
 
 // Draws `sample_size` elements uniformly without replacement. Uses Floyd's
 // algorithm: O(sample_size) time and space regardless of population size.
 // Requires sample_size <= population.size(). Order of the result is random.
+StatusOr<std::vector<double>> TrySampleWithoutReplacement(
+    std::span<const double> population, size_t sample_size, Rng& rng);
 std::vector<double> SampleWithoutReplacement(std::span<const double> population,
                                              size_t sample_size, Rng& rng);
 
 // Algorithm R reservoir sampling: one pass, O(population) time, suitable
 // when the population is only available as a stream. Produces a uniform
-// sample without replacement.
+// sample without replacement. Requires sample_size <= population.size().
+StatusOr<std::vector<double>> TryReservoirSample(
+    std::span<const double> population, size_t sample_size, Rng& rng);
 std::vector<double> ReservoirSample(std::span<const double> population,
                                     size_t sample_size, Rng& rng);
 
 // Keeps each element independently with probability `rate` (0 <= rate <= 1).
 // The sample size is binomial, not fixed.
+StatusOr<std::vector<double>> TryBernoulliSample(
+    std::span<const double> population, double rate, Rng& rng);
 std::vector<double> BernoulliSample(std::span<const double> population,
                                     double rate, Rng& rng);
 

@@ -80,6 +80,28 @@ double NormalScalePsi(int s, double sigma) {
           std::sqrt(std::numbers::pi));
 }
 
+namespace {
+
+// Shared validation for the Try* entry points.
+Status ValidatePlugInInput(std::span<const double> sample, int stages) {
+  if (sample.empty()) {
+    return InvalidArgumentError("direct plug-in rule needs a non-empty sample");
+  }
+  if (stages < 1 || stages > 3) {
+    return InvalidArgumentError("direct plug-in stages must be in [1, 3]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<double> TryDirectPlugInBandwidth(std::span<const double> sample,
+                                          const Domain& domain,
+                                          const Kernel& kernel, int stages) {
+  SELEST_RETURN_IF_ERROR(ValidatePlugInInput(sample, stages));
+  return DirectPlugInBandwidth(sample, domain, kernel, stages);
+}
+
 double DirectPlugInBandwidth(std::span<const double> sample,
                              const Domain& domain, const Kernel& kernel,
                              int stages) {
@@ -107,6 +129,12 @@ double DirectPlugInBandwidth(std::span<const double> sample,
   return std::pow(r_k / (k2 * k2 * psi4 * static_cast<double>(n)), 0.2);
 }
 
+StatusOr<double> TryDirectPlugInBinWidth(std::span<const double> sample,
+                                         const Domain& domain, int stages) {
+  SELEST_RETURN_IF_ERROR(ValidatePlugInInput(sample, stages));
+  return DirectPlugInBinWidth(sample, domain, stages);
+}
+
 double DirectPlugInBinWidth(std::span<const double> sample,
                             const Domain& domain, int stages) {
   SELEST_CHECK_GE(stages, 1);
@@ -128,6 +156,14 @@ double DirectPlugInBinWidth(std::span<const double> sample,
   const double r_f_prime = -psi_next;
   if (!(r_f_prime > 0.0)) return fallback;
   return std::cbrt(6.0 / (static_cast<double>(n) * r_f_prime));
+}
+
+StatusOr<int> TryDirectPlugInNumBins(std::span<const double> sample,
+                                     const Domain& domain, int stages) {
+  SELEST_ASSIGN_OR_RETURN(const double width,
+                          TryDirectPlugInBinWidth(sample, domain, stages));
+  const double bins = domain.width() / width;
+  return std::max(1, static_cast<int>(std::lround(bins)));
 }
 
 int DirectPlugInNumBins(std::span<const double> sample, const Domain& domain,

@@ -19,6 +19,7 @@
 
 #include "src/data/domain.h"
 #include "src/density/kernel.h"
+#include "src/util/status.h"
 
 namespace selest {
 
@@ -29,19 +30,32 @@ double EstimatePsiFunctional(std::span<const double> sample, int s, double g);
 // The Gaussian (normal-scale) reference value of ψ_s for scale sigma.
 double NormalScalePsi(int s, double sigma);
 
-// Kernel bandwidth by the `stages`-stage direct plug-in rule (stages >= 1;
-// the paper's h-DPI2 is stages = 2). Falls back to the normal scale rule if
-// a functional estimate degenerates.
+// The Try* forms are Status-first: an empty sample or a stage count
+// outside [1, 3] is an error, never an abort (both are reachable from
+// externally supplied configs and data). The plain forms keep the
+// historical aborting contract.
+
+// Kernel bandwidth by the `stages`-stage direct plug-in rule (stages in
+// [1, 3]; the paper's h-DPI2 is stages = 2). Falls back to the normal
+// scale rule if a functional estimate degenerates.
+StatusOr<double> TryDirectPlugInBandwidth(std::span<const double> sample,
+                                          const Domain& domain,
+                                          const Kernel& kernel = Kernel(),
+                                          int stages = 2);
 double DirectPlugInBandwidth(std::span<const double> sample,
                              const Domain& domain,
                              const Kernel& kernel = Kernel(), int stages = 2);
 
 // Equi-width bin width by the direct plug-in rule:
 // h_EW = (6 / (n · R(f̂')))^(1/3) with R(f') estimated as −ψ̂_2.
+StatusOr<double> TryDirectPlugInBinWidth(std::span<const double> sample,
+                                         const Domain& domain, int stages = 2);
 double DirectPlugInBinWidth(std::span<const double> sample,
                             const Domain& domain, int stages = 2);
 
 // Bin count implied by DirectPlugInBinWidth (at least 1).
+StatusOr<int> TryDirectPlugInNumBins(std::span<const double> sample,
+                                     const Domain& domain, int stages = 2);
 int DirectPlugInNumBins(std::span<const double> sample, const Domain& domain,
                         int stages = 2);
 

@@ -9,9 +9,11 @@
 
 namespace selest {
 
-double NormalScaleBinWidth(std::span<const double> sample,
-                           const Domain& domain) {
-  SELEST_CHECK(!sample.empty());
+StatusOr<double> TryNormalScaleBinWidth(std::span<const double> sample,
+                                        const Domain& domain) {
+  if (sample.empty()) {
+    return InvalidArgumentError("normal scale rule needs a non-empty sample");
+  }
   const double s = NormalScaleSigma(sample);
   if (s <= 0.0) return domain.width() / 10.0;
   const double n = static_cast<double>(sample.size());
@@ -20,19 +22,44 @@ double NormalScaleBinWidth(std::span<const double> sample,
   return constant * s * std::pow(n, -1.0 / 3.0);
 }
 
-int NormalScaleNumBins(std::span<const double> sample, const Domain& domain) {
-  const double width = NormalScaleBinWidth(sample, domain);
+double NormalScaleBinWidth(std::span<const double> sample,
+                           const Domain& domain) {
+  auto width = TryNormalScaleBinWidth(sample, domain);
+  SELEST_CHECK(width.ok());
+  return width.value();
+}
+
+StatusOr<int> TryNormalScaleNumBins(std::span<const double> sample,
+                                    const Domain& domain) {
+  SELEST_ASSIGN_OR_RETURN(const double width,
+                          TryNormalScaleBinWidth(sample, domain));
   const double bins = domain.width() / width;
   return std::max(1, static_cast<int>(std::lround(bins)));
 }
 
-double NormalScaleBandwidth(std::span<const double> sample,
-                            const Domain& domain, const Kernel& kernel) {
-  SELEST_CHECK(!sample.empty());
+int NormalScaleNumBins(std::span<const double> sample, const Domain& domain) {
+  auto bins = TryNormalScaleNumBins(sample, domain);
+  SELEST_CHECK(bins.ok());
+  return bins.value();
+}
+
+StatusOr<double> TryNormalScaleBandwidth(std::span<const double> sample,
+                                         const Domain& domain,
+                                         const Kernel& kernel) {
+  if (sample.empty()) {
+    return InvalidArgumentError("normal scale rule needs a non-empty sample");
+  }
   const double s = NormalScaleSigma(sample);
   if (s <= 0.0) return domain.width() / 100.0;
   const double n = static_cast<double>(sample.size());
   return kernel.normal_scale_constant() * s * std::pow(n, -0.2);
+}
+
+double NormalScaleBandwidth(std::span<const double> sample,
+                            const Domain& domain, const Kernel& kernel) {
+  auto bandwidth = TryNormalScaleBandwidth(sample, domain, kernel);
+  SELEST_CHECK(bandwidth.ok());
+  return bandwidth.value();
 }
 
 }  // namespace selest

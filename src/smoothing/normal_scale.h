@@ -14,21 +14,35 @@
 
 #include "src/data/domain.h"
 #include "src/density/kernel.h"
+#include "src/util/status.h"
 
 namespace selest {
 
+// The Try* forms are Status-first: an empty sample (reachable from any
+// externally supplied data file) is an error, never an abort. The plain
+// forms keep the historical aborting contract for call sites that already
+// hold a non-empty sample. All rules fall back to a fixed fraction of the
+// domain width when the sample scale collapses to zero (constant data).
+
 // Equi-width bin width by the normal scale rule. Falls back to
 // domain.width()/10 when the sample scale collapses to zero.
+StatusOr<double> TryNormalScaleBinWidth(std::span<const double> sample,
+                                        const Domain& domain);
 double NormalScaleBinWidth(std::span<const double> sample,
                            const Domain& domain);
 
 // Number of equi-width bins for `domain` implied by NormalScaleBinWidth
 // (at least 1).
+StatusOr<int> TryNormalScaleNumBins(std::span<const double> sample,
+                                    const Domain& domain);
 int NormalScaleNumBins(std::span<const double> sample, const Domain& domain);
 
 // Kernel bandwidth by the normal scale rule for the given kernel
 // (Epanechnikov by default, constant ≈ 2.345·s·n^(−1/5)). Falls back to
 // domain.width()/100 when the sample scale collapses to zero.
+StatusOr<double> TryNormalScaleBandwidth(std::span<const double> sample,
+                                         const Domain& domain,
+                                         const Kernel& kernel = Kernel());
 double NormalScaleBandwidth(std::span<const double> sample,
                             const Domain& domain,
                             const Kernel& kernel = Kernel());

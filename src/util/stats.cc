@@ -6,30 +6,10 @@
 #include "src/util/check.h"
 
 namespace selest {
+namespace {
 
-double Mean(std::span<const double> values) {
-  SELEST_CHECK(!values.empty());
-  double sum = 0.0;
-  for (double v : values) sum += v;
-  return sum / static_cast<double>(values.size());
-}
-
-double SampleVariance(std::span<const double> values) {
-  SELEST_CHECK_GE(values.size(), 2u);
-  const double mean = Mean(values);
-  double sum_sq = 0.0;
-  for (double v : values) sum_sq += (v - mean) * (v - mean);
-  return sum_sq / static_cast<double>(values.size() - 1);
-}
-
-double SampleStddev(std::span<const double> values) {
-  return std::sqrt(SampleVariance(values));
-}
-
-double QuantileSorted(std::span<const double> sorted, double q) {
-  SELEST_CHECK(!sorted.empty());
-  SELEST_CHECK_GE(q, 0.0);
-  SELEST_CHECK_LE(q, 1.0);
+// Shared by the Try and aborting quantile forms; requires sorted non-empty.
+double QuantileSortedUnchecked(std::span<const double> sorted, double q) {
   const double position = q * static_cast<double>(sorted.size() - 1);
   const auto lower = static_cast<size_t>(position);
   const double fraction = position - static_cast<double>(lower);
@@ -37,16 +17,89 @@ double QuantileSorted(std::span<const double> sorted, double q) {
   return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
 }
 
-double Quantile(std::span<const double> values, double q) {
+}  // namespace
+
+StatusOr<double> TryMean(std::span<const double> values) {
+  if (values.empty()) {
+    return InvalidArgumentError("mean of an empty value set is undefined");
+  }
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Mean(std::span<const double> values) {
+  auto mean = TryMean(values);
+  SELEST_CHECK(mean.ok());
+  return mean.value();
+}
+
+StatusOr<double> TrySampleVariance(std::span<const double> values) {
+  if (values.size() < 2) {
+    return InvalidArgumentError("sample variance needs at least two values");
+  }
+  const double mean = *TryMean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double SampleVariance(std::span<const double> values) {
+  auto variance = TrySampleVariance(values);
+  SELEST_CHECK(variance.ok());
+  return variance.value();
+}
+
+StatusOr<double> TrySampleStddev(std::span<const double> values) {
+  auto variance = TrySampleVariance(values);
+  if (!variance.ok()) return variance.status();
+  return std::sqrt(variance.value());
+}
+
+double SampleStddev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+StatusOr<double> TryQuantileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    return InvalidArgumentError("quantile of an empty value set is undefined");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return InvalidArgumentError("quantile level must be in [0, 1]");
+  }
+  return QuantileSortedUnchecked(sorted, q);
+}
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  auto quantile = TryQuantileSorted(sorted, q);
+  SELEST_CHECK(quantile.ok());
+  return quantile.value();
+}
+
+StatusOr<double> TryQuantile(std::span<const double> values, double q) {
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  return QuantileSorted(sorted, q);
+  return TryQuantileSorted(sorted, q);
+}
+
+double Quantile(std::span<const double> values, double q) {
+  auto quantile = TryQuantile(values, q);
+  SELEST_CHECK(quantile.ok());
+  return quantile.value();
+}
+
+StatusOr<double> TryInterquartileRange(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto q75 = TryQuantileSorted(sorted, 0.75);
+  if (!q75.ok()) return q75.status();
+  return q75.value() - *TryQuantileSorted(sorted, 0.25);
 }
 
 double InterquartileRange(std::span<const double> values) {
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  return QuantileSorted(sorted, 0.75) - QuantileSorted(sorted, 0.25);
+  auto iqr = TryInterquartileRange(values);
+  SELEST_CHECK(iqr.ok());
+  return iqr.value();
 }
 
 double NormalScaleSigma(std::span<const double> values) {

@@ -8,26 +8,46 @@
 #include <span>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace selest {
 
+// Each statistic below comes in two flavors. The Try* form is Status-first:
+// it rejects degenerate input (empty spans, too few values, a quantile
+// outside [0, 1]) with an error Status and is what report aggregation and
+// other externally-fed paths use. The plain form keeps the historical
+// contract — the precondition is a programmer invariant and violating it
+// aborts — for call sites that have already established it.
+
+// Arithmetic mean. Errors on an empty span.
+StatusOr<double> TryMean(std::span<const double> values);
 // Arithmetic mean. Requires a non-empty span.
 double Mean(std::span<const double> values);
 
+// Unbiased sample variance (divides by n-1). Errors on fewer than two
+// values.
+StatusOr<double> TrySampleVariance(std::span<const double> values);
 // Unbiased sample variance (divides by n-1). Requires at least two values.
 double SampleVariance(std::span<const double> values);
 
-// Square root of SampleVariance.
+// Square root of the sample variance; same preconditions.
+StatusOr<double> TrySampleStddev(std::span<const double> values);
 double SampleStddev(std::span<const double> values);
 
 // The q-quantile (0 <= q <= 1) with linear interpolation between order
-// statistics (the "type 7" definition used by R and NumPy). Requires a
-// non-empty span. O(n log n): copies and sorts.
+// statistics (the "type 7" definition used by R and NumPy). Errors on an
+// empty span or a q outside [0, 1]. O(n log n): copies and sorts.
+StatusOr<double> TryQuantile(std::span<const double> values, double q);
+// Aborting form. Requires a non-empty span and q in [0, 1].
 double Quantile(std::span<const double> values, double q);
 
-// Like Quantile but for data already sorted ascending; O(1).
+// Like the quantile forms but for data already sorted ascending; O(1).
+StatusOr<double> TryQuantileSorted(std::span<const double> sorted, double q);
 double QuantileSorted(std::span<const double> sorted, double q);
 
-// Interquartile range: 0.75-quantile minus 0.25-quantile.
+// Interquartile range: 0.75-quantile minus 0.25-quantile. The Try form
+// errors on an empty span.
+StatusOr<double> TryInterquartileRange(std::span<const double> values);
 double InterquartileRange(std::span<const double> values);
 
 // The robust scale estimate of Section 4.1/4.2:

@@ -18,6 +18,8 @@ enum class StatusCode {
   kOutOfRange = 3,
   kNotFound = 4,
   kInternal = 5,
+  // A bounded retry loop (rejection sampling, workload generation) gave up.
+  kResourceExhausted = 6,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -56,6 +58,7 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status NotFoundError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // Holds either a value of type T or an error Status. Accessing the value of
 // an errored StatusOr aborts.
@@ -96,5 +99,33 @@ class StatusOr {
 };
 
 }  // namespace selest
+
+// Propagates a non-OK Status out of the enclosing function (which must
+// itself return Status or StatusOr<T>):
+//
+//   SELEST_RETURN_IF_ERROR(ValidateConfig(config));
+#define SELEST_RETURN_IF_ERROR(expr)                         \
+  do {                                                       \
+    ::selest::Status selest_status_ = (expr);                \
+    if (!selest_status_.ok()) return selest_status_;         \
+  } while (false)
+
+// Evaluates a StatusOr<T> expression; on success moves the value into
+// `lhs` (a declaration or an existing lvalue), otherwise propagates the
+// error out of the enclosing function:
+//
+//   SELEST_ASSIGN_OR_RETURN(const double bandwidth,
+//                           TryNormalScaleBandwidth(sample, domain));
+#define SELEST_ASSIGN_OR_RETURN(lhs, expr) \
+  SELEST_ASSIGN_OR_RETURN_IMPL_(           \
+      SELEST_STATUS_CONCAT_(selest_statusor_, __LINE__), lhs, expr)
+
+#define SELEST_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                  \
+  if (!statusor.ok()) return statusor.status();            \
+  lhs = std::move(statusor).value()
+
+#define SELEST_STATUS_CONCAT_(a, b) SELEST_STATUS_CONCAT_IMPL_(a, b)
+#define SELEST_STATUS_CONCAT_IMPL_(a, b) a##b
 
 #endif  // SELEST_UTIL_STATUS_H_

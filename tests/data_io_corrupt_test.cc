@@ -1,0 +1,198 @@
+// Corrupt-input regression tests for the dataset loaders: every malformed
+// file — truncated, garbage header, out-of-domain or non-finite values,
+// zero-length — must come back as an error Status, never an abort or a
+// leak (the robustness label runs this suite under asan-ubsan).
+#include "src/data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/util/serialize.h"
+
+namespace selest {
+namespace {
+
+class DataIoCorruptTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& suffix) {
+    return ::testing::TempDir() + "selest_corrupt_" + suffix;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : created_) std::remove(path.c_str());
+  }
+
+  std::string WriteFile(const std::string& suffix, const std::string& body) {
+    const std::string path = TempPath(suffix);
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    created_.push_back(path);
+    return path;
+  }
+
+  Dataset MakeValid() {
+    const Domain domain = ContinuousDomain(0.0, 100.0);
+    return Dataset("valid", domain, {1.0, 2.0, 50.0, 99.0});
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(DataIoCorruptTest, MissingFileIsNotFound) {
+  const auto loaded = LoadDatasetText(TempPath("does_not_exist.txt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DataIoCorruptTest, ZeroLengthTextFileIsRejected) {
+  const auto loaded = LoadDatasetText(WriteFile("empty.txt", ""));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataIoCorruptTest, GarbageHeaderIsRejected) {
+  const auto loaded = LoadDatasetText(
+      WriteFile("garbage.txt", "not-a-dataset at all\n1.0\n2.0\n"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataIoCorruptTest, HeaderWithoutValuesIsRejected) {
+  const auto loaded = LoadDatasetText(
+      WriteFile("novalues.txt", "selest-dataset d 0 100 0 0\n"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("no values"), std::string::npos);
+}
+
+TEST_F(DataIoCorruptTest, InvertedDomainIsRejected) {
+  const auto loaded = LoadDatasetText(
+      WriteFile("inverted.txt", "selest-dataset d 100 0 0 0\n50\n"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataIoCorruptTest, OutOfDomainValueIsRejected) {
+  const auto loaded = LoadDatasetText(
+      WriteFile("oob.txt", "selest-dataset d 0 100 0 0\n50\n500\n"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("outside"), std::string::npos);
+}
+
+// Forges a structurally valid binary dataset file the saver could never
+// produce (the Dataset constructor CHECKs containment, so poisoned values
+// can only arrive from outside).
+std::string ForgeBinaryFile(double lo, double hi,
+                            const std::vector<double>& values) {
+  ByteWriter writer;
+  writer.WriteU32(1);  // kBinaryVersion
+  writer.WriteString("forged");
+  writer.WriteDouble(lo);
+  writer.WriteDouble(hi);
+  writer.WriteU32(0);  // continuous
+  writer.WriteU32(0);  // bits
+  writer.WriteDoubleVector(values);
+  const auto& bytes = writer.bytes();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+TEST_F(DataIoCorruptTest, NonFiniteBinaryValueIsRejected) {
+  for (const double poison : {std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    const auto loaded = LoadDatasetBinary(
+        WriteFile("poison.dat", ForgeBinaryFile(0.0, 100.0, {1.0, poison})));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(DataIoCorruptTest, InvertedBinaryDomainIsRejected) {
+  const auto loaded = LoadDatasetBinary(
+      WriteFile("inv_domain.dat", ForgeBinaryFile(100.0, 0.0, {50.0})));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataIoCorruptTest, NanBinaryDomainIsRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto loaded = LoadDatasetBinary(
+      WriteFile("nan_domain.dat", ForgeBinaryFile(nan, 100.0, {50.0})));
+  // lo = NaN fails the lo < hi check; values cannot be inside either way.
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataIoCorruptTest, ZeroLengthBinaryFileIsRejected) {
+  const auto loaded = LoadDatasetBinary(WriteFile("empty.dat", ""));
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(DataIoCorruptTest, TruncatedBinaryFilesAreRejectedAtEveryLength) {
+  const Dataset data = MakeValid();
+  const std::string path = TempPath("whole.dat");
+  created_.push_back(path);
+  ASSERT_TRUE(SaveDatasetBinary(data, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 16u);
+  // Every proper prefix must fail cleanly: truncation can land mid-header,
+  // mid-string, or mid-value array.
+  for (size_t len = 0; len < bytes.size(); len += 3) {
+    const auto loaded = LoadDatasetBinary(
+        WriteFile("trunc_" + std::to_string(len) + ".dat",
+                  bytes.substr(0, len)));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes";
+  }
+}
+
+TEST_F(DataIoCorruptTest, TrailingBytesAreRejected) {
+  const Dataset data = MakeValid();
+  const std::string path = TempPath("tail.dat");
+  created_.push_back(path);
+  ASSERT_TRUE(SaveDatasetBinary(data, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes += "extra";
+  const auto loaded = LoadDatasetBinary(WriteFile("tail2.dat", bytes));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST_F(DataIoCorruptTest, WrongBinaryVersionIsRejected) {
+  // Flip the first byte of the little-endian version word.
+  const Dataset data = MakeValid();
+  const std::string path = TempPath("ver.dat");
+  created_.push_back(path);
+  ASSERT_TRUE(SaveDatasetBinary(data, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes[0] = static_cast<char>(bytes[0] + 1);
+  const auto loaded = LoadDatasetBinary(WriteFile("ver2.dat", bytes));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(DataIoCorruptTest, TextValuesAfterGarbageTokenAreDropped) {
+  // A non-numeric token stops extraction; the loader must still validate
+  // what it got instead of crashing or accepting a half-read file.
+  const auto loaded = LoadDatasetText(WriteFile(
+      "midgarbage.txt", "selest-dataset d 0 100 0 0\n1\n2\nnot-a-number\n3\n"));
+  if (loaded.ok()) {
+    EXPECT_EQ(loaded->values().size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,161 @@
+// The guarded sweep acceptance test: a parallel_experiment sweep with a
+// deliberately broken config completes, records the error in that cell,
+// and still reports fallback estimates — and healthy cells stay
+// bit-identical to the unguarded runner.
+#include "src/eval/parallel_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/data/distribution.h"
+#include "src/exec/fault_injection.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+Dataset MakeData() {
+  Rng rng(11);
+  const Domain domain = BitDomain(16);
+  const NormalDistribution dist(0.5 * domain.hi, domain.width() / 8.0);
+  return GenerateDataset("guarded-sweep", dist, 10000, domain, rng);
+}
+
+ExperimentSetup MakeSmallSetup(const Dataset& data) {
+  ProtocolConfig protocol;
+  protocol.sample_size = 500;
+  protocol.num_queries = 200;
+  return MakeSetup(data, protocol);
+}
+
+void ExpectBitIdentical(const ErrorReport& a, const ErrorReport& b) {
+  EXPECT_EQ(a.mean_relative_error, b.mean_relative_error);
+  EXPECT_EQ(a.mean_absolute_error, b.mean_absolute_error);
+  EXPECT_EQ(a.max_relative_error, b.max_relative_error);
+  EXPECT_EQ(a.p50_relative_error, b.p50_relative_error);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+// Two healthy configs around one that cannot build: NaN fixed bandwidth.
+std::vector<EstimatorConfig> ConfigsWithOneBroken() {
+  std::vector<EstimatorConfig> configs(3);
+  configs[0].kind = EstimatorKind::kEquiWidth;
+  configs[1].kind = EstimatorKind::kKernel;
+  configs[1].smoothing = SmoothingRule::kFixed;
+  configs[1].fixed_smoothing = std::numeric_limits<double>::quiet_NaN();
+  configs[2].kind = EstimatorKind::kEquiDepth;
+  return configs;
+}
+
+class GuardedSweepTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::DisarmAll(); }
+};
+
+TEST_F(GuardedSweepTest, BrokenConfigYieldsErrorCellPlusFallbackEstimates) {
+  const Dataset data = MakeData();
+  const ExperimentSetup setup = MakeSmallSetup(data);
+  const auto configs = ConfigsWithOneBroken();
+  for (const size_t threads : {size_t{1}, size_t{3}}) {
+    const auto cells =
+        RunConfigsGuarded(setup, configs, ParallelExecOptions{threads});
+    ASSERT_EQ(cells.size(), 3u);
+
+    // Healthy cells: clean, and bit-identical to the unguarded runner.
+    const auto raw = RunConfigsParallel(setup, configs,
+                                        ParallelExecOptions{threads});
+    for (const size_t c : {size_t{0}, size_t{2}}) {
+      EXPECT_TRUE(cells[c].primary_status.ok());
+      EXPECT_TRUE(cells[c].eval_status.ok());
+      EXPECT_FALSE(cells[c].degraded());
+      ASSERT_TRUE(raw[c].ok());
+      ExpectBitIdentical(cells[c].report, raw[c].value());
+    }
+
+    // The broken cell: the build error is recorded, the sweep did not
+    // abort, and the fallback chain still produced a scored report.
+    const GuardedCellReport& broken = cells[1];
+    EXPECT_FALSE(broken.primary_status.ok());
+    EXPECT_EQ(broken.primary_status.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(broken.eval_status.ok());
+    EXPECT_TRUE(broken.degraded());
+    EXPECT_GT(broken.report.evaluated, 0u);
+    EXPECT_TRUE(std::isfinite(broken.report.mean_relative_error));
+    EXPECT_NE(broken.estimator_name.find("guarded("), std::string::npos);
+    EXPECT_FALSE(raw[1].ok());  // the unguarded runner only has the error
+  }
+}
+
+TEST_F(GuardedSweepTest, GuardedSweepIsDeterministicAcrossThreadCounts) {
+  const Dataset data = MakeData();
+  const ExperimentSetup setup = MakeSmallSetup(data);
+  const auto configs = ConfigsWithOneBroken();
+  const auto serial =
+      RunConfigsGuarded(setup, configs, ParallelExecOptions{1});
+  const auto parallel =
+      RunConfigsGuarded(setup, configs, ParallelExecOptions{4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(serial[c].primary_status.code(),
+              parallel[c].primary_status.code());
+    ExpectBitIdentical(serial[c].report, parallel[c].report);
+    EXPECT_EQ(serial[c].estimator_name, parallel[c].estimator_name);
+  }
+}
+
+TEST_F(GuardedSweepTest, InjectedBuildFaultsDegradeEveryCellToUniform) {
+  const Dataset data = MakeData();
+  const ExperimentSetup setup = MakeSmallSetup(data);
+  const auto configs = ConfigsWithOneBroken();
+  ScopedFault fault(kFaultPointEstimatorBuild);
+  const auto cells =
+      RunConfigsGuarded(setup, configs, ParallelExecOptions{1});
+  for (const GuardedCellReport& cell : cells) {
+    EXPECT_EQ(cell.primary_status.code(), StatusCode::kInternal);
+    EXPECT_TRUE(cell.eval_status.ok());
+    // Uniform-only chains still score every query.
+    EXPECT_GT(cell.report.evaluated, 0u);
+    EXPECT_EQ(cell.estimator_name, "guarded(uniform)");
+  }
+}
+
+TEST_F(GuardedSweepTest, InjectedTaskFaultsSurfaceAsEvalErrors) {
+  const Dataset data = MakeData();
+  const ExperimentSetup setup = MakeSmallSetup(data);
+  std::vector<EstimatorConfig> configs(1);
+  configs[0].kind = EstimatorKind::kEquiWidth;
+  ScopedFault fault(kFaultPointExecTask);
+  for (const size_t threads : {size_t{1}, size_t{3}}) {
+    const auto cells =
+        RunConfigsGuarded(setup, configs, ParallelExecOptions{threads});
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].primary_status.ok());
+    EXPECT_FALSE(cells[0].eval_status.ok());
+    EXPECT_EQ(cells[0].eval_status.code(), StatusCode::kInternal);
+    EXPECT_TRUE(cells[0].degraded());
+    EXPECT_EQ(cells[0].report.evaluated, 0u);  // the report stays zeroed
+  }
+}
+
+TEST_F(GuardedSweepTest, EmptyConfigListAndEmptySampleDoNotCrash) {
+  const Dataset data = MakeData();
+  const ExperimentSetup setup = MakeSmallSetup(data);
+  EXPECT_TRUE(RunConfigsGuarded(setup, {}, ParallelExecOptions{1}).empty());
+
+  ExperimentSetup degenerate = setup;
+  degenerate.sample.clear();
+  std::vector<EstimatorConfig> configs(1);
+  configs[0].kind = EstimatorKind::kKernel;
+  const auto cells =
+      RunConfigsGuarded(degenerate, configs, ParallelExecOptions{1});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].primary_status.ok());
+  EXPECT_TRUE(cells[0].eval_status.ok());
+  EXPECT_GT(cells[0].report.evaluated, 0u);  // uniform still answers
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,227 @@
+// Deterministic fault injection: every armed point fails exactly the hits
+// its plan says, every injected failure surfaces as a Status (never an
+// abort or a hang), and the pool stays usable afterwards.
+#include "src/exec/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/data/distribution.h"
+#include "src/data/io.h"
+#include "src/est/estimator_factory.h"
+#include "src/exec/parallel_for.h"
+#include "src/exec/thread_pool.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedPointAlwaysPasses) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultInjector::Check("test/unarmed").ok());
+  }
+  EXPECT_EQ(FaultInjector::HitCount("test/unarmed"), 0u);
+  EXPECT_EQ(FaultInjector::FiredCount("test/unarmed"), 0u);
+}
+
+TEST_F(FaultInjectionTest, DefaultPlanFailsEveryHit) {
+  FaultInjector::Arm("test/point");
+  for (int i = 0; i < 5; ++i) {
+    const Status status = FaultInjector::Check("test/point");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_NE(status.message().find("test/point"), std::string::npos);
+  }
+  EXPECT_EQ(FaultInjector::HitCount("test/point"), 5u);
+  EXPECT_EQ(FaultInjector::FiredCount("test/point"), 5u);
+}
+
+TEST_F(FaultInjectionTest, WindowPlanFailsOnlyPlannedHits) {
+  FaultPlan plan;
+  plan.skip = 2;
+  plan.count = 3;
+  FaultInjector::Arm("test/window", plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(!FaultInjector::Check("test/window").ok());
+  }
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(FaultInjector::HitCount("test/window"), 8u);
+  EXPECT_EQ(FaultInjector::FiredCount("test/window"), 3u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticPlanIsSeededAndReproducible) {
+  FaultPlan plan;
+  plan.probability = 0.3;
+  plan.seed = 42;
+  const auto run = [&plan] {
+    FaultInjector::Arm("test/coin", plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!FaultInjector::Check("test/coin").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  const size_t fired =
+      static_cast<size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, first.size());
+
+  // A different seed flips a different subset.
+  plan.seed = 43;
+  FaultInjector::Arm("test/coin", plan);
+  std::vector<bool> other;
+  for (int i = 0; i < 200; ++i) {
+    other.push_back(!FaultInjector::Check("test/coin").ok());
+  }
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultInjectionTest, ArmResetsCountersAndScopedFaultDisarms) {
+  {
+    ScopedFault fault("test/scoped");
+    EXPECT_FALSE(FaultInjector::Check("test/scoped").ok());
+    EXPECT_EQ(FaultInjector::FiredCount("test/scoped"), 1u);
+    FaultInjector::Arm("test/scoped");
+    EXPECT_EQ(FaultInjector::HitCount("test/scoped"), 0u);
+  }
+  EXPECT_TRUE(FaultInjector::Check("test/scoped").ok());
+  EXPECT_EQ(FaultInjector::HitCount("test/scoped"), 0u);
+}
+
+// --- The registered fault points, each proven to surface as a Status. ---
+
+Dataset MakeData() {
+  Rng rng(7);
+  const Domain domain = BitDomain(12);
+  const UniformDistribution dist(domain.lo, domain.hi);
+  return GenerateDataset("fault", dist, 300, domain, rng);
+}
+
+TEST_F(FaultInjectionTest, DatasetReadFaultsSurfaceAsStatus) {
+  const Dataset data = MakeData();
+  const std::string text_path = ::testing::TempDir() + "selest_fault_text.txt";
+  const std::string bin_path = ::testing::TempDir() + "selest_fault_bin.dat";
+  ASSERT_TRUE(SaveDatasetText(data, text_path).ok());
+  ASSERT_TRUE(SaveDatasetBinary(data, bin_path).ok());
+  {
+    ScopedFault fault(kFaultPointDatasetReadText);
+    const auto loaded = LoadDatasetText(text_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  }
+  {
+    ScopedFault fault(kFaultPointDatasetReadBinary);
+    const auto loaded = LoadDatasetBinary(bin_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  }
+  // Disarmed again: both loads recover.
+  EXPECT_TRUE(LoadDatasetText(text_path).ok());
+  EXPECT_TRUE(LoadDatasetBinary(bin_path).ok());
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST_F(FaultInjectionTest, EstimatorBuildFaultSurfacesAsStatus) {
+  const Dataset data = MakeData();
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  {
+    ScopedFault fault(kFaultPointEstimatorBuild);
+    const auto estimator =
+        BuildEstimator(data.values(), data.domain(), config);
+    ASSERT_FALSE(estimator.ok());
+    EXPECT_EQ(estimator.status().code(), StatusCode::kInternal);
+  }
+  EXPECT_TRUE(BuildEstimator(data.values(), data.domain(), config).ok());
+}
+
+TEST_F(FaultInjectionTest, TaskFaultFailsTryParallelForSerially) {
+  // Serial path (null pool): chunk hits arrive in chunk order, so skip=1
+  // count=1 fails exactly chunk 1; all chunks still run.
+  FaultPlan plan;
+  plan.skip = 1;
+  plan.count = 1;
+  ScopedFault fault(kFaultPointExecTask, plan);
+  std::vector<int> ran(4, 0);
+  const Status status = TryParallelFor(
+      nullptr, 4, 4, [&](size_t begin, size_t /*end*/, size_t) -> Status {
+        ran[begin] = 1;
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find(kFaultPointExecTask), std::string::npos);
+  EXPECT_EQ(FaultInjector::HitCount(kFaultPointExecTask), 4u);
+  // The faulted chunk was skipped; every other chunk ran to completion.
+  EXPECT_EQ(ran, (std::vector<int>{1, 0, 1, 1}));
+}
+
+TEST_F(FaultInjectionTest, TaskFaultFailsTryParallelForOnPoolWithoutHanging) {
+  ThreadPool pool(3);
+  ScopedFault fault(kFaultPointExecTask);
+  std::vector<int> ran(8, 0);
+  const Status status = TryParallelFor(
+      &pool, 8, 8, [&](size_t begin, size_t, size_t) -> Status {
+        ran[begin] = 1;
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(FaultInjector::HitCount(kFaultPointExecTask), 8u);
+  EXPECT_EQ(FaultInjector::FiredCount(kFaultPointExecTask), 8u);
+  FaultInjector::Disarm(kFaultPointExecTask);
+  // The pool survives the injected failures and keeps running work.
+  std::vector<int> after(8, 0);
+  const Status ok_status = TryParallelFor(
+      &pool, 8, 8, [&](size_t begin, size_t, size_t) -> Status {
+        after[begin] = 1;
+        return Status::Ok();
+      });
+  EXPECT_TRUE(ok_status.ok());
+  EXPECT_EQ(after, std::vector<int>(8, 1));
+}
+
+TEST_F(FaultInjectionTest, TryParallelForReportsLowestFailingChunk) {
+  // Without faults: chunk bodies returning errors resolve to the
+  // lowest-indexed failure, deterministically, on the pool too.
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    const Status status = TryParallelFor(
+        &pool, 6, 6, [](size_t, size_t, size_t chunk) -> Status {
+          if (chunk >= 2) {
+            return InvalidArgumentError("chunk " + std::to_string(chunk));
+          }
+          return Status::Ok();
+        });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "chunk 2");
+  }
+}
+
+TEST_F(FaultInjectionTest, TryParallelForTurnsExceptionsIntoStatus) {
+  ThreadPool pool(2);
+  const Status status = TryParallelFor(
+      &pool, 4, 4, [](size_t, size_t, size_t chunk) -> Status {
+        if (chunk == 1) throw std::runtime_error("boom");
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selest

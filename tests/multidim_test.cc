@@ -76,7 +76,9 @@ TEST(Workload2dTest, WindowsInsideDomainWithNonEmptyResults) {
   Workload2dConfig config;
   config.side_fraction = 0.1;
   config.num_queries = 200;
-  const auto queries = GenerateWorkload2d(data, config, rng);
+  const auto queries_or = GenerateWorkload2d(data, config, rng);
+  ASSERT_TRUE(queries_or.ok()) << queries_or.status().ToString();
+  const auto& queries = *queries_or;
   ASSERT_EQ(queries.size(), 200u);
   for (const WindowQuery& q : queries) {
     EXPECT_GE(q.x_lo, 0.0);
@@ -269,7 +271,9 @@ TEST(Kernel2dTest, AccuracyBeatsUniformOnClusteredData) {
   Rng query_rng(17);
   Workload2dConfig config;
   config.num_queries = 100;
-  const auto queries = GenerateWorkload2d(data, config, query_rng);
+  const auto queries_or = GenerateWorkload2d(data, config, query_rng);
+  ASSERT_TRUE(queries_or.ok()) << queries_or.status().ToString();
+  const auto& queries = *queries_or;
   double kernel_error = 0.0;
   double uniform_error = 0.0;
   for (const WindowQuery& q : queries) {

@@ -1,5 +1,7 @@
 #include "src/query/workload.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "src/data/distribution.h"
@@ -121,6 +123,37 @@ TEST(GroundTruthTest, SelectivityMatchesCounts) {
   const RangeQuery q{data.domain().lo, data.domain().hi};
   EXPECT_EQ(truth.Count(q), 1000u);
   EXPECT_DOUBLE_EQ(truth.Selectivity(q), 1.0);
+}
+
+TEST(TryWorkloadTest, RejectsInvalidConfig) {
+  const Dataset data = MakeUniformData(1000, 21);
+  Rng rng(22);
+  WorkloadConfig config;
+  config.query_fraction = 0.0;
+  EXPECT_EQ(TryGenerateWorkload(data, config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  config.query_fraction = 1.5;
+  EXPECT_FALSE(TryGenerateWorkload(data, config, rng).ok());
+  config.query_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(TryGenerateWorkload(data, config, rng).ok());
+  config.query_fraction = 0.01;
+  config.num_queries = 0;
+  EXPECT_FALSE(TryGenerateWorkload(data, config, rng).ok());
+}
+
+TEST(TryWorkloadTest, ExhaustionIsResourceExhaustedNotAbort) {
+  // Every record sits on the lower domain boundary, so every candidate
+  // query of this width overlaps the boundary and is rejected — the
+  // rejection-sampling loop can never finish.
+  const Domain domain = BitDomain(8);
+  const Dataset data("piled", domain, std::vector<double>(10, 0.0));
+  Rng rng(23);
+  WorkloadConfig config;
+  config.query_fraction = 0.5;
+  config.num_queries = 2;
+  const auto queries = TryGenerateWorkload(data, config, rng);
+  ASSERT_FALSE(queries.ok());
+  EXPECT_EQ(queries.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

@@ -114,5 +114,33 @@ TEST(NormalScaleBandwidthTest, ScaleEquivariance) {
   EXPECT_NEAR(h3, 3.0 * h1, 1e-9);
 }
 
+TEST(TryNormalScaleTest, MatchesAbortingFormsOnValidInput) {
+  const auto sample = GaussianSample(500, 50.0, 5.0, 13);
+  EXPECT_EQ(TryNormalScaleBinWidth(sample, kDomain).value(),
+            NormalScaleBinWidth(sample, kDomain));
+  EXPECT_EQ(TryNormalScaleNumBins(sample, kDomain).value(),
+            NormalScaleNumBins(sample, kDomain));
+  EXPECT_EQ(TryNormalScaleBandwidth(sample, kDomain).value(),
+            NormalScaleBandwidth(sample, kDomain));
+}
+
+TEST(TryNormalScaleTest, EmptySampleIsInvalidArgumentNotAbort) {
+  const std::vector<double> empty;
+  EXPECT_EQ(TryNormalScaleBinWidth(empty, kDomain).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryNormalScaleNumBins(empty, kDomain).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryNormalScaleBandwidth(empty, kDomain).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TryNormalScaleTest, ConstantDataKeepsFallbacks) {
+  const std::vector<double> sample(100, 42.0);
+  EXPECT_DOUBLE_EQ(TryNormalScaleBandwidth(sample, kDomain).value(),
+                   kDomain.width() / 100.0);
+  EXPECT_DOUBLE_EQ(TryNormalScaleBinWidth(sample, kDomain).value(),
+                   kDomain.width() / 10.0);
+}
+
 }  // namespace
 }  // namespace selest

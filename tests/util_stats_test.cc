@@ -1,6 +1,7 @@
 #include "src/util/stats.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -125,6 +126,42 @@ TEST(StatsTest, RunningStatEmpty) {
   const RunningStat stat;
   EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
   EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+TEST(TryStatsTest, MatchesAbortingFormsOnValidInput) {
+  const std::vector<double> v{1.5, -2.0, 8.0, 3.25, 0.0};
+  EXPECT_EQ(TryMean(v).value(), Mean(v));
+  EXPECT_EQ(TrySampleVariance(v).value(), SampleVariance(v));
+  EXPECT_EQ(TrySampleStddev(v).value(), SampleStddev(v));
+  EXPECT_EQ(TryQuantile(v, 0.5).value(), Quantile(v, 0.5));
+  EXPECT_EQ(TryInterquartileRange(v).value(), InterquartileRange(v));
+}
+
+TEST(TryStatsTest, EmptyInputIsInvalidArgument) {
+  const std::vector<double> empty;
+  EXPECT_EQ(TryMean(empty).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryQuantile(empty, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryQuantileSorted(empty, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryInterquartileRange(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TryStatsTest, VarianceNeedsTwoValues) {
+  const std::vector<double> one{4.0};
+  EXPECT_FALSE(TrySampleVariance(one).ok());
+  EXPECT_FALSE(TrySampleStddev(one).ok());
+  EXPECT_FALSE(TrySampleVariance({}).ok());
+}
+
+TEST(TryStatsTest, QuantileRejectsOutOfRangeAndNanQ) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_FALSE(TryQuantile(v, -0.1).ok());
+  EXPECT_FALSE(TryQuantile(v, 1.1).ok());
+  EXPECT_FALSE(TryQuantile(v, std::numeric_limits<double>::quiet_NaN()).ok());
+  EXPECT_TRUE(TryQuantile(v, 0.0).ok());
+  EXPECT_TRUE(TryQuantile(v, 1.0).ok());
 }
 
 }  // namespace

@@ -75,5 +75,48 @@ TEST(StatusOrDeathTest, AccessingErrorValueAborts) {
   EXPECT_DEATH(result.value(), "SELEST_CHECK");
 }
 
+TEST(StatusTest, ResourceExhaustedCodeAndName) {
+  const Status s = ResourceExhaustedError("out of retries");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "RESOURCE_EXHAUSTED: out of retries");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+Status ReturnIfErrorHelper(const Status& status, bool* reached_end) {
+  SELEST_RETURN_IF_ERROR(status);
+  *reached_end = true;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesAndPassesThrough) {
+  bool reached_end = false;
+  EXPECT_TRUE(ReturnIfErrorHelper(Status::Ok(), &reached_end).ok());
+  EXPECT_TRUE(reached_end);
+
+  reached_end = false;
+  const Status error = ReturnIfErrorHelper(NotFoundError("x"), &reached_end);
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(reached_end);
+}
+
+StatusOr<int> AssignOrReturnHelper(StatusOr<int> input) {
+  SELEST_ASSIGN_OR_RETURN(const int value, std::move(input));
+  // Two expansions in one function must not collide (the macro mints a
+  // unique temporary per line).
+  SELEST_ASSIGN_OR_RETURN(const int scaled, StatusOr<int>(3 * value));
+  return scaled;
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  const StatusOr<int> ok = AssignOrReturnHelper(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 12);
+
+  const StatusOr<int> error = AssignOrReturnHelper(InternalError("bad"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInternal);
+}
+
 }  // namespace
 }  // namespace selest
