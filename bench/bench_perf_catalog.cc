@@ -1,0 +1,142 @@
+// Micro-benchmark: the three serve tiers of the statistics catalog.
+//
+// For each estimator family at n = 65,536 sample records, measures
+//
+//   cold build     — BuildEstimator from the raw sample (what a catalog
+//                    miss without a snapshot pays),
+//   snapshot load  — LoadEstimatorSnapshot from in-memory bytes (what a
+//                    cold process start with a warm disk pays; file IO
+//                    excluded so the number isolates decode cost),
+//   cache hit      — Catalog::Estimate against a resident entry (the
+//                    steady state; one query answered per iteration), and
+//   direct query   — the same query on the estimator object itself, the
+//                    baseline the cache-hit path is compared against.
+//
+// The build-once/serve-many contract expects snapshot-load to beat cold
+// build by a wide margin for the construction-heavy estimators (kernel:
+// sorting + strip quadrature; hybrid: change-point detection) and cache
+// hits to sit within a few percent of direct estimator queries.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/catalog/statistics_catalog.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/est/estimator_snapshot.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+constexpr size_t kSampleSize = 1 << 16;  // 65,536
+const Domain kDomain = ContinuousDomain(0.0, 1.0e6);
+
+const std::vector<double>& BenchSample() {
+  static const std::vector<double>* sample = [] {
+    Rng rng(7);
+    auto* values = new std::vector<double>(kSampleSize);
+    for (double& x : *values) {
+      x = kDomain.Clamp(0.5e6 + 1.2e5 * rng.NextGaussian());
+    }
+    return values;
+  }();
+  return *sample;
+}
+
+EstimatorConfig ConfigFor(EstimatorKind kind) {
+  EstimatorConfig config;
+  config.kind = kind;
+  return config;
+}
+
+void ColdBuild(benchmark::State& state, EstimatorKind kind) {
+  const EstimatorConfig config = ConfigFor(kind);
+  for (auto _ : state) {
+    auto estimator = BuildEstimator(BenchSample(), kDomain, config);
+    benchmark::DoNotOptimize(estimator);
+  }
+}
+
+void SnapshotLoad(benchmark::State& state, EstimatorKind kind) {
+  auto built = BuildEstimator(BenchSample(), kDomain, ConfigFor(kind));
+  if (!built.ok()) {
+    state.SkipWithError(built.status().ToString().c_str());
+    return;
+  }
+  auto bytes = SnapshotEstimator(*built.value());
+  if (!bytes.ok()) {
+    state.SkipWithError(bytes.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = LoadEstimatorSnapshot(bytes.value());
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.counters["snapshot_bytes"] =
+      static_cast<double>(bytes.value().size());
+}
+
+void CacheHit(benchmark::State& state, EstimatorKind kind) {
+  Catalog catalog;  // memory-only: isolates the cache path
+  auto key = catalog.RegisterColumn("bench", "x", kDomain, BenchSample(),
+                                    ConfigFor(kind));
+  if (!key.ok()) {
+    state.SkipWithError(key.status().ToString().c_str());
+    return;
+  }
+  const RangeQuery query{2.0e5, 8.0e5};
+  (void)catalog.Estimate(key.value(), query);  // warm the entry
+  for (auto _ : state) {
+    auto estimate = catalog.Estimate(key.value(), query);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+
+void DirectQuery(benchmark::State& state, EstimatorKind kind) {
+  auto built = BuildEstimator(BenchSample(), kDomain, ConfigFor(kind));
+  if (!built.ok()) {
+    state.SkipWithError(built.status().ToString().c_str());
+    return;
+  }
+  const RangeQuery query{2.0e5, 8.0e5};
+  for (auto _ : state) {
+    const double estimate = built.value()->EstimateSelectivity(query);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+
+#define CATALOG_BENCH(name, kind)                                   \
+  void BM_ColdBuild_##name(benchmark::State& state) {               \
+    ColdBuild(state, EstimatorKind::kind);                          \
+  }                                                                 \
+  BENCHMARK(BM_ColdBuild_##name)->Unit(benchmark::kMicrosecond);    \
+  void BM_SnapshotLoad_##name(benchmark::State& state) {            \
+    SnapshotLoad(state, EstimatorKind::kind);                       \
+  }                                                                 \
+  BENCHMARK(BM_SnapshotLoad_##name)->Unit(benchmark::kMicrosecond); \
+  void BM_CacheHit_##name(benchmark::State& state) {                \
+    CacheHit(state, EstimatorKind::kind);                           \
+  }                                                                 \
+  BENCHMARK(BM_CacheHit_##name)->Unit(benchmark::kNanosecond);      \
+  void BM_DirectQuery_##name(benchmark::State& state) {             \
+    DirectQuery(state, EstimatorKind::kind);                        \
+  }                                                                 \
+  BENCHMARK(BM_DirectQuery_##name)->Unit(benchmark::kNanosecond)
+
+CATALOG_BENCH(Uniform, kUniform);
+CATALOG_BENCH(Sampling, kSampling);
+CATALOG_BENCH(EquiWidth, kEquiWidth);
+CATALOG_BENCH(EquiDepth, kEquiDepth);
+CATALOG_BENCH(MaxDiff, kMaxDiff);
+CATALOG_BENCH(VOptimal, kVOptimal);
+CATALOG_BENCH(Wavelet, kWavelet);
+CATALOG_BENCH(Ash, kAverageShifted);
+CATALOG_BENCH(Kernel, kKernel);
+CATALOG_BENCH(AdaptiveKernel, kAdaptiveKernel);
+CATALOG_BENCH(Hybrid, kHybrid);
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,121 @@
+#include "src/catalog/serving_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+namespace {
+
+// FNV-1a over a string, continuing from `hash`.
+uint64_t MixString(uint64_t hash, const std::string& text) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= kPrime;
+  }
+  // A separator byte so ("ab", "c") and ("a", "bc") hash differently.
+  hash ^= 0xFFu;
+  hash *= kPrime;
+  return hash;
+}
+
+}  // namespace
+
+size_t CatalogKeyHash::operator()(const CatalogKey& key) const {
+  constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  uint64_t hash = MixString(kOffsetBasis, key.relation);
+  hash = MixString(hash, key.attribute);
+  hash ^= key.fingerprint;
+  hash *= 1099511628211ull;
+  return static_cast<size_t>(hash);
+}
+
+ServingCache::ServingCache(size_t capacity, size_t num_shards)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  const size_t shards =
+      std::clamp<size_t>(num_shards, 1, std::max<size_t>(capacity_ / 2, 1));
+  per_shard_capacity_ = std::max<size_t>(capacity_ / shards, 1);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ServingCache::Shard& ServingCache::ShardFor(const CatalogKey& key) {
+  return *shards_[CatalogKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const SelectivityEstimator> ServingCache::Lookup(
+    const CatalogKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->estimator;
+}
+
+void ServingCache::Insert(
+    const CatalogKey& key,
+    std::shared_ptr<const SelectivityEstimator> estimator) {
+  SELEST_CHECK(estimator != nullptr);
+  const size_t bytes = estimator->StorageBytes();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    resident_bytes_.fetch_sub(it->second->estimator->StorageBytes(),
+                              std::memory_order_relaxed);
+    it->second->estimator = std::move(estimator);
+    resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(estimator)});
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  resident_entries_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    resident_bytes_.fetch_sub(victim.estimator->StorageBytes(),
+                              std::memory_order_relaxed);
+    resident_entries_.fetch_sub(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServingCache::Erase(const CatalogKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  resident_bytes_.fetch_sub(it->second->estimator->StorageBytes(),
+                            std::memory_order_relaxed);
+  resident_entries_.fetch_sub(1, std::memory_order_relaxed);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+CacheStats ServingCache::stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.resident_entries = resident_entries_.load(std::memory_order_relaxed);
+  stats.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace selest

@@ -1,0 +1,115 @@
+// A sharded LRU cache of deserialized estimators, the hot tier of the
+// build-once/serve-many catalog (DESIGN.md §9).
+//
+// Estimates on the serve path are read-mostly and concurrent (the
+// SelectivityEstimator contract makes const calls thread-safe), so the
+// cache hands out shared_ptr<const ...>: an entry being evicted under one
+// thread never invalidates an estimate in flight on another. Keys are
+// sharded by hash across independently locked LRU lists; a lookup takes
+// exactly one shard mutex, so threads serving different columns do not
+// contend.
+#ifndef SELEST_CATALOG_SERVING_CACHE_H_
+#define SELEST_CATALOG_SERVING_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/est/selectivity_estimator.h"
+
+namespace selest {
+
+// Identity of one cached/persisted estimator: the column it summarizes
+// plus the fingerprint of the estimator configuration (see
+// FingerprintConfig in est/estimator_factory.h). Different configs over
+// the same column coexist in cache and store.
+struct CatalogKey {
+  std::string relation;
+  std::string attribute;
+  uint64_t fingerprint = 0;
+
+  friend bool operator==(const CatalogKey& a, const CatalogKey& b) {
+    return a.fingerprint == b.fingerprint && a.relation == b.relation &&
+           a.attribute == b.attribute;
+  }
+};
+
+struct CatalogKeyHash {
+  size_t operator()(const CatalogKey& key) const;
+};
+
+// Counter snapshot; taken with relaxed atomics, so totals are exact only
+// once concurrent traffic has quiesced.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t resident_entries = 0;
+  // Sum of StorageBytes() over resident estimators.
+  size_t resident_bytes = 0;
+};
+
+class ServingCache {
+ public:
+  // `capacity` is the total entry budget across shards; each shard holds at
+  // most max(1, capacity / shards) entries. Shard count is clamped so a
+  // tiny cache (the eviction tests use capacity 4) still enforces its
+  // budget rather than spreading one slot per shard mutex.
+  explicit ServingCache(size_t capacity, size_t num_shards = 8);
+
+  ServingCache(const ServingCache&) = delete;
+  ServingCache& operator=(const ServingCache&) = delete;
+
+  // The cached estimator, or nullptr on miss. A hit refreshes LRU order.
+  std::shared_ptr<const SelectivityEstimator> Lookup(const CatalogKey& key);
+
+  // Inserts (or replaces) the entry, evicting the shard's least recently
+  // used entries beyond its budget. `estimator` must be non-null.
+  void Insert(const CatalogKey& key,
+              std::shared_ptr<const SelectivityEstimator> estimator);
+
+  // Drops the entry if present (e.g. after invalidating its snapshot).
+  void Erase(const CatalogKey& key);
+
+  CacheStats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    CatalogKey key;
+    std::shared_ptr<const SelectivityEstimator> estimator;
+  };
+  struct Shard {
+    std::mutex mutex;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CatalogKey, std::list<Entry>::iterator, CatalogKeyHash>
+        index;
+  };
+
+  Shard& ShardFor(const CatalogKey& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  // unique_ptr because Shard (holding a mutex) is immovable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> insertions_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+  std::atomic<size_t> resident_bytes_{0};
+  std::atomic<size_t> resident_entries_{0};
+};
+
+}  // namespace selest
+
+#endif  // SELEST_CATALOG_SERVING_CACHE_H_

@@ -1,0 +1,89 @@
+#include "src/catalog/snapshot_store.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "src/est/estimator_snapshot.h"
+#include "src/util/serialize.h"
+
+namespace selest {
+
+namespace {
+
+// Filesystem-safe rendering of a key component, kept readable for
+// debugging. Sanitizing can alias ("u(20)" and "u_20_"), so PathFor also
+// appends the key's full hash — the sanitized text is a label, the hash is
+// the identity.
+std::string Sanitize(const std::string& text) {
+  std::string safe;
+  safe.reserve(text.size());
+  for (char c : text) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '-' || c == '.';
+    safe.push_back(ok ? c : '_');
+  }
+  return safe;
+}
+
+std::string Hex(uint64_t value) {
+  constexpr char kDigits[] = "0123456789abcdef";
+  std::string text(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    text[static_cast<size_t>(i)] = kDigits[value & 0xFu];
+    value >>= 4;
+  }
+  return text;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string SnapshotStore::PathFor(const CatalogKey& key) const {
+  const uint64_t identity = CatalogKeyHash{}(key) ^ key.fingerprint;
+  return directory_ + "/" + Sanitize(key.relation) + "." +
+         Sanitize(key.attribute) + "-" + Hex(identity) + ".snapshot";
+}
+
+Status SnapshotStore::Put(const CatalogKey& key,
+                          const SelectivityEstimator& estimator) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    return InternalError("cannot create snapshot directory " + directory_ +
+                         ": " + ec.message());
+  }
+  SELEST_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          SnapshotEstimator(estimator));
+  SELEST_RETURN_IF_ERROR(WriteBytesToFile(PathFor(key), bytes));
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<SelectivityEstimator>> SnapshotStore::Get(
+    const CatalogKey& key) const {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  SELEST_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          ReadBytesFromFile(PathFor(key)));
+  return LoadEstimatorSnapshot(bytes);
+}
+
+bool SnapshotStore::Contains(const CatalogKey& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(key), ec);
+}
+
+Status SnapshotStore::Delete(const CatalogKey& key) {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(key), ec);
+  if (ec) {
+    return InternalError("cannot delete snapshot " + PathFor(key) + ": " +
+                         ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace selest

@@ -1,0 +1,59 @@
+// The durable tier of the catalog: estimator snapshots as files.
+//
+// One file per CatalogKey, written atomically (temporary sibling +
+// rename), so readers never observe a torn snapshot. Corruption on disk —
+// truncation, bit flips, a future format version — surfaces as Status
+// from Get (see est/estimator_snapshot.h for the taxonomy); the catalog
+// reacts by rebuilding from the sample and writing back.
+#ifndef SELEST_CATALOG_SNAPSHOT_STORE_H_
+#define SELEST_CATALOG_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/catalog/serving_cache.h"
+#include "src/est/selectivity_estimator.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+class SnapshotStore {
+ public:
+  // Snapshots live under `directory` (created on first Put if missing).
+  explicit SnapshotStore(std::string directory);
+
+  // Serializes and atomically persists the estimator's snapshot.
+  Status Put(const CatalogKey& key, const SelectivityEstimator& estimator);
+
+  // Loads and validates the snapshot: kNotFound when no file exists,
+  // kDataLoss / kOutOfRange / kFailedPrecondition / kInvalidArgument per
+  // the envelope contract when the bytes are damaged.
+  StatusOr<std::unique_ptr<SelectivityEstimator>> Get(
+      const CatalogKey& key) const;
+
+  bool Contains(const CatalogKey& key) const;
+
+  // Removes the snapshot file; OK when it was already absent.
+  Status Delete(const CatalogKey& key);
+
+  // The file path a key maps to (exposed so corruption tests can damage
+  // snapshots in place).
+  std::string PathFor(const CatalogKey& key) const;
+
+  const std::string& directory() const { return directory_; }
+
+  uint64_t puts() const { return puts_.load(std::memory_order_relaxed); }
+  uint64_t gets() const { return gets_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string directory_;
+
+  mutable std::atomic<uint64_t> puts_{0};
+  mutable std::atomic<uint64_t> gets_{0};
+};
+
+}  // namespace selest
+
+#endif  // SELEST_CATALOG_SNAPSHOT_STORE_H_

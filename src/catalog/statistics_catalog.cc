@@ -226,4 +226,168 @@ StatusOr<std::unique_ptr<StatisticsCatalog>> StatisticsCatalog::LoadFromBytes(
   return catalog;
 }
 
+// ---------------------------------------------------------------------------
+// Catalog: the build-once/serve-many layer.
+// ---------------------------------------------------------------------------
+
+Catalog::Catalog(CatalogOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (!options_.snapshot_directory.empty()) {
+    store_.emplace(options_.snapshot_directory);
+  }
+}
+
+StatusOr<CatalogKey> Catalog::RegisterColumn(const std::string& relation,
+                                             const std::string& attribute,
+                                             const Domain& domain,
+                                             std::span<const double> sample,
+                                             const EstimatorConfig& config) {
+  if (relation.empty() || attribute.empty()) {
+    return InvalidArgumentError(
+        "catalog registration needs non-empty relation and attribute names");
+  }
+  auto registration = std::make_shared<Registration>();
+  registration->domain = domain;
+  registration->sample.assign(sample.begin(), sample.end());
+  registration->config = config;
+  registration->key =
+      CatalogKey{relation, attribute, FingerprintConfig(config)};
+  const CatalogKey key = registration->key;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_[key] = std::move(registration);
+    default_keys_.emplace(std::make_pair(relation, attribute), key);
+  }
+  return key;
+}
+
+std::shared_ptr<const Catalog::Registration> Catalog::FindRegistration(
+    const CatalogKey& key) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_.find(key);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::shared_ptr<const SelectivityEstimator>> Catalog::GetEstimator(
+    const CatalogKey& key) {
+  const std::shared_ptr<const Registration> registration =
+      FindRegistration(key);
+  if (registration == nullptr) {
+    return NotFoundError("no catalog registration for " + key.relation + "." +
+                         key.attribute);
+  }
+  if (std::shared_ptr<const SelectivityEstimator> cached = cache_.Lookup(key);
+      cached != nullptr) {
+    return cached;
+  }
+  // Cold miss: prefer the disk snapshot; any damage (kDataLoss and
+  // friends) is counted and degrades to a rebuild.
+  if (store_.has_value()) {
+    auto loaded = store_->Get(key);
+    if (loaded.ok()) {
+      std::shared_ptr<const SelectivityEstimator> estimator =
+          std::move(loaded).value();
+      snapshot_loads_.fetch_add(1, std::memory_order_relaxed);
+      cache_.Insert(key, estimator);
+      return estimator;
+    }
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      snapshot_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  SELEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<SelectivityEstimator> rebuilt,
+      BuildEstimator(registration->sample, registration->domain,
+                     registration->config));
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const SelectivityEstimator> estimator = std::move(rebuilt);
+  if (store_.has_value()) {
+    const Status written = store_->Put(key, *estimator);
+    if (written.ok()) {
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      snapshot_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  cache_.Insert(key, estimator);
+  return estimator;
+}
+
+StatusOr<double> Catalog::Estimate(const CatalogKey& key,
+                                   const RangeQuery& query) {
+  SELEST_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const SelectivityEstimator> estimator,
+      GetEstimator(key));
+  estimates_.fetch_add(1, std::memory_order_relaxed);
+  return estimator->EstimateSelectivity(query);
+}
+
+StatusOr<double> Catalog::Estimate(const std::string& relation,
+                                   const std::string& attribute,
+                                   const RangeQuery& query) {
+  CatalogKey key;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = default_keys_.find(std::make_pair(relation, attribute));
+    if (it == default_keys_.end()) {
+      return NotFoundError("no catalog registration for " + relation + "." +
+                           attribute);
+    }
+    key = it->second;
+  }
+  return Estimate(key, query);
+}
+
+Status Catalog::Warm(const CatalogKey& key) {
+  SELEST_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const SelectivityEstimator> estimator,
+      GetEstimator(key));
+  // GetEstimator writes back only on rebuild; a cache hit for a key whose
+  // snapshot was deleted out-of-band still needs persisting here.
+  if (store_.has_value() && !store_->Contains(key)) {
+    const Status written = store_->Put(key, *estimator);
+    if (written.ok()) {
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    snapshot_errors_.fetch_add(1, std::memory_order_relaxed);
+    return written;
+  }
+  return Status::Ok();
+}
+
+Status Catalog::WarmAll() {
+  std::vector<CatalogKey> keys;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    keys.reserve(registry_.size());
+    for (const auto& [key, registration] : registry_) keys.push_back(key);
+  }
+  Status first_error;
+  for (const CatalogKey& key : keys) {
+    const Status status = Warm(key);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+CatalogServeStats Catalog::serve_stats() const {
+  CatalogServeStats stats;
+  stats.estimates = estimates_.load(std::memory_order_relaxed);
+  stats.snapshot_loads = snapshot_loads_.load(std::memory_order_relaxed);
+  stats.snapshot_errors = snapshot_errors_.load(std::memory_order_relaxed);
+  stats.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  stats.writebacks = writebacks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+CacheStats Catalog::cache_stats() const { return cache_.stats(); }
+
+size_t Catalog::num_registrations() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return registry_.size();
+}
+
 }  // namespace selest
+

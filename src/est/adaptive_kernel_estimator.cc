@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/density/kde.h"
+#include "src/est/estimator_snapshot.h"
 #include "src/smoothing/normal_scale.h"
 
 namespace selest {
@@ -84,6 +86,51 @@ size_t AdaptiveKernelEstimator::StorageBytes() const {
 
 std::string AdaptiveKernelEstimator::name() const {
   return "adaptive-kernel(" + kernel_.name() + ")";
+}
+
+Status AdaptiveKernelEstimator::SerializeState(ByteWriter& writer) const {
+  writer.WriteDoubleVector(sorted_);
+  writer.WriteDoubleVector(bandwidths_);
+  writer.WriteDouble(base_bandwidth_);
+  WriteDomain(writer, domain_);
+  WriteKernel(writer, kernel_);
+  return Status::Ok();
+}
+
+StatusOr<AdaptiveKernelEstimator> AdaptiveKernelEstimator::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                          reader.ReadDoubleVector());
+  SELEST_ASSIGN_OR_RETURN(std::vector<double> bandwidths,
+                          reader.ReadDoubleVector());
+  SELEST_ASSIGN_OR_RETURN(const double base_bandwidth, reader.ReadDouble());
+  SELEST_ASSIGN_OR_RETURN(const Domain domain, ReadDomain(reader));
+  SELEST_ASSIGN_OR_RETURN(const Kernel kernel, ReadKernel(reader));
+  if (sorted.empty() || !std::is_sorted(sorted.begin(), sorted.end())) {
+    return InvalidArgumentError(
+        "adaptive kernel snapshot samples must be non-empty and sorted");
+  }
+  if (bandwidths.size() != sorted.size()) {
+    return InvalidArgumentError(
+        "adaptive kernel snapshot bandwidths do not parallel the samples");
+  }
+  if (!(base_bandwidth > 0.0) || !std::isfinite(base_bandwidth)) {
+    return InvalidArgumentError(
+        "adaptive kernel snapshot base bandwidth must be positive");
+  }
+  // max_bandwidth_ is derived state; recomputing it keeps the snapshot free
+  // of a redundant field that could drift out of sync.
+  double max_bandwidth = 0.0;
+  for (double h : bandwidths) {
+    if (!(h > 0.0) || !std::isfinite(h)) {
+      return InvalidArgumentError(
+          "adaptive kernel snapshot bandwidths must be positive");
+    }
+    max_bandwidth = std::max(max_bandwidth, h);
+  }
+  return AdaptiveKernelEstimator(std::move(sorted), std::move(bandwidths),
+                                 max_bandwidth, base_bandwidth, domain,
+                                 kernel);
 }
 
 }  // namespace selest

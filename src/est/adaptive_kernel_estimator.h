@@ -49,6 +49,13 @@ class AdaptiveKernelEstimator : public SelectivityEstimator {
   const std::vector<double>& bandwidths() const { return bandwidths_; }
   double base_bandwidth() const { return base_bandwidth_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kAdaptiveKernel;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<AdaptiveKernelEstimator> DeserializeState(
+      ByteReader& reader);
+
  private:
   AdaptiveKernelEstimator(std::vector<double> sorted,
                           std::vector<double> bandwidths, double max_bandwidth,

@@ -1,5 +1,7 @@
 #include "src/est/average_shifted_histogram.h"
 
+#include <utility>
+
 namespace selest {
 
 StatusOr<AverageShiftedHistogram> AverageShiftedHistogram::Create(
@@ -43,6 +45,34 @@ size_t AverageShiftedHistogram::StorageBytes() const {
 std::string AverageShiftedHistogram::name() const {
   return "ash(" + std::to_string(num_bins_) + "x" +
          std::to_string(num_shifts()) + ")";
+}
+
+Status AverageShiftedHistogram::SerializeState(ByteWriter& writer) const {
+  writer.WriteU32(static_cast<uint32_t>(num_bins_));
+  writer.WriteU32(static_cast<uint32_t>(histograms_.size()));
+  for (const EquiWidthHistogram& histogram : histograms_) {
+    SELEST_RETURN_IF_ERROR(histogram.SerializeState(writer));
+  }
+  return Status::Ok();
+}
+
+StatusOr<AverageShiftedHistogram> AverageShiftedHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(const uint32_t num_bins, reader.ReadU32());
+  SELEST_ASSIGN_OR_RETURN(const uint32_t num_shifts, reader.ReadU32());
+  constexpr uint32_t kMaxShifts = 4096;
+  if (num_bins < 1 || num_shifts < 1 || num_shifts > kMaxShifts) {
+    return InvalidArgumentError("ASH snapshot shape out of range");
+  }
+  std::vector<EquiWidthHistogram> histograms;
+  histograms.reserve(num_shifts);
+  for (uint32_t i = 0; i < num_shifts; ++i) {
+    SELEST_ASSIGN_OR_RETURN(EquiWidthHistogram histogram,
+                            EquiWidthHistogram::DeserializeState(reader));
+    histograms.push_back(std::move(histogram));
+  }
+  return AverageShiftedHistogram(std::move(histograms),
+                                 static_cast<int>(num_bins));
 }
 
 }  // namespace selest

@@ -33,6 +33,13 @@ class AverageShiftedHistogram : public SelectivityEstimator {
   int num_shifts() const { return static_cast<int>(histograms_.size()); }
   int num_bins() const { return num_bins_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kAverageShifted;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<AverageShiftedHistogram> DeserializeState(
+      ByteReader& reader);
+
  private:
   AverageShiftedHistogram(std::vector<EquiWidthHistogram> histograms,
                           int num_bins)

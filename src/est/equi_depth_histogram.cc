@@ -1,7 +1,10 @@
 #include "src/est/equi_depth_histogram.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
+
+#include "src/est/estimator_snapshot.h"
 
 namespace selest {
 
@@ -56,6 +59,17 @@ double EquiDepthHistogram::EstimateSelectivity(double a, double b) const {
 
 std::string EquiDepthHistogram::name() const {
   return "equi-depth(" + std::to_string(num_bins()) + ")";
+}
+
+Status EquiDepthHistogram::SerializeState(ByteWriter& writer) const {
+  WriteBinnedDensity(writer, bins_);
+  return Status::Ok();
+}
+
+StatusOr<EquiDepthHistogram> EquiDepthHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(BinnedDensity bins, ReadBinnedDensity(reader));
+  return EquiDepthHistogram(std::move(bins));
 }
 
 }  // namespace selest

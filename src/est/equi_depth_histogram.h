@@ -28,6 +28,12 @@ class EquiDepthHistogram : public SelectivityEstimator {
   int num_bins() const { return static_cast<int>(bins_.num_bins()); }
   const BinnedDensity& bins() const { return bins_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kEquiDepth;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<EquiDepthHistogram> DeserializeState(ByteReader& reader);
+
  private:
   explicit EquiDepthHistogram(BinnedDensity bins) : bins_(std::move(bins)) {}
 

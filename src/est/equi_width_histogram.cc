@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/est/estimator_snapshot.h"
 #include "src/util/check.h"
 
 namespace selest {
@@ -47,6 +48,23 @@ void EquiWidthHistogram::EstimateSelectivityBatch(
 
 std::string EquiWidthHistogram::name() const {
   return "equi-width(" + std::to_string(num_bins()) + ")";
+}
+
+Status EquiWidthHistogram::SerializeState(ByteWriter& writer) const {
+  WriteBinnedDensity(writer, bins_);
+  writer.WriteDouble(bin_width_);
+  return Status::Ok();
+}
+
+StatusOr<EquiWidthHistogram> EquiWidthHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(BinnedDensity bins, ReadBinnedDensity(reader));
+  SELEST_ASSIGN_OR_RETURN(const double bin_width, reader.ReadDouble());
+  if (!(bin_width > 0.0) || !std::isfinite(bin_width)) {
+    return InvalidArgumentError(
+        "equi-width snapshot bin width must be positive");
+  }
+  return EquiWidthHistogram(std::move(bins), bin_width);
 }
 
 }  // namespace selest

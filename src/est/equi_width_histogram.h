@@ -34,6 +34,12 @@ class EquiWidthHistogram : public SelectivityEstimator {
   double bin_width() const { return bin_width_; }
   const BinnedDensity& bins() const { return bins_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kEquiWidth;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<EquiWidthHistogram> DeserializeState(ByteReader& reader);
+
  private:
   EquiWidthHistogram(BinnedDensity bins, double bin_width)
       : bins_(std::move(bins)), bin_width_(bin_width) {}

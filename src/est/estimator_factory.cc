@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -299,4 +300,42 @@ StatusOr<GuardedBuild> BuildGuardedEstimator(std::span<const double> sample,
   return BuildGuardedEstimator(sample, domain, config, fallbacks);
 }
 
+namespace {
+
+// FNV-1a over the config's fields, each mixed as a fixed-width token so
+// adjacent fields cannot alias (e.g. kind=1,dpi=2 vs kind=12,dpi=...).
+uint64_t Fnv1a(uint64_t hash, uint64_t token) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (token >> shift) & 0xFFull;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+uint64_t DoubleToken(double value) {
+  // +0.0 and -0.0 compare equal but differ bitwise; normalize so equal
+  // configs fingerprint equal.
+  if (value == 0.0) value = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t FingerprintConfig(const EstimatorConfig& config) {
+  constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  uint64_t hash = kOffsetBasis;
+  hash = Fnv1a(hash, static_cast<uint64_t>(config.kind));
+  hash = Fnv1a(hash, static_cast<uint64_t>(config.smoothing));
+  hash = Fnv1a(hash, DoubleToken(config.fixed_smoothing));
+  hash = Fnv1a(hash, static_cast<uint64_t>(config.dpi_stages));
+  hash = Fnv1a(hash, static_cast<uint64_t>(config.ash_shifts));
+  hash = Fnv1a(hash, static_cast<uint64_t>(config.kernel));
+  hash = Fnv1a(hash, static_cast<uint64_t>(config.boundary));
+  return hash;
+}
+
 }  // namespace selest
+

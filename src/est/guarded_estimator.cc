@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/est/estimator_snapshot.h"
 #include "src/util/check.h"
 
 namespace selest {
@@ -92,6 +93,15 @@ GuardedStats GuardedEstimator::stats() const {
       fallback_estimates_.load(std::memory_order_relaxed);
   stats.uniform_rescues = uniform_rescues_.load(std::memory_order_relaxed);
   return stats;
+}
+
+Status GuardedEstimator::SerializeState(ByteWriter& writer) const {
+  WriteDomain(writer, domain_);
+  writer.WriteU32(static_cast<uint32_t>(chain_.size()));
+  for (const std::unique_ptr<SelectivityEstimator>& link : chain_) {
+    SELEST_RETURN_IF_ERROR(SerializeEstimator(*link, writer));
+  }
+  return Status::Ok();
 }
 
 }  // namespace selest

@@ -87,6 +87,15 @@ class GuardedEstimator : public SelectivityEstimator {
     return chain_.empty() ? nullptr : chain_.front().get();
   }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kGuarded;
+  }
+  // Serializes the domain and every chain link recursively. Degradation
+  // counters are serving-lifetime state and restart at zero on load; the
+  // atomics also make this class non-movable, so deserialization lives in
+  // est/estimator_snapshot.cc on the public constructor.
+  Status SerializeState(ByteWriter& writer) const override;
+
  private:
   std::vector<std::unique_ptr<SelectivityEstimator>> chain_;
   Domain domain_;

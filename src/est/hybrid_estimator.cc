@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/est/estimator_snapshot.h"
 #include "src/smoothing/normal_scale.h"
 #include "src/util/check.h"
 
@@ -142,6 +144,48 @@ size_t HybridEstimator::StorageBytes() const {
 
 std::string HybridEstimator::name() const {
   return "hybrid(" + std::to_string(num_bins()) + " bins)";
+}
+
+Status HybridEstimator::SerializeState(ByteWriter& writer) const {
+  writer.WriteDoubleVector(partition_);
+  writer.WriteU32(static_cast<uint32_t>(cells_.size()));
+  for (const Cell& cell : cells_) {
+    WriteDomain(writer, cell.bin_domain);
+    writer.WriteDouble(cell.weight);
+    SELEST_RETURN_IF_ERROR(cell.estimator.SerializeState(writer));
+  }
+  return Status::Ok();
+}
+
+StatusOr<HybridEstimator> HybridEstimator::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(std::vector<double> partition,
+                          reader.ReadDoubleVector());
+  SELEST_ASSIGN_OR_RETURN(const uint32_t num_cells, reader.ReadU32());
+  if (partition.size() < 2 ||
+      !std::is_sorted(partition.begin(), partition.end())) {
+    return InvalidArgumentError(
+        "hybrid snapshot partition must be a sorted edge list");
+  }
+  // Zero-width or empty bins are skipped at build time, so there can be
+  // fewer cells than partition intervals — never more.
+  if (num_cells < 1 || num_cells >= partition.size()) {
+    return InvalidArgumentError("hybrid snapshot cell count out of range");
+  }
+  std::vector<Cell> cells;
+  cells.reserve(num_cells);
+  for (uint32_t i = 0; i < num_cells; ++i) {
+    SELEST_ASSIGN_OR_RETURN(const Domain bin_domain, ReadDomain(reader));
+    SELEST_ASSIGN_OR_RETURN(const double weight, reader.ReadDouble());
+    if (!std::isfinite(weight) || weight < 0.0 || weight > 1.0) {
+      return InvalidArgumentError(
+          "hybrid snapshot cell weight must be in [0, 1]");
+    }
+    SELEST_ASSIGN_OR_RETURN(KernelEstimator estimator,
+                            KernelEstimator::DeserializeState(reader));
+    cells.push_back(Cell{bin_domain, weight, std::move(estimator)});
+  }
+  return HybridEstimator(std::move(partition), std::move(cells));
 }
 
 }  // namespace selest

@@ -60,6 +60,12 @@ class HybridEstimator : public SelectivityEstimator {
   const std::vector<double>& partition() const { return partition_; }
   size_t num_bins() const { return cells_.size(); }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kHybrid;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<HybridEstimator> DeserializeState(ByteReader& reader);
+
  private:
   struct Cell {
     Domain bin_domain;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/est/estimator_snapshot.h"
 #include "src/util/check.h"
 #include "src/util/numeric.h"
 
@@ -222,6 +224,67 @@ size_t KernelEstimator::StorageBytes() const {
 std::string KernelEstimator::name() const {
   return "kernel(" + options_.kernel.name() + ", " +
          BoundaryPolicyName(options_.boundary) + ")";
+}
+
+Status KernelEstimator::SerializeState(ByteWriter& writer) const {
+  writer.WriteDoubleVector(sorted_);
+  writer.WriteU64(original_count_);
+  WriteDomain(writer, domain_);
+  writer.WriteDouble(options_.bandwidth);
+  WriteKernel(writer, options_.kernel);
+  WriteBoundaryPolicy(writer, options_.boundary);
+  writer.WriteU32(static_cast<uint32_t>(options_.quadrature_intervals));
+  for (const StripTable* strip : {&left_strip_, &right_strip_}) {
+    writer.WriteDouble(strip->lo);
+    writer.WriteDouble(strip->hi);
+    writer.WriteDoubleVector(strip->cumulative);
+  }
+  return Status::Ok();
+}
+
+StatusOr<KernelEstimator> KernelEstimator::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                          reader.ReadDoubleVector());
+  SELEST_ASSIGN_OR_RETURN(const uint64_t original_count, reader.ReadU64());
+  SELEST_ASSIGN_OR_RETURN(const Domain domain, ReadDomain(reader));
+  KernelEstimatorOptions options;
+  SELEST_ASSIGN_OR_RETURN(options.bandwidth, reader.ReadDouble());
+  SELEST_ASSIGN_OR_RETURN(options.kernel, ReadKernel(reader));
+  SELEST_ASSIGN_OR_RETURN(options.boundary, ReadBoundaryPolicy(reader));
+  SELEST_ASSIGN_OR_RETURN(const uint32_t quadrature, reader.ReadU32());
+  if (sorted.empty() || !std::is_sorted(sorted.begin(), sorted.end())) {
+    return InvalidArgumentError(
+        "kernel snapshot samples must be non-empty and sorted");
+  }
+  // Reflection adds at most two mirrored copies per original sample.
+  if (original_count < 1 || original_count > sorted.size()) {
+    return InvalidArgumentError("kernel snapshot sample count out of range");
+  }
+  if (!(options.bandwidth > 0.0) || !std::isfinite(options.bandwidth)) {
+    return InvalidArgumentError("kernel snapshot bandwidth must be positive");
+  }
+  if (quadrature < 2 || quadrature > (1u << 20)) {
+    return InvalidArgumentError(
+        "kernel snapshot quadrature resolution out of range");
+  }
+  options.quadrature_intervals = static_cast<int>(quadrature);
+  // The boundary KDE exists only to build the strip tables at construction;
+  // the tables are restored verbatim below, so the KDE is not rebuilt.
+  KernelEstimator estimator(std::move(sorted), original_count, domain,
+                            options, std::nullopt);
+  for (StripTable* strip : {&estimator.left_strip_, &estimator.right_strip_}) {
+    SELEST_ASSIGN_OR_RETURN(strip->lo, reader.ReadDouble());
+    SELEST_ASSIGN_OR_RETURN(strip->hi, reader.ReadDouble());
+    SELEST_ASSIGN_OR_RETURN(strip->cumulative, reader.ReadDoubleVector());
+    if (!std::isfinite(strip->lo) || !std::isfinite(strip->hi) ||
+        strip->lo > strip->hi ||
+        !std::is_sorted(strip->cumulative.begin(), strip->cumulative.end())) {
+      return InvalidArgumentError(
+          "kernel snapshot strip table is not a cumulative mass table");
+    }
+  }
+  return estimator;
 }
 
 }  // namespace selest

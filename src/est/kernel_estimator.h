@@ -66,6 +66,16 @@ class KernelEstimator : public SelectivityEstimator {
   const KernelEstimatorOptions& options() const { return options_; }
   size_t sample_size() const { return original_count_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kKernel;
+  }
+  // Persists the derived state (sorted samples with reflections applied,
+  // precomputed boundary strip tables) so deserialization skips the
+  // quadrature rebuild; the boundary KDE is construction-only scaffolding
+  // and is not restored.
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<KernelEstimator> DeserializeState(ByteReader& reader);
+
  private:
   // Precomputed cumulative mass of the (truncated-at-zero) boundary-kernel
   // density over one boundary strip. Non-decreasing by construction, so

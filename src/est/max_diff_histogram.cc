@@ -1,7 +1,10 @@
 #include "src/est/max_diff_histogram.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
+
+#include "src/est/estimator_snapshot.h"
 
 namespace selest {
 
@@ -54,6 +57,17 @@ double MaxDiffHistogram::EstimateSelectivity(double a, double b) const {
 
 std::string MaxDiffHistogram::name() const {
   return "max-diff(" + std::to_string(num_bins()) + ")";
+}
+
+Status MaxDiffHistogram::SerializeState(ByteWriter& writer) const {
+  WriteBinnedDensity(writer, bins_);
+  return Status::Ok();
+}
+
+StatusOr<MaxDiffHistogram> MaxDiffHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(BinnedDensity bins, ReadBinnedDensity(reader));
+  return MaxDiffHistogram(std::move(bins));
 }
 
 }  // namespace selest

@@ -28,6 +28,12 @@ class MaxDiffHistogram : public SelectivityEstimator {
   int num_bins() const { return static_cast<int>(bins_.num_bins()); }
   const BinnedDensity& bins() const { return bins_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kMaxDiff;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<MaxDiffHistogram> DeserializeState(ByteReader& reader);
+
  private:
   explicit MaxDiffHistogram(BinnedDensity bins) : bins_(std::move(bins)) {}
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/est/estimator_snapshot.h"
+
 namespace selest {
 
 StatusOr<SamplingEstimator> SamplingEstimator::Create(
@@ -23,6 +25,24 @@ double SamplingEstimator::EstimateSelectivity(double a, double b) const {
 
 size_t SamplingEstimator::StorageBytes() const {
   return sizeof(double) * sorted_.size();
+}
+
+Status SamplingEstimator::SerializeState(ByteWriter& writer) const {
+  writer.WriteDoubleVector(sorted_);
+  return Status::Ok();
+}
+
+StatusOr<SamplingEstimator> SamplingEstimator::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(std::vector<double> sorted,
+                          reader.ReadDoubleVector());
+  if (sorted.empty()) {
+    return InvalidArgumentError("sampling snapshot has an empty sample");
+  }
+  if (!std::is_sorted(sorted.begin(), sorted.end())) {
+    return InvalidArgumentError("sampling snapshot sample is not sorted");
+  }
+  return SamplingEstimator(std::move(sorted));
 }
 
 }  // namespace selest

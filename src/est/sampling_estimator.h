@@ -25,6 +25,12 @@ class SamplingEstimator : public SelectivityEstimator {
 
   size_t sample_size() const { return sorted_.size(); }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kSampling;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<SamplingEstimator> DeserializeState(ByteReader& reader);
+
  private:
   explicit SamplingEstimator(std::vector<double> sorted)
       : sorted_(std::move(sorted)) {}

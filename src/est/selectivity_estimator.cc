@@ -4,6 +4,11 @@
 
 namespace selest {
 
+Status SelectivityEstimator::SerializeState(ByteWriter& /*writer*/) const {
+  return FailedPreconditionError("estimator \"" + name() +
+                                 "\" does not support snapshots");
+}
+
 void SelectivityEstimator::EstimateSelectivityBatch(
     std::span<const RangeQuery> queries, std::span<double> out) const {
   SELEST_CHECK_EQ(queries.size(), out.size());

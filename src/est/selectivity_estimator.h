@@ -15,13 +15,35 @@
 #define SELEST_EST_SELECTIVITY_ESTIMATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 
 #include "src/exec/parallel_for.h"
 #include "src/query/range_query.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
 
 namespace selest {
+
+// Stable on-disk type tags for estimator snapshots (est/estimator_snapshot.h).
+// Append-only: a tag, once released, names that payload layout forever.
+// 0 is reserved for "does not snapshot".
+enum class EstimatorTag : uint32_t {
+  kNone = 0,
+  kUniform = 1,
+  kSampling = 2,
+  kEquiWidth = 3,
+  kEquiDepth = 4,
+  kMaxDiff = 5,
+  kVOptimal = 6,
+  kWavelet = 7,
+  kAverageShifted = 8,
+  kKernel = 9,
+  kAdaptiveKernel = 10,
+  kHybrid = 11,
+  kGuarded = 12,
+};
 
 class SelectivityEstimator {
  public:
@@ -53,6 +75,18 @@ class SelectivityEstimator {
 
   // Short human-readable name, e.g. "equi-width(20)".
   virtual std::string name() const = 0;
+
+  // The on-disk type tag of this estimator's snapshot payload, or
+  // EstimatorTag::kNone when the estimator does not support snapshots.
+  // Each paired DeserializeState factory lives on the concrete class;
+  // est/estimator_snapshot.h dispatches on the tag.
+  virtual EstimatorTag SnapshotTypeTag() const { return EstimatorTag::kNone; }
+
+  // Appends the derived query-time state (not the raw build inputs) to
+  // `writer`, so a deserialized instance answers bit-identically without
+  // re-running construction. Default: kFailedPrecondition (no snapshot
+  // support).
+  virtual Status SerializeState(ByteWriter& writer) const;
 
  protected:
   // Shared body for EstimateSelectivityBatch overrides: fans chunks across

@@ -20,6 +20,12 @@ class UniformEstimator : public SelectivityEstimator {
   size_t StorageBytes() const override { return 2 * sizeof(double); }
   std::string name() const override { return "uniform"; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kUniform;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<UniformEstimator> DeserializeState(ByteReader& reader);
+
  private:
   Domain domain_;
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
+
+#include "src/est/estimator_snapshot.h"
 
 namespace selest {
 
@@ -104,6 +107,22 @@ double VOptimalHistogram::EstimateSelectivity(double a, double b) const {
 
 std::string VOptimalHistogram::name() const {
   return "v-optimal(" + std::to_string(num_buckets()) + ")";
+}
+
+Status VOptimalHistogram::SerializeState(ByteWriter& writer) const {
+  WriteBinnedDensity(writer, bins_);
+  writer.WriteDouble(sse_);
+  return Status::Ok();
+}
+
+StatusOr<VOptimalHistogram> VOptimalHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(BinnedDensity bins, ReadBinnedDensity(reader));
+  SELEST_ASSIGN_OR_RETURN(const double sse, reader.ReadDouble());
+  if (!std::isfinite(sse) || sse < 0.0) {
+    return InvalidArgumentError("v-optimal snapshot SSE must be >= 0");
+  }
+  return VOptimalHistogram(std::move(bins), sse);
 }
 
 }  // namespace selest

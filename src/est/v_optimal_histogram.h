@@ -40,6 +40,12 @@ class VOptimalHistogram : public SelectivityEstimator {
   // The SSE achieved by the chosen partition (for tests: optimality).
   double sse() const { return sse_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kVOptimal;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<VOptimalHistogram> DeserializeState(ByteReader& reader);
+
  private:
   VOptimalHistogram(BinnedDensity bins, double sse)
       : bins_(std::move(bins)), sse_(sse) {}

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 #include <vector>
 
+#include "src/est/estimator_snapshot.h"
 #include "src/util/check.h"
 
 namespace selest {
@@ -131,6 +133,26 @@ size_t WaveletHistogram::StorageBytes() const {
 
 std::string WaveletHistogram::name() const {
   return "wavelet(" + std::to_string(num_coefficients_) + ")";
+}
+
+Status WaveletHistogram::SerializeState(ByteWriter& writer) const {
+  // The reconstructed density, not the coefficient synopsis: loading must
+  // answer bit-identically without re-running the inverse transform.
+  WriteBinnedDensity(writer, bins_);
+  writer.WriteU32(static_cast<uint32_t>(num_coefficients_));
+  return Status::Ok();
+}
+
+StatusOr<WaveletHistogram> WaveletHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(BinnedDensity bins, ReadBinnedDensity(reader));
+  SELEST_ASSIGN_OR_RETURN(const uint32_t num_coefficients, reader.ReadU32());
+  if (num_coefficients < 1 || num_coefficients > bins.num_bins()) {
+    return InvalidArgumentError(
+        "wavelet snapshot coefficient count out of range");
+  }
+  return WaveletHistogram(std::move(bins),
+                          static_cast<int>(num_coefficients));
 }
 
 }  // namespace selest

@@ -36,6 +36,12 @@ class WaveletHistogram : public SelectivityEstimator {
   int num_coefficients() const { return num_coefficients_; }
   const BinnedDensity& reconstruction() const { return bins_; }
 
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kWavelet;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<WaveletHistogram> DeserializeState(ByteReader& reader);
+
  private:
   WaveletHistogram(BinnedDensity bins, int num_coefficients)
       : bins_(std::move(bins)), num_coefficients_(num_coefficients) {}

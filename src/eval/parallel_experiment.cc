@@ -141,6 +141,32 @@ std::vector<StatusOr<ErrorReport>> RunConfigsParallel(
   return results;
 }
 
+std::vector<StatusOr<ErrorReport>> RunConfigsServed(
+    Catalog& catalog, const std::string& relation, const std::string& attribute,
+    const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
+    const ParallelExecOptions& options) {
+  SELEST_CHECK(setup.data != nullptr);
+  std::vector<StatusOr<ErrorReport>> results;
+  results.reserve(configs.size());
+  const GroundTruth truth(*setup.data);
+  for (const EstimatorConfig& config : configs) {
+    auto key = catalog.RegisterColumn(relation, attribute, setup.domain(),
+                                      setup.sample, config);
+    if (!key.ok()) {
+      results.push_back(key.status());
+      continue;
+    }
+    auto estimator = catalog.GetEstimator(key.value());
+    if (!estimator.ok()) {
+      results.push_back(estimator.status());
+      continue;
+    }
+    results.push_back(
+        EvaluateParallel(*estimator.value(), setup.queries, truth, options));
+  }
+  return results;
+}
+
 std::vector<GuardedCellReport> RunConfigsGuarded(
     const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
     const ParallelExecOptions& options) {

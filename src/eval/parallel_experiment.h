@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/catalog/statistics_catalog.h"
 #include "src/est/guarded_estimator.h"
 #include "src/eval/experiment.h"
 #include "src/eval/metrics.h"
@@ -88,6 +89,19 @@ struct GuardedCellReport {
 // guard only rewrites answers it had to repair. Cells are returned in
 // config order at any thread count.
 std::vector<GuardedCellReport> RunConfigsGuarded(
+    const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
+    const ParallelExecOptions& options = {});
+
+// RunConfigsParallel served through a warmed statistics catalog: each
+// config is registered under (relation, attribute) with the setup's sample,
+// the catalog resolves it (cache → snapshot → rebuild), and the resulting
+// estimator scores the setup's queries through the same fan-out. Because a
+// catalog rebuild calls BuildEstimator on the registered sample and
+// snapshot round-trips are bit-identical, reports match RunConfigsParallel
+// bit for bit whether each cell was served cold, from disk, or from cache.
+// Registration errors surface per cell in config order.
+std::vector<StatusOr<ErrorReport>> RunConfigsServed(
+    Catalog& catalog, const std::string& relation, const std::string& attribute,
     const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
     const ParallelExecOptions& options = {});
 

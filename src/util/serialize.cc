@@ -1,5 +1,8 @@
 #include "src/util/serialize.h"
 
+#include <array>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 
 namespace selest {
@@ -83,9 +86,15 @@ StatusOr<std::string> ByteReader::ReadString() {
 StatusOr<std::vector<double>> ByteReader::ReadDoubleVector() {
   auto count = ReadU64();
   if (!count.ok()) return count.status();
-  // 8 bytes per double: reject implausible counts before allocating.
-  Status status = Need(count.value() * 8);
-  if (!status.ok()) return status;
+  // 8 bytes per double: reject implausible counts before allocating. The
+  // division (rather than count * 8) keeps a forged count near 2^61 from
+  // overflowing past the bounds check into a huge allocation.
+  if (count.value() > remaining() / 8) {
+    return OutOfRangeError("truncated input: vector of " +
+                           std::to_string(count.value()) +
+                           " doubles exceeds the " +
+                           std::to_string(remaining()) + " bytes remaining");
+  }
   std::vector<double> values;
   values.reserve(count.value());
   for (uint64_t i = 0; i < count.value(); ++i) {
@@ -94,6 +103,145 @@ StatusOr<std::vector<double>> ByteReader::ReadDoubleVector() {
     values.push_back(v.value());
   }
   return values;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> WrapSnapshot(uint32_t type_tag,
+                                  std::span<const uint8_t> payload) {
+  ByteWriter writer;
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotFormatVersion);
+  writer.WriteU32(type_tag);
+  writer.WriteU64(payload.size());
+  std::vector<uint8_t> bytes = writer.TakeBytes();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32(payload);
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes.push_back(static_cast<uint8_t>(crc >> shift));
+  }
+  return bytes;
+}
+
+StatusOr<SnapshotView> UnwrapSnapshot(std::span<const uint8_t> bytes) {
+  // Fixed parts: 20-byte header (magic, version, tag, payload size) plus a
+  // 4-byte trailing checksum.
+  constexpr size_t kHeaderBytes = 20;
+  constexpr size_t kCrcBytes = 4;
+  if (bytes.size() < kHeaderBytes + kCrcBytes) {
+    return OutOfRangeError(
+        "snapshot truncated: " + std::to_string(bytes.size()) +
+        " bytes is smaller than the " +
+        std::to_string(kHeaderBytes + kCrcBytes) + "-byte envelope");
+  }
+  ByteReader header(std::vector<uint8_t>(bytes.begin(),
+                                         bytes.begin() + kHeaderBytes));
+  const uint32_t magic = header.ReadU32().value();
+  const uint32_t version = header.ReadU32().value();
+  const uint32_t type_tag = header.ReadU32().value();
+  const uint64_t payload_size = header.ReadU64().value();
+  if (magic != kSnapshotMagic) {
+    return DataLossError("snapshot magic mismatch: not a selest snapshot");
+  }
+  if (version > kSnapshotFormatVersion) {
+    return FailedPreconditionError(
+        "snapshot format version " + std::to_string(version) +
+        " is newer than supported version " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  if (bytes.size() - kHeaderBytes - kCrcBytes < payload_size) {
+    return OutOfRangeError(
+        "snapshot truncated: header promises " +
+        std::to_string(payload_size) + "-byte payload, only " +
+        std::to_string(bytes.size() - kHeaderBytes - kCrcBytes) +
+        " bytes present");
+  }
+  if (bytes.size() - kHeaderBytes - kCrcBytes > payload_size) {
+    return InvalidArgumentError(
+        "snapshot has trailing bytes after the checksum");
+  }
+  std::span<const uint8_t> payload = bytes.subspan(kHeaderBytes, payload_size);
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(bytes[kHeaderBytes + payload_size + i])
+                  << (8 * i);
+  }
+  if (Crc32(payload) != stored_crc) {
+    return DataLossError("snapshot payload CRC32 mismatch");
+  }
+  SnapshotView view;
+  view.type_tag = type_tag;
+  view.payload.assign(payload.begin(), payload.end());
+  return view;
+}
+
+Status WriteBytesToFile(const std::string& path,
+                        std::span<const uint8_t> bytes) {
+  // A process-unique temporary name, so concurrent writers racing to
+  // write-back the same snapshot never scribble on each other's half-done
+  // file; the final rename is atomic and last-writer-wins.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp_path =
+      path + ".tmp" +
+      std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("failed to open " + tmp_path + " for writing");
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    return InternalError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return InternalError("failed to rename " + tmp_path + " to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadBytesFromFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("no such snapshot file: " + path);
+  }
+  std::vector<uint8_t> bytes;
+  std::array<uint8_t, 4096> chunk;
+  size_t got;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0) {
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return InternalError("read error on snapshot file: " + path);
+  }
+  return bytes;
 }
 
 }  // namespace selest

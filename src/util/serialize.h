@@ -3,10 +3,22 @@
 // Fixed little-endian layout: u32/u64 integers, IEEE-754 doubles, and
 // length-prefixed strings/arrays. The reader is bounds-checked and returns
 // errors (never UB) on truncated or corrupt input.
+//
+// On top of the raw codec sits the snapshot envelope used by every
+// persisted artifact (estimator snapshots, catalog entries):
+//
+//   magic u32 | format version u32 | type tag u32 | payload size u64 |
+//   payload bytes | CRC32(payload) u32
+//
+// UnwrapSnapshot distinguishes the failure modes a store must react to
+// differently: kOutOfRange for truncation, kDataLoss for bad magic or a
+// CRC mismatch, kFailedPrecondition for a format version newer than this
+// binary understands.
 #ifndef SELEST_UTIL_SERIALIZE_H_
 #define SELEST_UTIL_SERIALIZE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +62,39 @@ class ByteReader {
   std::vector<uint8_t> bytes_;
   size_t position_ = 0;
 };
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). Crc32("123456789")
+// == 0xCBF43926.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+// Snapshot envelope constants. The magic never changes; the format version
+// bumps whenever the envelope layout itself changes (payload evolution is
+// the type tag owner's business).
+inline constexpr uint32_t kSnapshotMagic = 0x50534C53;  // "SLSP" on disk
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+struct SnapshotView {
+  uint32_t type_tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Wraps `payload` in the checksummed envelope described above.
+std::vector<uint8_t> WrapSnapshot(uint32_t type_tag,
+                                  std::span<const uint8_t> payload);
+
+// Validates and strips the envelope. Truncation (at any byte) is
+// kOutOfRange; bad magic or a CRC mismatch is kDataLoss; a format version
+// above kSnapshotFormatVersion is kFailedPrecondition; trailing bytes after
+// the checksum are kInvalidArgument.
+StatusOr<SnapshotView> UnwrapSnapshot(std::span<const uint8_t> bytes);
+
+// Whole-file byte IO for snapshot persistence. WriteBytesToFile writes to a
+// temporary sibling and renames it into place, so a concurrent reader never
+// observes a half-written snapshot. ReadBytesFromFile is kNotFound for a
+// missing file.
+Status WriteBytesToFile(const std::string& path,
+                        std::span<const uint8_t> bytes);
+StatusOr<std::vector<uint8_t>> ReadBytesFromFile(const std::string& path);
 
 }  // namespace selest
 

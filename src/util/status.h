@@ -20,6 +20,9 @@ enum class StatusCode {
   kInternal = 5,
   // A bounded retry loop (rejection sampling, workload generation) gave up.
   kResourceExhausted = 6,
+  // Persisted bytes are provably corrupt (bad magic, CRC mismatch): the
+  // data is unrecoverable, as opposed to merely malformed input.
+  kDataLoss = 7,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -59,6 +62,7 @@ Status OutOfRangeError(std::string message);
 Status NotFoundError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DataLossError(std::string message);
 
 // Holds either a value of type T or an error Status. Accessing the value of
 // an errored StatusOr aborts.

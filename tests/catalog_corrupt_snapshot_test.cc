@@ -1,0 +1,258 @@
+// Corrupt-snapshot robustness: damaged snapshot bytes and files must
+// surface as Status (never a crash), with the code the envelope contract
+// promises, and the serving catalog must degrade to a rebuild + write-back
+// when its durable tier is damaged. Runs under both sanitizer presets via
+// the `robustness` and `catalog` labels.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/statistics_catalog.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/est/estimator_snapshot.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+
+namespace selest {
+namespace {
+
+// A per-test snapshot directory, cleared up front so state persisted by a
+// previous run (snapshots survive on purpose) cannot skew the counters.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<double> MakeSample(size_t n, const Domain& domain,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample;
+  sample.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sample.push_back(
+        domain.Quantize(domain.lo + rng.NextDouble() * domain.width()));
+  }
+  return sample;
+}
+
+std::vector<uint8_t> MakeSnapshot(EstimatorKind kind = EstimatorKind::kEquiWidth) {
+  const Domain domain = BitDomain(12);
+  EstimatorConfig config;
+  config.kind = kind;
+  auto estimator = BuildEstimator(MakeSample(256, domain, 3), domain, config);
+  EXPECT_TRUE(estimator.ok());
+  auto bytes = SnapshotEstimator(*estimator.value());
+  EXPECT_TRUE(bytes.ok());
+  return bytes.value();
+}
+
+// Envelope layout constants (util/serialize.h): magic u32 | version u32 |
+// type tag u32 | payload size u64 | payload | CRC32.
+constexpr size_t kVersionOffset = 4;
+constexpr size_t kHeaderTagOffset = 8;
+constexpr size_t kHeaderBytes = 20;
+
+TEST(CorruptSnapshotTest, TruncationAtEveryPrefixLengthIsStatusNotCrash) {
+  const std::vector<uint8_t> bytes = MakeSnapshot();
+  // Every truncation point, not just a sample: the reader must never run
+  // past the end no matter where the bytes stop.
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    auto result = LoadEstimatorSnapshot(cut);
+    ASSERT_FALSE(result.ok()) << "prefix length " << keep;
+  }
+  // Truncation below the fixed envelope is specifically kOutOfRange.
+  std::vector<uint8_t> tiny(bytes.begin(), bytes.begin() + 10);
+  EXPECT_EQ(LoadEstimatorSnapshot(tiny).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(CorruptSnapshotTest, FlippedPayloadByteIsDataLoss) {
+  std::vector<uint8_t> bytes = MakeSnapshot();
+  bytes[kHeaderBytes + 3] ^= 0x40;  // inside the payload, behind the CRC
+  auto result = LoadEstimatorSnapshot(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CorruptSnapshotTest, FlippedCrcByteIsDataLoss) {
+  std::vector<uint8_t> bytes = MakeSnapshot();
+  bytes[bytes.size() - 1] ^= 0x01;  // the stored checksum itself
+  auto result = LoadEstimatorSnapshot(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CorruptSnapshotTest, FutureFormatVersionIsFailedPrecondition) {
+  std::vector<uint8_t> bytes = MakeSnapshot();
+  bytes[kVersionOffset] = static_cast<uint8_t>(kSnapshotFormatVersion + 9);
+  auto result = LoadEstimatorSnapshot(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CorruptSnapshotTest, WrongHeaderTypeTagIsDataLoss) {
+  // The payload CRC cannot see the header, so a flipped header tag is only
+  // caught by the cross-check against the deserialized estimator's tag.
+  std::vector<uint8_t> bytes = MakeSnapshot();
+  bytes[kHeaderTagOffset] = static_cast<uint8_t>(EstimatorTag::kSampling);
+  auto result = LoadEstimatorSnapshot(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CorruptSnapshotTest, BadMagicIsDataLoss) {
+  std::vector<uint8_t> bytes = MakeSnapshot();
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(LoadEstimatorSnapshot(bytes).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(CorruptSnapshotTest, TrailingBytesAreInvalidArgument) {
+  std::vector<uint8_t> bytes = MakeSnapshot();
+  bytes.push_back(0x00);
+  EXPECT_EQ(LoadEstimatorSnapshot(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorruptSnapshotTest, EveryEstimatorKindSurvivesPayloadFlips) {
+  // Flips that pass the CRC are impossible, but flips the test applies
+  // before re-checksumming probe the payload validators: re-wrap a damaged
+  // payload with a fresh (valid) CRC and require Status, never a crash or
+  // an invalid estimator.
+  for (EstimatorKind kind :
+       {EstimatorKind::kUniform, EstimatorKind::kSampling,
+        EstimatorKind::kEquiWidth, EstimatorKind::kEquiDepth,
+        EstimatorKind::kMaxDiff, EstimatorKind::kVOptimal,
+        EstimatorKind::kWavelet, EstimatorKind::kAverageShifted,
+        EstimatorKind::kKernel, EstimatorKind::kAdaptiveKernel,
+        EstimatorKind::kHybrid}) {
+    const std::vector<uint8_t> bytes = MakeSnapshot(kind);
+    auto view = UnwrapSnapshot(bytes);
+    ASSERT_TRUE(view.ok());
+    for (size_t i = 0; i < view->payload.size();
+         i += std::max<size_t>(1, view->payload.size() / 64)) {
+      std::vector<uint8_t> payload = view->payload;
+      payload[i] ^= 0x80;
+      const std::vector<uint8_t> rewrapped =
+          WrapSnapshot(view->type_tag, payload);
+      auto result = LoadEstimatorSnapshot(rewrapped);
+      // Either the damage was semantically harmless (a sample value
+      // changed) or it is rejected — but it never crashes and a returned
+      // estimator is always usable.
+      if (result.ok()) {
+        (void)result.value()->EstimateSelectivity(0.25, 0.75);
+      }
+    }
+  }
+}
+
+TEST(CorruptSnapshotTest, CatalogRebuildsThroughCorruptSnapshot) {
+  const std::string dir = FreshDir("selest_corrupt_catalog");
+  const Domain domain = BitDomain(12);
+  const std::vector<double> sample = MakeSample(512, domain, 11);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiDepth;
+
+  CatalogKey key;
+  {
+    // First catalog: cold build, write-back.
+    Catalog catalog(CatalogOptions{dir});
+    auto registered =
+        catalog.RegisterColumn("orders", "amount", domain, sample, config);
+    ASSERT_TRUE(registered.ok());
+    key = registered.value();
+    ASSERT_TRUE(catalog.Warm(key).ok());
+    EXPECT_EQ(catalog.serve_stats().rebuilds, 1u);
+    EXPECT_EQ(catalog.serve_stats().writebacks, 1u);
+  }
+
+  // Damage the snapshot file in place: flip a payload byte.
+  std::string path;
+  {
+    Catalog catalog(CatalogOptions{dir});
+    auto registered =
+        catalog.RegisterColumn("orders", "amount", domain, sample, config);
+    ASSERT_TRUE(registered.ok());
+    path = catalog.store()->PathFor(key);
+  }
+  {
+    auto bytes = ReadBytesFromFile(path);
+    ASSERT_TRUE(bytes.ok());
+    bytes.value()[bytes.value().size() / 2] ^= 0x20;
+    ASSERT_TRUE(WriteBytesToFile(path, bytes.value()).ok());
+  }
+
+  // Second catalog: the corrupt snapshot is counted, the estimate is
+  // served from a rebuild, and the repaired snapshot is written back.
+  Catalog catalog(CatalogOptions{dir});
+  auto registered =
+      catalog.RegisterColumn("orders", "amount", domain, sample, config);
+  ASSERT_TRUE(registered.ok());
+  auto estimate = catalog.Estimate(key, RangeQuery{10.0, 200.0});
+  ASSERT_TRUE(estimate.ok());
+  const CatalogServeStats stats = catalog.serve_stats();
+  EXPECT_EQ(stats.snapshot_errors, 1u);
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.writebacks, 1u);
+  EXPECT_EQ(stats.snapshot_loads, 0u);
+
+  // The write-back repaired the file: a third catalog loads it cleanly.
+  Catalog repaired(CatalogOptions{dir});
+  auto reregistered =
+      repaired.RegisterColumn("orders", "amount", domain, sample, config);
+  ASSERT_TRUE(reregistered.ok());
+  ASSERT_TRUE(repaired.Estimate(key, RangeQuery{10.0, 200.0}).ok());
+  EXPECT_EQ(repaired.serve_stats().snapshot_loads, 1u);
+  EXPECT_EQ(repaired.serve_stats().rebuilds, 0u);
+}
+
+TEST(CorruptSnapshotTest, CatalogRebuildsThroughTruncatedFile) {
+  const std::string dir = FreshDir("selest_truncated_catalog");
+  const Domain domain = BitDomain(10);
+  const std::vector<double> sample = MakeSample(256, domain, 21);
+  EstimatorConfig config;  // default equi-width
+
+  Catalog warm(CatalogOptions{dir});
+  auto key = warm.RegisterColumn("t", "x", domain, sample, config);
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(warm.Warm(key.value()).ok());
+  const std::string path = warm.store()->PathFor(key.value());
+
+  auto bytes = ReadBytesFromFile(path);
+  ASSERT_TRUE(bytes.ok());
+  bytes.value().resize(bytes.value().size() / 3);
+  ASSERT_TRUE(WriteBytesToFile(path, bytes.value()).ok());
+
+  Catalog catalog(CatalogOptions{dir});
+  auto reregistered = catalog.RegisterColumn("t", "x", domain, sample, config);
+  ASSERT_TRUE(reregistered.ok());
+  ASSERT_TRUE(catalog.Estimate("t", "x", RangeQuery{1.0, 100.0}).ok());
+  EXPECT_EQ(catalog.serve_stats().snapshot_errors, 1u);
+  EXPECT_EQ(catalog.serve_stats().rebuilds, 1u);
+}
+
+TEST(CorruptSnapshotTest, MissingSnapshotIsARebuildNotAnError) {
+  const std::string dir = FreshDir("selest_missing_catalog");
+  const Domain domain = BitDomain(10);
+  const std::vector<double> sample = MakeSample(256, domain, 31);
+  Catalog catalog(CatalogOptions{dir});
+  auto key =
+      catalog.RegisterColumn("t", "x", domain, sample, EstimatorConfig{});
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(catalog.Estimate(key.value(), RangeQuery{1.0, 50.0}).ok());
+  const CatalogServeStats stats = catalog.serve_stats();
+  EXPECT_EQ(stats.snapshot_errors, 0u);  // absence is not corruption
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.writebacks, 1u);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,225 @@
+// Snapshot round-trip bit-identity: every estimator type, serialized and
+// reloaded, must answer every query with exactly the bits the original
+// instance produces. This is the correctness keystone of the serving
+// catalog — it is what lets a snapshot-loaded estimator substitute for a
+// cold-built one anywhere, including in the determinism-contract sweeps.
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/est/estimator_snapshot.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+constexpr size_t kSampleSize = 512;
+constexpr size_t kNumQueries = 1000;
+
+enum class DataShape { kUniform, kNormal, kExponential };
+
+const char* ShapeName(DataShape shape) {
+  switch (shape) {
+    case DataShape::kUniform: return "uniform";
+    case DataShape::kNormal: return "normal";
+    case DataShape::kExponential: return "exponential";
+  }
+  return "?";
+}
+
+std::vector<double> MakeSample(DataShape shape, const Domain& domain,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sample;
+  sample.reserve(kSampleSize);
+  while (sample.size() < kSampleSize) {
+    double v = 0.0;
+    switch (shape) {
+      case DataShape::kUniform:
+        v = domain.lo + rng.NextDouble() * domain.width();
+        break;
+      case DataShape::kNormal:
+        v = domain.lo + domain.width() * (0.5 + 0.15 * rng.NextGaussian());
+        break;
+      case DataShape::kExponential:
+        v = domain.lo + domain.width() * 0.2 * rng.NextExponential(1.0);
+        break;
+    }
+    if (!domain.Contains(v)) continue;
+    sample.push_back(domain.Quantize(v));
+  }
+  return sample;
+}
+
+std::vector<RangeQuery> MakeQueries(const Domain& domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(kNumQueries);
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    double a = domain.lo + rng.NextDouble() * domain.width();
+    double b = domain.lo + rng.NextDouble() * domain.width();
+    if (b < a) std::swap(a, b);
+    queries.push_back(RangeQuery{a, b});
+  }
+  return queries;
+}
+
+// One config per estimator kind, exercising the non-default knobs the
+// snapshot must carry (boundary policy, plug-in smoothing, shift counts).
+struct NamedConfig {
+  std::string label;
+  EstimatorConfig config;
+};
+
+std::vector<NamedConfig> AllConfigs() {
+  std::vector<NamedConfig> configs;
+  auto add = [&](std::string label, EstimatorKind kind,
+                 auto... tweak) {
+    EstimatorConfig config;
+    config.kind = kind;
+    (tweak(config), ...);
+    configs.push_back({std::move(label), config});
+  };
+  add("uniform", EstimatorKind::kUniform);
+  add("sampling", EstimatorKind::kSampling);
+  add("equi_width", EstimatorKind::kEquiWidth);
+  add("equi_depth", EstimatorKind::kEquiDepth);
+  add("max_diff", EstimatorKind::kMaxDiff);
+  add("v_optimal", EstimatorKind::kVOptimal,
+      [](EstimatorConfig& c) {
+        c.smoothing = SmoothingRule::kFixed;
+        c.fixed_smoothing = 24;
+      });
+  add("wavelet", EstimatorKind::kWavelet,
+      [](EstimatorConfig& c) {
+        c.smoothing = SmoothingRule::kFixed;
+        c.fixed_smoothing = 32;
+      });
+  add("ash", EstimatorKind::kAverageShifted,
+      [](EstimatorConfig& c) { c.ash_shifts = 10; });
+  add("kernel", EstimatorKind::kKernel,
+      [](EstimatorConfig& c) {
+        c.smoothing = SmoothingRule::kDirectPlugIn;
+        c.boundary = BoundaryPolicy::kBoundaryKernel;
+      });
+  add("adaptive_kernel", EstimatorKind::kAdaptiveKernel);
+  add("hybrid", EstimatorKind::kHybrid,
+      [](EstimatorConfig& c) { c.boundary = BoundaryPolicy::kBoundaryKernel; });
+  return configs;
+}
+
+void ExpectBitIdentical(const SelectivityEstimator& original,
+                        const SelectivityEstimator& reloaded,
+                        const Domain& domain, const std::string& context) {
+  const std::vector<RangeQuery> queries = MakeQueries(domain, /*seed=*/7);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double expected = original.EstimateSelectivity(queries[i]);
+    const double actual = reloaded.EstimateSelectivity(queries[i]);
+    // Bit identity, not approximate equality: snapshots restore derived
+    // state verbatim, so even the rounding must match.
+    ASSERT_EQ(expected, actual)
+        << context << " query " << i << " [" << queries[i].a << ", "
+        << queries[i].b << "]";
+    if (std::signbit(expected) != std::signbit(actual)) {
+      FAIL() << context << " sign mismatch at query " << i;
+    }
+  }
+  EXPECT_EQ(original.name(), reloaded.name()) << context;
+  EXPECT_EQ(original.StorageBytes(), reloaded.StorageBytes()) << context;
+}
+
+std::unique_ptr<SelectivityEstimator> RoundTrip(
+    const SelectivityEstimator& estimator, const std::string& context) {
+  auto bytes = SnapshotEstimator(estimator);
+  EXPECT_TRUE(bytes.ok()) << context << ": " << bytes.status().ToString();
+  if (!bytes.ok()) return nullptr;
+  auto reloaded = LoadEstimatorSnapshot(bytes.value());
+  EXPECT_TRUE(reloaded.ok()) << context << ": "
+                             << reloaded.status().ToString();
+  if (!reloaded.ok()) return nullptr;
+  return std::move(reloaded).value();
+}
+
+class SnapshotRoundTripTest : public testing::TestWithParam<DataShape> {};
+
+TEST_P(SnapshotRoundTripTest, EveryFactoryKindIsBitIdentical) {
+  const Domain domain = BitDomain(16);
+  const std::vector<double> sample = MakeSample(GetParam(), domain, 99);
+  for (const NamedConfig& named : AllConfigs()) {
+    const std::string context =
+        std::string(ShapeName(GetParam())) + "/" + named.label;
+    auto built = BuildEstimator(sample, domain, named.config);
+    ASSERT_TRUE(built.ok()) << context << ": " << built.status().ToString();
+    auto reloaded = RoundTrip(*built.value(), context);
+    ASSERT_NE(reloaded, nullptr) << context;
+    ExpectBitIdentical(*built.value(), *reloaded, domain, context);
+  }
+}
+
+TEST_P(SnapshotRoundTripTest, GuardedChainIsBitIdentical) {
+  const Domain domain = BitDomain(16);
+  const std::vector<double> sample = MakeSample(GetParam(), domain, 99);
+  EstimatorConfig primary;
+  primary.kind = EstimatorKind::kKernel;
+  auto built = BuildGuardedEstimator(sample, domain, primary);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->primary_status.ok());
+  const std::string context =
+      std::string(ShapeName(GetParam())) + "/guarded";
+  auto reloaded = RoundTrip(*built->estimator, context);
+  ASSERT_NE(reloaded, nullptr);
+  ExpectBitIdentical(*built->estimator, *reloaded, domain, context);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, SnapshotRoundTripTest,
+                         testing::Values(DataShape::kUniform,
+                                         DataShape::kNormal,
+                                         DataShape::kExponential),
+                         [](const auto& info) {
+                           return ShapeName(info.param);
+                         });
+
+// The continuous-domain path (no quantization) must round-trip too — the
+// snapshot carries the discrete flag and bit count.
+TEST(SnapshotRoundTripTest, ContinuousDomainRoundTrips) {
+  const Domain domain = ContinuousDomain(-3.5, 12.25);
+  const std::vector<double> sample =
+      MakeSample(DataShape::kNormal, domain, 123);
+  for (const NamedConfig& named : AllConfigs()) {
+    auto built = BuildEstimator(sample, domain, named.config);
+    ASSERT_TRUE(built.ok()) << named.label;
+    auto reloaded = RoundTrip(*built.value(), named.label);
+    ASSERT_NE(reloaded, nullptr) << named.label;
+    ExpectBitIdentical(*built.value(), *reloaded, domain, named.label);
+  }
+}
+
+// A guarded chain that degraded at build time (impossible primary) still
+// snapshots: the persisted chain reproduces the fallback's answers.
+TEST(SnapshotRoundTripTest, DegradedGuardedChainRoundTrips) {
+  const Domain domain = BitDomain(12);
+  const std::vector<double> sample =
+      MakeSample(DataShape::kUniform, domain, 5);
+  EstimatorConfig broken;
+  broken.kind = EstimatorKind::kEquiWidth;
+  broken.smoothing = SmoothingRule::kFixed;
+  broken.fixed_smoothing =
+      std::numeric_limits<double>::quiet_NaN();  // cannot build
+  auto built = BuildGuardedEstimator(sample, domain, broken);
+  ASSERT_TRUE(built.ok());
+  EXPECT_FALSE(built->primary_status.ok());
+  auto reloaded = RoundTrip(*built->estimator, "degraded-guarded");
+  ASSERT_NE(reloaded, nullptr);
+  ExpectBitIdentical(*built->estimator, *reloaded, domain,
+                     "degraded-guarded");
+}
+
+}  // namespace
+}  // namespace selest

@@ -93,5 +93,88 @@ TEST(SerializeTest, RemainingTracksConsumption) {
   EXPECT_TRUE(reader.AtEnd());
 }
 
+// --- snapshot envelope ---
+
+TEST(SnapshotEnvelopeTest, Crc32MatchesIeeeCheckValue) {
+  // The standard CRC-32/IEEE check value for the ASCII string "123456789".
+  const std::string check = "123456789";
+  const std::vector<uint8_t> bytes(check.begin(), check.end());
+  EXPECT_EQ(Crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::span<const uint8_t>{}), 0u);
+}
+
+TEST(SnapshotEnvelopeTest, WrapUnwrapRoundTrips) {
+  const std::vector<uint8_t> payload{0x01, 0x02, 0xFE, 0x00, 0x42};
+  const std::vector<uint8_t> wrapped = WrapSnapshot(7, payload);
+  EXPECT_EQ(wrapped.size(), payload.size() + 24);  // 20 header + 4 CRC
+  auto view = UnwrapSnapshot(wrapped);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type_tag, 7u);
+  EXPECT_EQ(view->payload, payload);
+}
+
+TEST(SnapshotEnvelopeTest, EmptyPayloadRoundTrips) {
+  auto view = UnwrapSnapshot(WrapSnapshot(1, {}));
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->payload.empty());
+}
+
+TEST(SnapshotEnvelopeTest, TruncationIsOutOfRange) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4};
+  const std::vector<uint8_t> wrapped = WrapSnapshot(1, payload);
+  for (size_t keep = 0; keep < wrapped.size(); ++keep) {
+    auto result = UnwrapSnapshot(
+        std::span<const uint8_t>(wrapped.data(), keep));
+    ASSERT_FALSE(result.ok()) << keep;
+  }
+  EXPECT_EQ(UnwrapSnapshot(std::span<const uint8_t>(wrapped.data(), 12))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotEnvelopeTest, PayloadFlipIsDataLoss) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4};
+  std::vector<uint8_t> wrapped = WrapSnapshot(1, payload);
+  wrapped[20] ^= 0x10;
+  EXPECT_EQ(UnwrapSnapshot(wrapped).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotEnvelopeTest, BadMagicIsDataLoss) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4};
+  std::vector<uint8_t> wrapped = WrapSnapshot(1, payload);
+  wrapped[1] ^= 0xFF;
+  EXPECT_EQ(UnwrapSnapshot(wrapped).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotEnvelopeTest, FutureVersionIsFailedPrecondition) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4};
+  std::vector<uint8_t> wrapped = WrapSnapshot(1, payload);
+  wrapped[4] = static_cast<uint8_t>(kSnapshotFormatVersion + 1);
+  EXPECT_EQ(UnwrapSnapshot(wrapped).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotEnvelopeTest, TrailingBytesAreInvalidArgument) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4};
+  std::vector<uint8_t> wrapped = WrapSnapshot(1, payload);
+  wrapped.push_back(0xAB);
+  EXPECT_EQ(UnwrapSnapshot(wrapped).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotEnvelopeTest, FileRoundTripAndMissingFile) {
+  const std::string path = testing::TempDir() + "selest_envelope_io.bin";
+  const std::vector<uint8_t> payload{9, 8, 7};
+  const std::vector<uint8_t> wrapped = WrapSnapshot(3, payload);
+  ASSERT_TRUE(WriteBytesToFile(path, wrapped).ok());
+  auto read = ReadBytesFromFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), wrapped);
+  auto missing = ReadBytesFromFile(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace selest
