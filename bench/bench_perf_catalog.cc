@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/catalog/statistics_catalog.h"
@@ -140,3 +141,27 @@ CATALOG_BENCH(Hybrid, kHybrid);
 
 }  // namespace
 }  // namespace selest
+
+// Custom main instead of benchmark_main: unless the caller already chose a
+// report destination, results also land in BENCH_catalog.json so the bench
+// produces a machine-readable artifact by default (mirroring
+// bench_perf_server's BENCH_server.json).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_catalog.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,236 @@
+// Perf bench: the live statistics server under mixed read/ingest load.
+//
+// For reader counts 1/2/4/8 (ISSUE: production serving is read-dominated
+// with a trickle of ingest), runs N reader threads against one live column
+// while a writer thread folds row batches that trip the ingest-volume
+// refresh policy, and reports per reader count:
+//
+//   reads_per_sec        — aggregate serve throughput,
+//   p50_ns / p99_ns      — serve latency percentiles across all readers,
+//   ingest_rows_per_sec  — writer-side fold throughput,
+//   generations          — how many epoch flips the policy produced,
+//   staleness_mre        — mean relative error of the final served
+//                          generation against an oracle estimator rebuilt
+//                          from every row the column has ever seen (how
+//                          far behind the truth serving ended up),
+//
+// and writes the whole table to BENCH_server.json (hand-rolled JSON — this
+// bench measures wall-clock phases, not single hot loops, so
+// google-benchmark's timing model does not fit).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/catalog/live_server.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+constexpr size_t kInitialRows = 1 << 15;   // 32,768 registration rows
+constexpr size_t kReadsTotal = 1 << 16;    // reads split across readers
+constexpr size_t kIngestBatches = 64;
+constexpr size_t kIngestBatchRows = 512;
+constexpr size_t kRefreshEveryRows = 4096;
+constexpr size_t kProbeQueries = 256;
+
+const Domain kDomain = ContinuousDomain(0.0, 1.0e6);
+
+std::vector<double> MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rows(n);
+  for (double& x : rows) {
+    x = kDomain.Clamp(0.5e6 + 1.2e5 * rng.NextGaussian());
+  }
+  return rows;
+}
+
+std::vector<RangeQuery> MakeQueries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RangeQuery> queries(n);
+  for (RangeQuery& q : queries) {
+    const double center = kDomain.lo + kDomain.width() * rng.NextDouble();
+    const double half = 0.05 * kDomain.width() * rng.NextDouble();
+    q.a = kDomain.Clamp(center - half);
+    q.b = kDomain.Clamp(center + half);
+  }
+  return queries;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double Percentile(std::vector<uint64_t>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(latencies.size() - 1) + 0.5);
+  return static_cast<double>(latencies[index]);
+}
+
+struct ScenarioResult {
+  size_t threads = 0;
+  double reads_per_sec = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double ingest_rows_per_sec = 0.0;
+  uint64_t generations = 0;
+  uint64_t refresh_errors = 0;
+  double staleness_mre = 0.0;
+};
+
+ScenarioResult RunScenario(size_t num_readers) {
+  LiveServerOptions options;
+  options.reservoir_capacity = kInitialRows;
+  options.refresh_ingest_rows = kRefreshEveryRows;
+  options.background_refresh = true;
+  LiveStatisticsServer server(std::move(options));
+
+  const std::vector<double> initial = MakeRows(kInitialRows, 7);
+  EstimatorConfig config;  // equi-width: the mergeable fold path
+  config.kind = EstimatorKind::kEquiWidth;
+  {
+    const Status registered =
+        server.RegisterColumn("bench", "x", kDomain, config, initial);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "register failed: %s\n",
+                   registered.ToString().c_str());
+      return {};
+    }
+  }
+  const std::vector<RangeQuery> queries = MakeQueries(kProbeQueries, 11);
+
+  const size_t reads_per_thread = kReadsTotal / num_readers;
+  std::vector<std::vector<uint64_t>> latencies(num_readers);
+  std::vector<std::thread> readers;
+  readers.reserve(num_readers);
+
+  // Rows the column sees, writer-side, for the oracle rebuild below.
+  std::vector<double> all_rows = initial;
+  const uint64_t start_ns = NowNs();
+  for (size_t r = 0; r < num_readers; ++r) {
+    latencies[r].reserve(reads_per_thread);
+    readers.emplace_back([&, r]() {
+      for (size_t i = 0; i < reads_per_thread; ++i) {
+        const RangeQuery& query = queries[i % queries.size()];
+        const uint64_t begin = NowNs();
+        auto estimate = server.Estimate("bench", "x", query);
+        latencies[r].push_back(NowNs() - begin);
+        if (!estimate.ok()) break;  // surfaces as a short latency vector
+      }
+    });
+  }
+
+  const uint64_t ingest_start_ns = NowNs();
+  for (size_t batch = 0; batch < kIngestBatches; ++batch) {
+    const std::vector<double> rows =
+        MakeRows(kIngestBatchRows, 1000 + batch);
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+    const Status ingested = server.Ingest("bench", "x", rows);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", ingested.ToString().c_str());
+      break;
+    }
+  }
+  const uint64_t ingest_ns = NowNs() - ingest_start_ns;
+
+  for (std::thread& reader : readers) reader.join();
+  const uint64_t read_ns = NowNs() - start_ns;
+  server.WaitForRefreshes();
+
+  ScenarioResult result;
+  result.threads = num_readers;
+  std::vector<uint64_t> merged;
+  merged.reserve(kReadsTotal);
+  size_t reads_done = 0;
+  for (const auto& per_thread : latencies) {
+    reads_done += per_thread.size();
+    merged.insert(merged.end(), per_thread.begin(), per_thread.end());
+  }
+  result.reads_per_sec = static_cast<double>(reads_done) /
+                         (static_cast<double>(read_ns) * 1e-9);
+  result.p50_ns = Percentile(merged, 0.50);
+  result.p99_ns = Percentile(merged, 0.99);
+  result.ingest_rows_per_sec =
+      static_cast<double>(kIngestBatches * kIngestBatchRows) /
+      (static_cast<double>(ingest_ns) * 1e-9);
+
+  auto stats = server.ColumnStats("bench", "x");
+  if (stats.ok()) {
+    result.generations = stats.value().generation;
+    result.refresh_errors = stats.value().refresh_errors;
+  }
+
+  // Staleness: the served generation vs an oracle built from every row.
+  auto oracle = BuildEstimator(all_rows, kDomain, config);
+  auto served = server.CurrentEstimator("bench", "x");
+  if (oracle.ok() && served.ok()) {
+    double sum = 0.0;
+    size_t used = 0;
+    for (const RangeQuery& query : queries) {
+      const double truth = oracle.value()->EstimateSelectivity(query);
+      if (truth <= 0.0) continue;
+      const double answer = served.value()->EstimateSelectivity(query);
+      sum += std::abs(answer - truth) / truth;
+      ++used;
+    }
+    result.staleness_mre = used == 0 ? 0.0 : sum / static_cast<double>(used);
+  }
+  return result;
+}
+
+void WriteJson(const std::vector<ScenarioResult>& results,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"benchmark\": \"live_statistics_server\",\n"
+      << "  \"initial_rows\": " << kInitialRows << ",\n"
+      << "  \"reads_total\": " << kReadsTotal << ",\n"
+      << "  \"ingest_rows\": " << kIngestBatches * kIngestBatchRows << ",\n"
+      << "  \"refresh_every_rows\": " << kRefreshEveryRows << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"reads_per_sec\": " << r.reads_per_sec
+        << ", \"p50_ns\": " << r.p50_ns << ", \"p99_ns\": " << r.p99_ns
+        << ", \"ingest_rows_per_sec\": " << r.ingest_rows_per_sec
+        << ", \"generations\": " << r.generations
+        << ", \"refresh_errors\": " << r.refresh_errors
+        << ", \"staleness_mre\": " << r.staleness_mre << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace selest
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_server.json";
+  std::vector<selest::ScenarioResult> results;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    results.push_back(selest::RunScenario(threads));
+    const selest::ScenarioResult& r = results.back();
+    std::printf(
+        "threads=%zu reads/s=%.0f p50=%.0fns p99=%.0fns ingest rows/s=%.0f "
+        "generations=%llu staleness_mre=%.4f\n",
+        r.threads, r.reads_per_sec, r.p50_ns, r.p99_ns, r.ingest_rows_per_sec,
+        static_cast<unsigned long long>(r.generations), r.staleness_mre);
+  }
+  selest::WriteJson(results, path);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

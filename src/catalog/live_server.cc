@@ -1,0 +1,436 @@
+#include "src/catalog/live_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/data/io.h"
+#include "src/est/estimator_snapshot.h"
+#include "src/exec/fault_injection.h"
+
+namespace selest {
+
+// Per-column state. The serving side is the atomic `current` pointer and
+// the relaxed counters; everything the ingest side mutates lives behind
+// `ingest_mutex`. A refresh holds the mutex only while capturing its
+// inputs (a snapshot of the accumulator or a copy of the reservoir), never
+// while building or flipping, so ingest stalls are bounded by a memcpy.
+struct LiveStatisticsServer::Column {
+  Column(std::string relation_name, std::string attribute_name,
+         const Domain& column_domain, const EstimatorConfig& column_config,
+         CatalogKey column_key, const LiveServerOptions& options)
+      : relation(std::move(relation_name)),
+        attribute(std::move(attribute_name)),
+        domain(column_domain),
+        config(column_config),
+        key(std::move(column_key)),
+        reservoir(options.reservoir_capacity, options.reservoir_decay,
+                  options.seed ^ column_key.fingerprint),
+        online(column_domain) {}
+
+  const std::string relation;
+  const std::string attribute;
+  const Domain domain;
+  const EstimatorConfig config;
+  const CatalogKey key;
+
+  // The served generation. Readers load once and answer entirely from the
+  // loaded generation; the old one stays alive while they hold it.
+  std::atomic<std::shared_ptr<const LiveGeneration>> current;
+
+  std::mutex ingest_mutex;
+  // Mergeable clone of the registration build; null when the estimator
+  // kind does not support FoldRows (refreshes then rebuild from the
+  // reservoir).
+  std::unique_ptr<SelectivityEstimator> accumulator;
+  DecayingReservoir reservoir;
+  OnlineSelectivityEstimator online;
+  uint64_t total_rows = 0;  // registration rows + accepted ingest rows
+
+  // At most one refresh per column at a time; losers coalesce.
+  std::atomic<bool> refresh_in_flight{false};
+
+  std::atomic<uint64_t> serves{0};
+  std::atomic<uint64_t> ingested_rows{0};
+  std::atomic<uint64_t> rows_since_refresh{0};
+  std::atomic<uint64_t> refreshes{0};
+  std::atomic<uint64_t> refresh_errors{0};
+  std::atomic<uint64_t> merge_refreshes{0};
+  std::atomic<uint64_t> rebuild_refreshes{0};
+  std::atomic<uint64_t> ttl_refreshes{0};
+  std::atomic<uint64_t> threshold_refreshes{0};
+  std::atomic<uint64_t> writebacks{0};
+  std::atomic<uint64_t> writeback_errors{0};
+
+  mutable std::mutex history_mutex;
+  std::vector<std::shared_ptr<const LiveGeneration>> history;
+};
+
+LiveStatisticsServer::LiveStatisticsServer(LiveServerOptions options)
+    : options_(std::move(options)) {
+  if (!options_.snapshot_directory.empty()) {
+    store_.emplace(options_.snapshot_directory);
+  }
+}
+
+LiveStatisticsServer::~LiveStatisticsServer() { WaitForRefreshes(); }
+
+uint64_t LiveStatisticsServer::Now() const {
+  if (options_.clock) return options_.clock();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::shared_ptr<LiveStatisticsServer::Column> LiveStatisticsServer::FindColumn(
+    const std::string& relation, const std::string& attribute) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = columns_.find(std::make_pair(relation, attribute));
+  return it == columns_.end() ? nullptr : it->second;
+}
+
+Status LiveStatisticsServer::RegisterColumn(const std::string& relation,
+                                            const std::string& attribute,
+                                            const Domain& domain,
+                                            const EstimatorConfig& config,
+                                            std::span<const double> initial_rows) {
+  if (relation.empty() || attribute.empty()) {
+    return InvalidArgumentError(
+        "live-server registration needs non-empty relation and attribute "
+        "names");
+  }
+  SELEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<SelectivityEstimator> built,
+      BuildEstimator(initial_rows, domain, config));
+  auto column = std::make_shared<Column>(
+      relation, attribute, domain, config,
+      CatalogKey{relation, attribute, FingerprintConfig(config)}, options_);
+  if (built->SupportsMerge()) {
+    // A second deterministic build of the same inputs gives the private
+    // mutable accumulator; the first stays immutable and gets served.
+    SELEST_ASSIGN_OR_RETURN(column->accumulator,
+                            BuildEstimator(initial_rows, domain, config));
+  }
+  column->reservoir.AddBatch(initial_rows);
+  column->online.AddSamples(initial_rows);
+  column->total_rows = initial_rows.size();
+
+  auto generation = std::make_shared<LiveGeneration>();
+  generation->estimator =
+      std::shared_ptr<const SelectivityEstimator>(std::move(built));
+  generation->number = 1;
+  generation->built_at_ticks = Now();
+  generation->rows_at_build = initial_rows.size();
+  generation->merged = false;
+  Publish(column, std::move(generation));
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  columns_.insert_or_assign(std::make_pair(relation, attribute),
+                            std::move(column));
+  return Status::Ok();
+}
+
+void LiveStatisticsServer::Publish(
+    const std::shared_ptr<Column>& column,
+    std::shared_ptr<const LiveGeneration> generation) {
+  column->current.store(generation);
+  if (options_.keep_generation_history) {
+    std::lock_guard<std::mutex> lock(column->history_mutex);
+    column->history.push_back(generation);
+  }
+  if (store_.has_value()) {
+    const Status written = store_->Put(column->key, *generation->estimator);
+    if (written.ok()) {
+      column->writebacks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      column->writeback_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status LiveStatisticsServer::Ingest(const std::string& relation,
+                                    const std::string& attribute,
+                                    std::span<const double> rows) {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  if (rows.empty()) return Status::Ok();
+  std::vector<double> clamped(rows.begin(), rows.end());
+  for (double& v : clamped) v = column->domain.Clamp(v);
+
+  bool threshold_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(column->ingest_mutex);
+    if (column->accumulator != nullptr) {
+      SELEST_RETURN_IF_ERROR(column->accumulator->FoldRows(clamped));
+    }
+    column->reservoir.AddBatch(clamped);
+    column->online.AddSamples(clamped);
+    column->total_rows += clamped.size();
+    column->ingested_rows.fetch_add(clamped.size(),
+                                    std::memory_order_relaxed);
+    const uint64_t since = column->rows_since_refresh.fetch_add(
+                               clamped.size(), std::memory_order_relaxed) +
+                           clamped.size();
+    threshold_hit = options_.refresh_ingest_rows > 0 &&
+                    since >= options_.refresh_ingest_rows;
+  }
+  if (threshold_hit) {
+    SELEST_RETURN_IF_ERROR(
+        MaybeTriggerRefresh(column, &column->threshold_refreshes));
+  }
+  CheckStaleness(column);
+  return Status::Ok();
+}
+
+StatusOr<size_t> LiveStatisticsServer::IngestFromFile(
+    const std::string& relation, const std::string& attribute,
+    const std::string& path) {
+  SELEST_ASSIGN_OR_RETURN(const Dataset data, LoadDatasetText(path));
+  SELEST_RETURN_IF_ERROR(Ingest(relation, attribute, data.values()));
+  return data.size();
+}
+
+StatusOr<double> LiveStatisticsServer::Estimate(const std::string& relation,
+                                                const std::string& attribute,
+                                                const RangeQuery& query) {
+  SELEST_ASSIGN_OR_RETURN(const ServedEstimate served,
+                          EstimateDetailed(relation, attribute, query));
+  return served.value;
+}
+
+StatusOr<ServedEstimate> LiveStatisticsServer::EstimateDetailed(
+    const std::string& relation, const std::string& attribute,
+    const RangeQuery& query) {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  // One load; value and generation number come from the same epoch even if
+  // a flip lands mid-call.
+  const std::shared_ptr<const LiveGeneration> generation =
+      column->current.load();
+  ServedEstimate served;
+  served.value = generation->estimator->EstimateSelectivity(query);
+  served.generation = generation->number;
+  column->serves.fetch_add(1, std::memory_order_relaxed);
+  CheckStaleness(column);
+  return served;
+}
+
+StatusOr<IntervalEstimate> LiveStatisticsServer::OnlineEstimate(
+    const std::string& relation, const std::string& attribute,
+    const RangeQuery& query) {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  std::lock_guard<std::mutex> lock(column->ingest_mutex);
+  return column->online.Estimate(query);
+}
+
+void LiveStatisticsServer::CheckStaleness(
+    const std::shared_ptr<Column>& column) {
+  if (options_.ttl_ticks == 0) return;
+  const std::shared_ptr<const LiveGeneration> generation =
+      column->current.load();
+  if (Now() - generation->built_at_ticks < options_.ttl_ticks) return;
+  // Fire-and-forget: a failed inline TTL refresh is already counted in
+  // refresh_errors and must not fail the serve that noticed it.
+  (void)MaybeTriggerRefresh(column, &column->ttl_refreshes);
+}
+
+Status LiveStatisticsServer::MaybeTriggerRefresh(
+    const std::shared_ptr<Column>& column,
+    std::atomic<uint64_t>* trigger_counter) {
+  if (column->refresh_in_flight.exchange(true)) return Status::Ok();
+  if (trigger_counter != nullptr) {
+    trigger_counter->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!options_.background_refresh) {
+    const Status status = DoRefresh(column);
+    column->refresh_in_flight.store(false);
+    return status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    ++pending_refreshes_;
+  }
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Default();
+  pool->Schedule([this, column]() {
+    (void)DoRefresh(column);
+    column->refresh_in_flight.store(false);
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    --pending_refreshes_;
+    refresh_cv_.notify_all();
+  });
+  return Status::Ok();
+}
+
+Status LiveStatisticsServer::Refresh(const std::string& relation,
+                                     const std::string& attribute) {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  // Wait out any in-flight refresh, then run ours inline: the caller asked
+  // for a flip that reflects everything ingested before this call.
+  while (column->refresh_in_flight.exchange(true)) std::this_thread::yield();
+  const Status status = DoRefresh(column);
+  column->refresh_in_flight.store(false);
+  return status;
+}
+
+Status LiveStatisticsServer::DoRefresh(const std::shared_ptr<Column>& column) {
+  const Status status = [&]() -> Status {
+    SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointServerRefresh));
+    bool merged = false;
+    uint64_t rows_at_build = 0;
+    uint64_t rows_folded = 0;
+    std::unique_ptr<SelectivityEstimator> next;
+    if (column->accumulator != nullptr) {
+      // Merge path: serialize-clone the accumulator under the mutex, then
+      // deserialize outside it. The clone answers bit-identically to the
+      // accumulator at capture time (the snapshot round-trip contract).
+      std::vector<uint8_t> bytes;
+      {
+        std::lock_guard<std::mutex> lock(column->ingest_mutex);
+        SELEST_ASSIGN_OR_RETURN(bytes,
+                                SnapshotEstimator(*column->accumulator));
+        rows_at_build = column->total_rows;
+        rows_folded =
+            column->rows_since_refresh.load(std::memory_order_relaxed);
+      }
+      SELEST_ASSIGN_OR_RETURN(next, LoadEstimatorSnapshot(bytes));
+      merged = true;
+    } else {
+      // Rebuild path: full build from the current reservoir contents
+      // (honors the est/build fault point).
+      std::vector<double> rows;
+      {
+        std::lock_guard<std::mutex> lock(column->ingest_mutex);
+        const std::span<const double> view = column->reservoir.values();
+        rows.assign(view.begin(), view.end());
+        rows_at_build = column->total_rows;
+        rows_folded =
+            column->rows_since_refresh.load(std::memory_order_relaxed);
+      }
+      SELEST_ASSIGN_OR_RETURN(
+          next, BuildEstimator(rows, column->domain, column->config));
+    }
+    auto generation = std::make_shared<LiveGeneration>();
+    generation->estimator =
+        std::shared_ptr<const SelectivityEstimator>(std::move(next));
+    generation->number = column->current.load()->number + 1;
+    generation->built_at_ticks = Now();
+    generation->rows_at_build = rows_at_build;
+    generation->merged = merged;
+    Publish(column, std::move(generation));
+    column->refreshes.fetch_add(1, std::memory_order_relaxed);
+    if (merged) {
+      column->merge_refreshes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      column->rebuild_refreshes.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Rows folded after the capture still count toward the next refresh.
+    column->rows_since_refresh.fetch_sub(rows_folded,
+                                         std::memory_order_relaxed);
+    return Status::Ok();
+  }();
+  if (!status.ok()) {
+    column->refresh_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void LiveStatisticsServer::WaitForRefreshes() {
+  std::unique_lock<std::mutex> lock(refresh_mutex_);
+  refresh_cv_.wait(lock, [this]() { return pending_refreshes_ == 0; });
+}
+
+StatusOr<std::shared_ptr<const SelectivityEstimator>>
+LiveStatisticsServer::CurrentEstimator(const std::string& relation,
+                                       const std::string& attribute) const {
+  SELEST_ASSIGN_OR_RETURN(const std::shared_ptr<const LiveGeneration> gen,
+                          CurrentGeneration(relation, attribute));
+  return gen->estimator;
+}
+
+StatusOr<std::shared_ptr<const LiveGeneration>>
+LiveStatisticsServer::CurrentGeneration(const std::string& relation,
+                                        const std::string& attribute) const {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  return column->current.load();
+}
+
+StatusOr<std::vector<std::shared_ptr<const LiveGeneration>>>
+LiveStatisticsServer::GenerationHistory(const std::string& relation,
+                                        const std::string& attribute) const {
+  if (!options_.keep_generation_history) {
+    return FailedPreconditionError(
+        "generation history requires LiveServerOptions::"
+        "keep_generation_history");
+  }
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  std::lock_guard<std::mutex> lock(column->history_mutex);
+  return column->history;
+}
+
+StatusOr<LiveColumnStats> LiveStatisticsServer::ColumnStats(
+    const std::string& relation, const std::string& attribute) const {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  LiveColumnStats stats;
+  stats.generation = column->current.load()->number;
+  stats.serves = column->serves.load(std::memory_order_relaxed);
+  stats.ingested_rows =
+      column->ingested_rows.load(std::memory_order_relaxed);
+  stats.rows_since_refresh =
+      column->rows_since_refresh.load(std::memory_order_relaxed);
+  stats.refreshes = column->refreshes.load(std::memory_order_relaxed);
+  stats.refresh_errors =
+      column->refresh_errors.load(std::memory_order_relaxed);
+  stats.merge_refreshes =
+      column->merge_refreshes.load(std::memory_order_relaxed);
+  stats.rebuild_refreshes =
+      column->rebuild_refreshes.load(std::memory_order_relaxed);
+  stats.ttl_refreshes =
+      column->ttl_refreshes.load(std::memory_order_relaxed);
+  stats.threshold_refreshes =
+      column->threshold_refreshes.load(std::memory_order_relaxed);
+  stats.writebacks = column->writebacks.load(std::memory_order_relaxed);
+  stats.writeback_errors =
+      column->writeback_errors.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool LiveStatisticsServer::HasColumn(const std::string& relation,
+                                     const std::string& attribute) const {
+  return FindColumn(relation, attribute) != nullptr;
+}
+
+size_t LiveStatisticsServer::num_columns() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return columns_.size();
+}
+
+}  // namespace selest

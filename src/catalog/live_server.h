@@ -1,0 +1,254 @@
+// The live statistics server: concurrent serving + incremental ingest.
+//
+// The serving Catalog (statistics_catalog.h) is build-once/serve-many over
+// a fixed sample; this layer is the ROADMAP's "millions of users" piece —
+// rows keep arriving after the build and estimates must stay fresh without
+// readers ever blocking on a rebuild. Per column it maintains
+//
+//   * a served *generation*: an immutable estimator published through an
+//     atomic shared_ptr. Readers load the pointer, answer from that
+//     generation, and are never torn across a refresh (RCU-style: the old
+//     generation stays alive as long as any reader holds it);
+//   * an ingest-side accumulator, private to the server and guarded by an
+//     ingest mutex: a mergeable clone of the estimator that new rows fold
+//     into without a full rebuild (MergeFrom/FoldRows, est/), a decaying
+//     reservoir (sample/sampler.h) feeding full rebuilds of non-mergeable
+//     estimators, and a progressive online estimator (online/) serving
+//     interval estimates between generations;
+//   * a staleness policy: refresh after `refresh_ingest_rows` folded rows
+//     and/or when the serving generation is older than `ttl_ticks` by the
+//     injected clock, executed inline or in the background on the shared
+//     exec thread pool. A refresh that fails — an injected est/build or
+//     server/refresh fault, a clone error — leaves the old generation
+//     serving and bumps an error counter (graceful degradation,
+//     DESIGN.md §8).
+//
+// Generation lifecycle and the full contract: DESIGN.md §10.
+#ifndef SELEST_CATALOG_LIVE_SERVER_H_
+#define SELEST_CATALOG_LIVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/catalog/snapshot_store.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/exec/thread_pool.h"
+#include "src/online/online_estimator.h"
+#include "src/query/range_query.h"
+#include "src/sample/sampler.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+struct LiveServerOptions {
+  // Capacity and recency bias of the per-column ingest reservoir (see
+  // DecayingReservoir). Non-mergeable estimators rebuild from this
+  // reservoir on refresh; keep it at least as large as the registration
+  // sample when bit-stable refreshes of a quiet column matter.
+  size_t reservoir_capacity = 2000;
+  double reservoir_decay = 0.0;
+
+  // Staleness policy. A refresh is triggered when `refresh_ingest_rows`
+  // rows have been folded since the served build (0 disables), or when the
+  // serving generation is older than `ttl_ticks` by `clock` (0 disables;
+  // checked on ingest and serve). At most one refresh per column runs at a
+  // time; triggers during a running refresh coalesce into it.
+  size_t refresh_ingest_rows = 0;
+  uint64_t ttl_ticks = 0;
+  // Monotonic tick source; defaults to steady_clock nanoseconds. Tests
+  // inject a fake clock to drive TTL deterministically.
+  std::function<uint64_t()> clock;
+
+  // Background refreshes run on `pool` (the shared default pool when
+  // nullptr) so ingest latency stays flat; inline refreshes complete
+  // before Ingest returns, which is what the deterministic tests use.
+  bool background_refresh = true;
+  ThreadPool* pool = nullptr;
+
+  // When set, every published generation is written back as an estimator
+  // snapshot (PR 5 envelope) under this directory, keyed by
+  // (relation, attribute, FingerprintConfig).
+  std::string snapshot_directory;
+
+  // Retain every published generation for inspection (the concurrency
+  // tests replay served answers against the exact generation that produced
+  // them). Unbounded; leave off outside tests.
+  bool keep_generation_history = false;
+
+  // Seeds the per-column reservoirs.
+  uint64_t seed = 1;
+};
+
+// One published epoch of a column. Immutable after publication.
+struct LiveGeneration {
+  std::shared_ptr<const SelectivityEstimator> estimator;
+  // 1 for the registration build, then +1 per successful refresh.
+  uint64_t number = 0;
+  uint64_t built_at_ticks = 0;
+  // Rows folded into this generation (registration rows + ingested rows).
+  uint64_t rows_at_build = 0;
+  // True when the generation was produced by the merge/fold path (no
+  // rebuild); false for registration builds and reservoir rebuilds.
+  bool merged = false;
+};
+
+// A serve-path answer bound to the generation that produced it.
+struct ServedEstimate {
+  double value = 0.0;
+  uint64_t generation = 0;
+};
+
+// Per-column counters. Read with relaxed atomics: exact once concurrent
+// traffic has quiesced.
+struct LiveColumnStats {
+  uint64_t generation = 0;        // currently served generation number
+  uint64_t serves = 0;            // Estimate() answers across generations
+  uint64_t ingested_rows = 0;     // rows accepted by Ingest since register
+  uint64_t rows_since_refresh = 0;
+  uint64_t refreshes = 0;         // successful generation flips
+  uint64_t refresh_errors = 0;    // failed refreshes (old generation kept)
+  uint64_t merge_refreshes = 0;   // flips produced by the merge/fold path
+  uint64_t rebuild_refreshes = 0; // flips rebuilt from the reservoir
+  uint64_t ttl_refreshes = 0;         // refresh triggers by TTL
+  uint64_t threshold_refreshes = 0;   // refresh triggers by ingest volume
+  uint64_t writebacks = 0;        // generation snapshots persisted
+  uint64_t writeback_errors = 0;  // snapshot writes that failed
+};
+
+class LiveStatisticsServer {
+ public:
+  explicit LiveStatisticsServer(LiveServerOptions options = {});
+
+  // Drains in-flight background refreshes before tearing down.
+  ~LiveStatisticsServer();
+
+  LiveStatisticsServer(const LiveStatisticsServer&) = delete;
+  LiveStatisticsServer& operator=(const LiveStatisticsServer&) = delete;
+
+  // Registers (relation, attribute) and publishes generation 1, built from
+  // `initial_rows` exactly as BuildEstimator would (so a quiet column
+  // serves bit-identically to the passive catalog). Replaces any previous
+  // registration of the same column.
+  Status RegisterColumn(const std::string& relation,
+                        const std::string& attribute, const Domain& domain,
+                        const EstimatorConfig& config,
+                        std::span<const double> initial_rows);
+
+  // Folds new rows into the column's ingest-side state: the mergeable
+  // accumulator (exact or bounded-drift, per estimator type), the
+  // reservoir, and the online estimator. Values are clamped to the
+  // column's domain. Returns before any triggered background refresh
+  // completes; the served generation is unchanged until the flip.
+  Status Ingest(const std::string& relation, const std::string& attribute,
+                std::span<const double> rows);
+
+  // Ingest from a dataset file (text format, data/io.h); the number of
+  // rows folded on success. Subject to the data/io/read-text fault point:
+  // a failed load folds nothing and leaves serving untouched.
+  StatusOr<size_t> IngestFromFile(const std::string& relation,
+                                  const std::string& attribute,
+                                  const std::string& path);
+
+  // Serve-path estimate from the current generation. Never blocks on a
+  // refresh: the generation pointer is loaded atomically and the answer is
+  // computed entirely from that generation.
+  StatusOr<double> Estimate(const std::string& relation,
+                            const std::string& attribute,
+                            const RangeQuery& query);
+
+  // Estimate plus the generation number that answered — the concurrency
+  // suite asserts every served value is bit-identical to its generation's
+  // estimator (never a torn mix of two generations).
+  StatusOr<ServedEstimate> EstimateDetailed(const std::string& relation,
+                                            const std::string& attribute,
+                                            const RangeQuery& query);
+
+  // Progressive interval estimate from the ingest-side online estimator:
+  // covers rows newer than the served generation, at the cost of taking
+  // the ingest mutex.
+  StatusOr<IntervalEstimate> OnlineEstimate(const std::string& relation,
+                                            const std::string& attribute,
+                                            const RangeQuery& query);
+
+  // Forces a synchronous refresh (merge/fold clone for mergeable
+  // estimators, reservoir rebuild otherwise) and publishes the new
+  // generation. On failure the old generation keeps serving and the error
+  // is returned.
+  Status Refresh(const std::string& relation, const std::string& attribute);
+
+  // Blocks until every background refresh scheduled so far has finished.
+  void WaitForRefreshes();
+
+  // The estimator of the current generation (shared ownership: stays valid
+  // across later flips).
+  StatusOr<std::shared_ptr<const SelectivityEstimator>> CurrentEstimator(
+      const std::string& relation, const std::string& attribute) const;
+
+  // The current generation record.
+  StatusOr<std::shared_ptr<const LiveGeneration>> CurrentGeneration(
+      const std::string& relation, const std::string& attribute) const;
+
+  // Every generation published so far, oldest first. Requires
+  // options.keep_generation_history.
+  StatusOr<std::vector<std::shared_ptr<const LiveGeneration>>>
+  GenerationHistory(const std::string& relation,
+                    const std::string& attribute) const;
+
+  StatusOr<LiveColumnStats> ColumnStats(const std::string& relation,
+                                        const std::string& attribute) const;
+
+  bool HasColumn(const std::string& relation,
+                 const std::string& attribute) const;
+  size_t num_columns() const;
+  // The durable write-back tier, or nullptr when disabled.
+  const SnapshotStore* store() const {
+    return store_.has_value() ? &*store_ : nullptr;
+  }
+
+ private:
+  struct Column;
+
+  std::shared_ptr<Column> FindColumn(const std::string& relation,
+                                     const std::string& attribute) const;
+  uint64_t Now() const;
+  // Starts a refresh unless one is already running (coalescing).
+  // `trigger_counter` (may be null) is bumped only when this call actually
+  // claims the refresh, so policy counters count refreshes started, not
+  // every serve that noticed staleness. Returns the refresh status when
+  // run inline, OK when scheduled or coalesced.
+  Status MaybeTriggerRefresh(const std::shared_ptr<Column>& column,
+                             std::atomic<uint64_t>* trigger_counter);
+  // The refresh body: produce the next generation, flip, write back.
+  Status DoRefresh(const std::shared_ptr<Column>& column);
+  // Atomically flips the column to `generation` and persists it.
+  void Publish(const std::shared_ptr<Column>& column,
+               std::shared_ptr<const LiveGeneration> generation);
+  void CheckStaleness(const std::shared_ptr<Column>& column);
+
+  LiveServerOptions options_;
+  std::optional<SnapshotStore> store_;
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::pair<std::string, std::string>, std::shared_ptr<Column>>
+      columns_;
+
+  // Background refresh accounting for WaitForRefreshes / the destructor.
+  mutable std::mutex refresh_mutex_;
+  std::condition_variable refresh_cv_;
+  size_t pending_refreshes_ = 0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_CATALOG_LIVE_SERVER_H_

@@ -29,6 +29,26 @@ StatusOr<BinnedDensity> BinnedDensity::Create(std::vector<double> edges,
   return BinnedDensity(std::move(edges), std::move(counts), total_count);
 }
 
+namespace {
+
+// Bin i covers (edges[i], edges[i+1]]; the first bin also includes its
+// left edge so the full edge range is covered. Out-of-range values clamp
+// into the first/last bin. Shared by FromSample and FoldedWith so batch
+// builds and incremental folds bucket identically.
+size_t BucketIndex(const std::vector<double>& edges, size_t num_bins,
+                   double v) {
+  auto it = std::lower_bound(edges.begin(), edges.end(), v);
+  size_t bin;
+  if (it == edges.begin()) {
+    bin = 0;
+  } else {
+    bin = static_cast<size_t>(it - edges.begin()) - 1;
+  }
+  return std::min(bin, num_bins - 1);
+}
+
+}  // namespace
+
 StatusOr<BinnedDensity> BinnedDensity::FromSample(
     std::span<const double> sample, std::vector<double> edges) {
   if (sample.empty()) {
@@ -39,17 +59,7 @@ StatusOr<BinnedDensity> BinnedDensity::FromSample(
   }
   std::vector<double> counts(edges.size() - 1, 0.0);
   for (double v : sample) {
-    // Bin i covers (edges[i], edges[i+1]]; the first bin also includes its
-    // left edge so the full edge range is covered.
-    auto it = std::lower_bound(edges.begin(), edges.end(), v);
-    size_t bin;
-    if (it == edges.begin()) {
-      bin = 0;
-    } else {
-      bin = static_cast<size_t>(it - edges.begin()) - 1;
-    }
-    bin = std::min(bin, counts.size() - 1);
-    counts[bin] += 1.0;
+    counts[BucketIndex(edges, counts.size(), v)] += 1.0;
   }
   const double total = static_cast<double>(sample.size());
   return Create(std::move(edges), std::move(counts), total);
@@ -97,6 +107,31 @@ double BinnedDensity::Selectivity(double a, double b) const {
 
 size_t BinnedDensity::StorageBytes() const {
   return sizeof(double) * (edges_.size() + counts_.size());
+}
+
+StatusOr<BinnedDensity> BinnedDensity::MergedWith(
+    const BinnedDensity& other) const {
+  if (edges_ != other.edges_) {
+    return FailedPreconditionError(
+        "histogram merge requires identical bin edges");
+  }
+  std::vector<double> counts(counts_);
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts_[i];
+  return BinnedDensity(edges_, std::move(counts),
+                       total_count_ + other.total_count_);
+}
+
+BinnedDensity BinnedDensity::FoldedWith(std::span<const double> values) const {
+  BinnedDensity folded(*this);
+  for (double v : values) {
+    folded.counts_[BucketIndex(edges_, counts_.size(), v)] += 1.0;
+  }
+  folded.total_count_ += static_cast<double>(values.size());
+  return folded;
+}
+
+double BinnedDensity::MassBelow(double x) const {
+  return Selectivity(edges_.front(), x) * total_count_;
 }
 
 }  // namespace selest

@@ -1,6 +1,7 @@
 #include "src/est/equi_depth_histogram.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,75 @@ double EquiDepthHistogram::EstimateSelectivity(double a, double b) const {
 
 std::string EquiDepthHistogram::name() const {
   return "equi-depth(" + std::to_string(num_bins()) + ")";
+}
+
+Status EquiDepthHistogram::MergeFrom(const SelectivityEstimator& other) {
+  const auto* peer = dynamic_cast<const EquiDepthHistogram*>(&other);
+  if (peer == nullptr) {
+    return FailedPreconditionError("cannot merge " + other.name() +
+                                   " into an equi-depth histogram");
+  }
+  const std::vector<double>& a_edges = bins_.edges();
+  const std::vector<double>& b_edges = peer->bins_.edges();
+  if (a_edges.front() != b_edges.front() || a_edges.back() != b_edges.back()) {
+    return FailedPreconditionError(
+        "equi-depth merge requires histograms over the same domain");
+  }
+
+  // Union edge grid with the combined cumulative mass at each edge: the
+  // merged CDF is exact at union edges and linearly interpolated between
+  // them, which is where the bounded drift comes from.
+  std::vector<double> grid;
+  grid.reserve(a_edges.size() + b_edges.size());
+  std::merge(a_edges.begin(), a_edges.end(), b_edges.begin(), b_edges.end(),
+             std::back_inserter(grid));
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  std::vector<double> cumulative(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    cumulative[i] =
+        bins_.MassBelow(grid[i]) + peer->bins_.MassBelow(grid[i]);
+  }
+  const double total = bins_.total_count() + peer->bins_.total_count();
+
+  // Re-place this histogram's bin count at the combined quantiles.
+  const size_t k = bins_.num_bins();
+  std::vector<double> edges;
+  std::vector<double> counts(k, total / static_cast<double>(k));
+  edges.reserve(k + 1);
+  edges.push_back(grid.front());
+  size_t segment = 1;
+  for (size_t j = 1; j < k; ++j) {
+    const double target =
+        static_cast<double>(j) * total / static_cast<double>(k);
+    while (segment + 1 < grid.size() && cumulative[segment] < target) {
+      ++segment;
+    }
+    const double mass_step = cumulative[segment] - cumulative[segment - 1];
+    const double position =
+        mass_step > 0.0
+            ? grid[segment - 1] + (target - cumulative[segment - 1]) /
+                                      mass_step *
+                                      (grid[segment] - grid[segment - 1])
+            : grid[segment];
+    edges.push_back(std::max(position, edges.back()));
+  }
+  edges.push_back(std::max(grid.back(), edges.back()));
+
+  auto merged = BinnedDensity::Create(std::move(edges), std::move(counts),
+                                      total);
+  if (!merged.ok()) return merged.status();
+  bins_ = std::move(merged).value();
+  return Status::Ok();
+}
+
+Status EquiDepthHistogram::FoldRows(std::span<const double> rows) {
+  if (rows.empty()) return Status::Ok();
+  Domain domain;
+  domain.lo = bins_.edges().front();
+  domain.hi = bins_.edges().back();
+  auto delta = Create(rows, domain, num_bins());
+  if (!delta.ok()) return delta.status();
+  return MergeFrom(delta.value());
 }
 
 Status EquiDepthHistogram::SerializeState(ByteWriter& writer) const {

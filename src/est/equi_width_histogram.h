@@ -40,6 +40,14 @@ class EquiWidthHistogram : public SelectivityEstimator {
   Status SerializeState(ByteWriter& writer) const override;
   static StatusOr<EquiWidthHistogram> DeserializeState(ByteReader& reader);
 
+  // Exact incremental maintenance: bin edges are fixed by (domain, bin
+  // count), so adding another histogram's counts or bucketing new rows in
+  // place reproduces Build(A ∪ B) bit for bit. MergeFrom requires the same
+  // concrete type and identical edges (kFailedPrecondition otherwise).
+  bool SupportsMerge() const override { return true; }
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  Status FoldRows(std::span<const double> rows) override;
+
  private:
   EquiWidthHistogram(BinnedDensity bins, double bin_width)
       : bins_(std::move(bins)), bin_width_(bin_width) {}

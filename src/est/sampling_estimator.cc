@@ -1,6 +1,9 @@
 #include "src/est/sampling_estimator.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <utility>
 
 #include "src/est/estimator_snapshot.h"
 
@@ -25,6 +28,32 @@ double SamplingEstimator::EstimateSelectivity(double a, double b) const {
 
 size_t SamplingEstimator::StorageBytes() const {
   return sizeof(double) * sorted_.size();
+}
+
+Status SamplingEstimator::MergeFrom(const SelectivityEstimator& other) {
+  const auto* peer = dynamic_cast<const SamplingEstimator*>(&other);
+  if (peer == nullptr) {
+    return FailedPreconditionError("cannot merge " + other.name() +
+                                   " into a sampling estimator");
+  }
+  std::vector<double> merged;
+  merged.reserve(sorted_.size() + peer->sorted_.size());
+  std::merge(sorted_.begin(), sorted_.end(), peer->sorted_.begin(),
+             peer->sorted_.end(), std::back_inserter(merged));
+  sorted_ = std::move(merged);
+  return Status::Ok();
+}
+
+Status SamplingEstimator::FoldRows(std::span<const double> rows) {
+  if (rows.empty()) return Status::Ok();
+  const size_t old_size = sorted_.size();
+  sorted_.insert(sorted_.end(), rows.begin(), rows.end());
+  std::sort(sorted_.begin() + static_cast<ptrdiff_t>(old_size),
+            sorted_.end());
+  std::inplace_merge(sorted_.begin(),
+                     sorted_.begin() + static_cast<ptrdiff_t>(old_size),
+                     sorted_.end());
+  return Status::Ok();
 }
 
 Status SamplingEstimator::SerializeState(ByteWriter& writer) const {

@@ -31,6 +31,13 @@ class SamplingEstimator : public SelectivityEstimator {
   Status SerializeState(ByteWriter& writer) const override;
   static StatusOr<SamplingEstimator> DeserializeState(ByteReader& reader);
 
+  // Exact incremental maintenance: the state is the sorted sample itself,
+  // so merging another instance (or folding raw rows) in sorted order
+  // reproduces Build(A ∪ B) bit for bit.
+  bool SupportsMerge() const override { return true; }
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  Status FoldRows(std::span<const double> rows) override;
+
  private:
   explicit SamplingEstimator(std::vector<double> sorted)
       : sorted_(std::move(sorted)) {}

@@ -9,6 +9,16 @@ Status SelectivityEstimator::SerializeState(ByteWriter& /*writer*/) const {
                                  "\" does not support snapshots");
 }
 
+Status SelectivityEstimator::MergeFrom(const SelectivityEstimator& /*other*/) {
+  return FailedPreconditionError("estimator \"" + name() +
+                                 "\" does not support merging");
+}
+
+Status SelectivityEstimator::FoldRows(std::span<const double> /*rows*/) {
+  return FailedPreconditionError("estimator \"" + name() +
+                                 "\" does not support incremental folds");
+}
+
 void SelectivityEstimator::EstimateSelectivityBatch(
     std::span<const RangeQuery> queries, std::span<double> out) const {
   SELEST_CHECK_EQ(queries.size(), out.size());

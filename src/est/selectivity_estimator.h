@@ -88,6 +88,24 @@ class SelectivityEstimator {
   // support).
   virtual Status SerializeState(ByteWriter& writer) const;
 
+  // --- Incremental maintenance (the live-server ingest contract) ---
+  //
+  // A *mergeable* estimator can absorb new rows without a full rebuild:
+  // MergeFrom folds another built instance of the same type into this one,
+  // FoldRows folds raw attribute values directly. The union law bounds the
+  // drift: Build(A ∪ B) and Merge(Build(A), Build(B)) agree exactly for
+  // count-based sketches (equi-width bins, sorted samples) and within a
+  // bounded quantile-interpolation error for equi-depth histograms (see
+  // DESIGN.md §10 and the est_merge_property_test suite).
+  //
+  // Mutators are NOT part of the const thread-safety contract above: the
+  // live server only ever mutates its private ingest-side accumulator and
+  // publishes immutable clones to readers. Defaults: not mergeable /
+  // kFailedPrecondition.
+  virtual bool SupportsMerge() const { return false; }
+  virtual Status MergeFrom(const SelectivityEstimator& other);
+  virtual Status FoldRows(std::span<const double> rows);
+
  protected:
   // Shared body for EstimateSelectivityBatch overrides: fans chunks across
   // the shared pool and runs `per_query(query) -> double` over each chunk.

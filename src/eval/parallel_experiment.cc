@@ -25,16 +25,14 @@ size_t NumChunks(const ThreadPool& pool, const ParallelExecOptions& options) {
   return pool.num_threads() * std::max<size_t>(1, options.chunks_per_thread);
 }
 
-}  // namespace
-
-ErrorReport EvaluateParallel(const SelectivityEstimator& estimator,
-                             std::span<const RangeQuery> queries,
-                             const GroundTruth& truth,
-                             const ParallelExecOptions& options) {
-  std::unique_ptr<ThreadPool> owned;
-  ThreadPool* pool = ResolvePool(options, owned);
+// EvaluateParallel's body against an already-resolved pool, so sweeps that
+// score many estimators resolve once per sweep instead of spawning (and
+// joining) a dedicated pool per config.
+ErrorReport EvaluateOnPool(const SelectivityEstimator& estimator,
+                           std::span<const RangeQuery> queries,
+                           const GroundTruth& truth, ThreadPool* pool,
+                           const ParallelExecOptions& options) {
   if (pool == nullptr) return Evaluate(estimator, queries, truth);
-
   std::vector<size_t> exact_counts(queries.size());
   std::vector<double> estimates(queries.size());
   ParallelFor(pool, queries.size(), NumChunks(*pool, options),
@@ -47,6 +45,17 @@ ErrorReport EvaluateParallel(const SelectivityEstimator& estimator,
                     std::span<double>(estimates).subspan(begin, end - begin));
               });
   return AccumulateReport(exact_counts, estimates, truth.num_records());
+}
+
+}  // namespace
+
+ErrorReport EvaluateParallel(const SelectivityEstimator& estimator,
+                             std::span<const RangeQuery> queries,
+                             const GroundTruth& truth,
+                             const ParallelExecOptions& options) {
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ResolvePool(options, owned);
+  return EvaluateOnPool(estimator, queries, truth, pool, options);
 }
 
 StatusOr<ErrorReport> RunConfigParallel(const ExperimentSetup& setup,
@@ -149,6 +158,12 @@ std::vector<StatusOr<ErrorReport>> RunConfigsServed(
   std::vector<StatusOr<ErrorReport>> results;
   results.reserve(configs.size());
   const GroundTruth truth(*setup.data);
+  // One pool for the whole sweep: with options.threads = N this used to
+  // spawn and join a dedicated N-worker pool per config, which both churned
+  // threads and made the effective parallelism differ from
+  // RunConfigsParallel under the same options.
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ResolvePool(options, owned);
   for (const EstimatorConfig& config : configs) {
     auto key = catalog.RegisterColumn(relation, attribute, setup.domain(),
                                       setup.sample, config);
@@ -162,7 +177,50 @@ std::vector<StatusOr<ErrorReport>> RunConfigsServed(
       continue;
     }
     results.push_back(
-        EvaluateParallel(*estimator.value(), setup.queries, truth, options));
+        EvaluateOnPool(*estimator.value(), setup.queries, truth, pool, options));
+  }
+  return results;
+}
+
+std::vector<StatusOr<ErrorReport>> RunConfigsLive(
+    LiveStatisticsServer& server, const std::string& relation,
+    const std::string& attribute, const ExperimentSetup& setup,
+    std::span<const EstimatorConfig> configs,
+    const LiveSweepOptions& options) {
+  SELEST_CHECK(setup.data != nullptr);
+  std::vector<StatusOr<ErrorReport>> results;
+  results.reserve(configs.size());
+  const GroundTruth truth(*setup.data);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ResolvePool(options.exec, owned);
+  for (const EstimatorConfig& config : configs) {
+    const Status registered = server.RegisterColumn(
+        relation, attribute, setup.domain(), config, setup.sample);
+    if (!registered.ok()) {
+      results.push_back(registered);
+      continue;
+    }
+    if (!options.ingest_rows.empty()) {
+      const Status ingested =
+          server.Ingest(relation, attribute, options.ingest_rows);
+      if (!ingested.ok()) {
+        results.push_back(ingested);
+        continue;
+      }
+      if (options.refresh_after_ingest) {
+        // A failed refresh is degradation, not a lost cell: the
+        // registration generation keeps serving and scores below.
+        (void)server.Refresh(relation, attribute);
+      }
+    }
+    auto estimator = server.CurrentEstimator(relation, attribute);
+    if (!estimator.ok()) {
+      results.push_back(estimator.status());
+      continue;
+    }
+    results.push_back(
+        EvaluateOnPool(*estimator.value(), setup.queries, truth, pool,
+                       options.exec));
   }
   return results;
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/catalog/live_server.h"
 #include "src/catalog/statistics_catalog.h"
 #include "src/est/guarded_estimator.h"
 #include "src/eval/experiment.h"
@@ -104,6 +105,35 @@ std::vector<StatusOr<ErrorReport>> RunConfigsServed(
     Catalog& catalog, const std::string& relation, const std::string& attribute,
     const ExperimentSetup& setup, std::span<const EstimatorConfig> configs,
     const ParallelExecOptions& options = {});
+
+// Options for the live-server sweep. With an empty `ingest_rows`, the
+// sweep is a pure read workload and its reports are bit-identical to
+// RunConfigsServed (and hence RunConfigsParallel): the live registration
+// build and the catalog rebuild both call BuildEstimator on the same
+// sample, and scoring goes through the same fan-out.
+struct LiveSweepOptions {
+  ParallelExecOptions exec;
+  // Rows folded into every column after registration, before scoring
+  // (the mixed read/ingest workload).
+  std::vector<double> ingest_rows;
+  // Force a synchronous refresh after the ingest so the scored generation
+  // reflects the folded rows. A failed refresh keeps the registration
+  // generation serving, and the cell reports scores from it (graceful
+  // degradation, not an error cell).
+  bool refresh_after_ingest = true;
+};
+
+// RunConfigsServed through a LiveStatisticsServer: each config is
+// registered as a live column with the setup's sample, optionally fed
+// `ingest_rows` and refreshed, and the currently served generation scores
+// the setup's queries through the shared fan-out. Configs reuse the
+// (relation, attribute) slot sequentially — each registration replaces the
+// previous config's column. Results are in config order.
+std::vector<StatusOr<ErrorReport>> RunConfigsLive(
+    LiveStatisticsServer& server, const std::string& relation,
+    const std::string& attribute, const ExperimentSetup& setup,
+    std::span<const EstimatorConfig> configs,
+    const LiveSweepOptions& options = {});
 
 }  // namespace selest
 

@@ -18,6 +18,8 @@
 //   est/build            BuildEstimator, before dispatching on the kind
 //   exec/task            TryParallelFor, before each chunk body (runs on
 //                        pool workers and the calling thread)
+//   server/refresh       LiveStatisticsServer refresh, before the new
+//                        generation is produced (merge or rebuild path)
 //
 // Thread-safety: Check may race with Arm/Disarm from other threads; the
 // registry is mutex-protected and hit counters are atomic. The injector
@@ -40,6 +42,7 @@ inline constexpr char kFaultPointDatasetReadText[] = "data/io/read-text";
 inline constexpr char kFaultPointDatasetReadBinary[] = "data/io/read-binary";
 inline constexpr char kFaultPointEstimatorBuild[] = "est/build";
 inline constexpr char kFaultPointExecTask[] = "exec/task";
+inline constexpr char kFaultPointServerRefresh[] = "server/refresh";
 
 // How an armed point decides which hits fail. Deterministic: the decision
 // depends only on the plan and the point's hit index, never on timing.

@@ -19,11 +19,15 @@
 #define SELEST_ONLINE_ONLINE_ESTIMATOR_H_
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/data/domain.h"
 #include "src/density/kernel.h"
+#include "src/est/selectivity_estimator.h"
 #include "src/query/range_query.h"
+#include "src/util/status.h"
 
 namespace selest {
 
@@ -47,7 +51,19 @@ class OnlineSelectivityEstimator {
   // lazily when an estimate is requested.
   void AddSample(double value);
 
+  // Batch ingest (the live-server Ingest path delivers rows in batches).
+  void AddSamples(std::span<const double> values);
+
   size_t samples_seen() const { return values_.size(); }
+
+  // An immutable snapshot of the current state behind the common
+  // SelectivityEstimator interface: the frozen instance answers
+  // EstimateSelectivity with exactly Estimate(query).estimate as of the
+  // freeze point, is safe for concurrent const callers (the progressive
+  // estimator itself is not, its lazy sort mutates under const), and is
+  // what the live server publishes as a served generation. Requires at
+  // least two samples (the bandwidth fit needs them).
+  StatusOr<std::unique_ptr<SelectivityEstimator>> Freeze() const;
 
   // Kernel-based progressive estimate. `confidence` in (0, 1). Requires at
   // least two samples; with fewer, returns the trivial [0, 1] interval.

@@ -79,4 +79,67 @@ std::vector<double> BernoulliSample(std::span<const double> population,
   return std::move(sample).value();
 }
 
+DecayingReservoir::DecayingReservoir(size_t capacity, double decay,
+                                     uint64_t seed)
+    : capacity_(capacity), decay_(decay), rng_(seed) {
+  SELEST_CHECK_GT(capacity, 0u);
+  SELEST_CHECK(decay >= 0.0 && decay <= 1.0);
+  values_.reserve(capacity);
+}
+
+void DecayingReservoir::Add(double value) {
+  ++items_seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(value);
+    return;
+  }
+  if (decay_ > 0.0) {
+    // Recency bias: admit with fixed probability, landing on a uniform slot.
+    if (rng_.NextDouble() < decay_) {
+      values_[static_cast<size_t>(rng_.NextUint64(capacity_))] = value;
+    }
+    return;
+  }
+  // Algorithm R: admit the t-th item with probability capacity/t.
+  const uint64_t j = rng_.NextUint64(items_seen_);
+  if (j < capacity_) values_[static_cast<size_t>(j)] = value;
+}
+
+void DecayingReservoir::AddBatch(std::span<const double> values) {
+  for (double v : values) Add(v);
+}
+
+Status DecayingReservoir::MergeFrom(const DecayingReservoir& other) {
+  if (other.capacity_ != capacity_) {
+    return InvalidArgumentError(
+        "cannot merge reservoirs of different capacities");
+  }
+  if (other.items_seen_ == 0) return Status::Ok();
+  if (items_seen_ == 0) {
+    values_ = other.values_;
+    items_seen_ = other.items_seen_;
+    return Status::Ok();
+  }
+  // Underfull reservoirs hold their streams verbatim; concatenating and
+  // replaying preserves exactness when the union still fits.
+  if (values_.size() < capacity_ || other.values_.size() < other.capacity_) {
+    const std::vector<double> peer(other.values_.begin(),
+                                   other.values_.end());
+    const uint64_t peer_seen = other.items_seen_;
+    AddBatch(peer);
+    items_seen_ += peer_seen - peer.size();  // count unseen evicted items
+    return Status::Ok();
+  }
+  // Both full: keep each slot from `this` or take the peer's slot with
+  // probability proportional to the peer's stream share.
+  const double peer_share =
+      static_cast<double>(other.items_seen_) /
+      static_cast<double>(items_seen_ + other.items_seen_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (rng_.NextDouble() < peer_share) values_[i] = other.values_[i];
+  }
+  items_seen_ += other.items_seen_;
+  return Status::Ok();
+}
+
 }  // namespace selest

@@ -46,6 +46,47 @@ StatusOr<std::vector<double>> TryBernoulliSample(
 std::vector<double> BernoulliSample(std::span<const double> population,
                                     double rate, Rng& rng);
 
+// A fixed-capacity sample of an unbounded stream, the live-server ingest
+// substrate feeding the sampling/kernel estimators across rebuilds.
+//
+// With decay == 0 this is exactly Algorithm R: after t items every item is
+// resident with probability capacity/t (uniform over the whole stream).
+// With decay in (0, 1], once the reservoir is full each arriving item
+// replaces a uniformly random slot with probability `decay`, so residence
+// probabilities fall geometrically with age — a recency-biased sample for
+// workloads whose distribution drifts (Aggarwal's biased reservoir, with a
+// fixed fill rate). Deterministic for a given (seed, stream) pair.
+class DecayingReservoir {
+ public:
+  // `capacity` must be positive; `decay` in [0, 1].
+  DecayingReservoir(size_t capacity, double decay = 0.0, uint64_t seed = 1);
+
+  void Add(double value);
+  void AddBatch(std::span<const double> values);
+
+  // The resident sample, in slot order (not sorted, not insertion order).
+  std::span<const double> values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  size_t capacity() const { return capacity_; }
+  double decay() const { return decay_; }
+  // Stream length observed so far.
+  uint64_t items_seen() const { return items_seen_; }
+
+  // Folds `other` in as if its stream had been appended to this one: the
+  // result holds each slot from this reservoir or a replacement drawn from
+  // `other`, with replacement probability other.items_seen() / combined
+  // items_seen (uniform case), so the merged reservoir approximates a
+  // sample of the concatenated streams. Requires equal capacities.
+  Status MergeFrom(const DecayingReservoir& other);
+
+ private:
+  size_t capacity_;
+  double decay_;
+  Rng rng_;
+  uint64_t items_seen_ = 0;
+  std::vector<double> values_;
+};
+
 }  // namespace selest
 
 #endif  // SELEST_SAMPLE_SAMPLER_H_

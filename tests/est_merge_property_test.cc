@@ -1,0 +1,232 @@
+// Property tests for the incremental-maintenance (merge/fold) contract on
+// SelectivityEstimator: the union law Build(A ∪ B) ≈ Merge(Build(A),
+// Build(B)) — exact for count-based sketches (equi-width bins, sorted
+// samples), bounded for the equi-depth quantile re-interpolation — plus
+// the identities (fold-empty, self-merge) and the type-mismatch errors.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/est/selectivity_estimator.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 1000.0);
+
+std::vector<double> MakeRows(size_t n, uint64_t seed, double center,
+                             double spread) {
+  Rng rng(seed);
+  std::vector<double> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(kDomain.Clamp(center + spread * rng.NextGaussian()));
+  }
+  return rows;
+}
+
+std::vector<double> Union(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  return all;
+}
+
+std::vector<RangeQuery> ProbeQueries() {
+  std::vector<RangeQuery> queries;
+  // A sweep of widths and positions, including degenerate and full-range.
+  for (int i = 0; i < 20; ++i) {
+    const double a = kDomain.lo + 47.0 * static_cast<double>(i);
+    queries.push_back({a, a + 30.0 + 11.0 * static_cast<double>(i)});
+  }
+  queries.push_back({kDomain.lo, kDomain.hi});
+  queries.push_back({500.0, 500.0});
+  return queries;
+}
+
+EstimatorConfig FixedBinsConfig(EstimatorKind kind, int bins) {
+  EstimatorConfig config;
+  config.kind = kind;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = bins;
+  return config;
+}
+
+std::unique_ptr<SelectivityEstimator> MustBuild(
+    std::span<const double> rows, const EstimatorConfig& config) {
+  auto built = BuildEstimator(rows, kDomain, config);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+// --- Exact union law: equi-width (bin counts add) -------------------------
+
+TEST(MergePropertyTest, EquiWidthMergeIsExact) {
+  const EstimatorConfig config =
+      FixedBinsConfig(EstimatorKind::kEquiWidth, 32);
+  const std::vector<double> a = MakeRows(1500, 1, 300.0, 90.0);
+  const std::vector<double> b = MakeRows(900, 2, 700.0, 50.0);
+  auto merged = MustBuild(a, config);
+  auto part_b = MustBuild(b, config);
+  ASSERT_TRUE(merged->SupportsMerge());
+  ASSERT_TRUE(merged->MergeFrom(*part_b).ok());
+  auto whole = MustBuild(Union(a, b), config);
+  for (const RangeQuery& query : ProbeQueries()) {
+    EXPECT_EQ(merged->EstimateSelectivity(query),
+              whole->EstimateSelectivity(query))
+        << "query [" << query.a << ", " << query.b << "]";
+  }
+}
+
+TEST(MergePropertyTest, EquiWidthFoldRowsIsExact) {
+  const EstimatorConfig config =
+      FixedBinsConfig(EstimatorKind::kEquiWidth, 24);
+  const std::vector<double> a = MakeRows(1000, 3, 450.0, 120.0);
+  const std::vector<double> b = MakeRows(700, 4, 200.0, 60.0);
+  auto folded = MustBuild(a, config);
+  ASSERT_TRUE(folded->FoldRows(b).ok());
+  auto whole = MustBuild(Union(a, b), config);
+  for (const RangeQuery& query : ProbeQueries()) {
+    EXPECT_EQ(folded->EstimateSelectivity(query),
+              whole->EstimateSelectivity(query));
+  }
+}
+
+// --- Exact union law: sampling (sorted multisets concatenate) -------------
+
+TEST(MergePropertyTest, SamplingMergeAndFoldAreExact) {
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kSampling;
+  const std::vector<double> a = MakeRows(800, 5, 350.0, 100.0);
+  const std::vector<double> b = MakeRows(600, 6, 650.0, 80.0);
+  auto whole = MustBuild(Union(a, b), config);
+
+  auto merged = MustBuild(a, config);
+  auto part_b = MustBuild(b, config);
+  ASSERT_TRUE(merged->SupportsMerge());
+  ASSERT_TRUE(merged->MergeFrom(*part_b).ok());
+
+  auto folded = MustBuild(a, config);
+  ASSERT_TRUE(folded->FoldRows(b).ok());
+
+  for (const RangeQuery& query : ProbeQueries()) {
+    EXPECT_EQ(merged->EstimateSelectivity(query),
+              whole->EstimateSelectivity(query));
+    EXPECT_EQ(folded->EstimateSelectivity(query),
+              whole->EstimateSelectivity(query));
+  }
+}
+
+// --- Bounded drift: equi-depth quantile re-interpolation ------------------
+
+TEST(MergePropertyTest, EquiDepthMergeHasBoundedDrift) {
+  const EstimatorConfig config =
+      FixedBinsConfig(EstimatorKind::kEquiDepth, 16);
+  const std::vector<double> a = MakeRows(2000, 7, 400.0, 130.0);
+  const std::vector<double> b = MakeRows(2000, 8, 600.0, 110.0);
+  auto merged = MustBuild(a, config);
+  auto part_b = MustBuild(b, config);
+  ASSERT_TRUE(merged->SupportsMerge());
+  ASSERT_TRUE(merged->MergeFrom(*part_b).ok());
+  auto whole = MustBuild(Union(a, b), config);
+  for (const RangeQuery& query : ProbeQueries()) {
+    const double m = merged->EstimateSelectivity(query);
+    const double w = whole->EstimateSelectivity(query);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+    // The merged CDF is exact at union edges and linear between them; one
+    // bin of drift is the contract (est_merge docs, DESIGN.md §10).
+    EXPECT_NEAR(m, w, 1.0 / 16.0)
+        << "query [" << query.a << ", " << query.b << "]";
+  }
+}
+
+TEST(MergePropertyTest, EquiDepthFoldRowsHasBoundedDrift) {
+  const EstimatorConfig config =
+      FixedBinsConfig(EstimatorKind::kEquiDepth, 16);
+  const std::vector<double> a = MakeRows(2000, 9, 500.0, 150.0);
+  const std::vector<double> b = MakeRows(500, 10, 250.0, 70.0);
+  auto folded = MustBuild(a, config);
+  ASSERT_TRUE(folded->FoldRows(b).ok());
+  auto whole = MustBuild(Union(a, b), config);
+  for (const RangeQuery& query : ProbeQueries()) {
+    EXPECT_NEAR(folded->EstimateSelectivity(query),
+                whole->EstimateSelectivity(query), 1.0 / 16.0);
+  }
+}
+
+// --- Identities -----------------------------------------------------------
+
+TEST(MergePropertyTest, FoldOfEmptySpanIsIdentity) {
+  for (const EstimatorKind kind :
+       {EstimatorKind::kEquiWidth, EstimatorKind::kEquiDepth,
+        EstimatorKind::kSampling}) {
+    const EstimatorConfig config = FixedBinsConfig(kind, 16);
+    const std::vector<double> a = MakeRows(600, 11, 480.0, 100.0);
+    auto folded = MustBuild(a, config);
+    auto reference = MustBuild(a, config);
+    ASSERT_TRUE(folded->FoldRows(std::span<const double>()).ok());
+    for (const RangeQuery& query : ProbeQueries()) {
+      EXPECT_EQ(folded->EstimateSelectivity(query),
+                reference->EstimateSelectivity(query));
+    }
+  }
+}
+
+TEST(MergePropertyTest, SelfMergePreservesSelectivities) {
+  // Doubling every count scales mass and total alike: σ is unchanged
+  // exactly for the count-based sketches.
+  for (const EstimatorKind kind :
+       {EstimatorKind::kEquiWidth, EstimatorKind::kSampling}) {
+    const EstimatorConfig config = FixedBinsConfig(kind, 20);
+    const std::vector<double> a = MakeRows(700, 12, 520.0, 140.0);
+    auto doubled = MustBuild(a, config);
+    auto clone = MustBuild(a, config);
+    auto reference = MustBuild(a, config);
+    ASSERT_TRUE(doubled->MergeFrom(*clone).ok());
+    for (const RangeQuery& query : ProbeQueries()) {
+      EXPECT_EQ(doubled->EstimateSelectivity(query),
+                reference->EstimateSelectivity(query));
+    }
+  }
+}
+
+// --- Error paths ----------------------------------------------------------
+
+TEST(MergePropertyTest, MergeAcrossTypesIsFailedPrecondition) {
+  const std::vector<double> a = MakeRows(300, 13, 500.0, 100.0);
+  auto width = MustBuild(a, FixedBinsConfig(EstimatorKind::kEquiWidth, 8));
+  auto depth = MustBuild(a, FixedBinsConfig(EstimatorKind::kEquiDepth, 8));
+  const Status status = width->MergeFrom(*depth);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MergePropertyTest, EquiWidthMergeNeedsIdenticalEdges) {
+  const std::vector<double> a = MakeRows(300, 14, 500.0, 100.0);
+  auto coarse = MustBuild(a, FixedBinsConfig(EstimatorKind::kEquiWidth, 8));
+  auto fine = MustBuild(a, FixedBinsConfig(EstimatorKind::kEquiWidth, 16));
+  EXPECT_EQ(coarse->MergeFrom(*fine).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MergePropertyTest, NonMergeableEstimatorRejectsMutators) {
+  const std::vector<double> a = MakeRows(300, 15, 500.0, 100.0);
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kKernel;
+  auto kernel = MustBuild(a, config);
+  EXPECT_FALSE(kernel->SupportsMerge());
+  auto other = MustBuild(a, config);
+  EXPECT_EQ(kernel->MergeFrom(*other).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(kernel->FoldRows(a).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace selest

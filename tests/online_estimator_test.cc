@@ -1,6 +1,7 @@
 #include "src/online/online_estimator.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -125,6 +126,59 @@ TEST(OnlineEstimatorTest, EstimateClampedToDomainAndUnit) {
   EXPECT_LE(whole.estimate, 1.0);
   const IntervalEstimate inverted = est.Estimate({60.0, 40.0});
   EXPECT_DOUBLE_EQ(inverted.estimate, 0.0);
+}
+
+TEST(OnlineEstimatorTest, AddSamplesMatchesAddSampleLoop) {
+  Rng rng(11);
+  std::vector<double> stream(500);
+  for (double& x : stream) x = 100.0 * rng.NextDouble();
+  OnlineSelectivityEstimator batched(kDomain);
+  OnlineSelectivityEstimator looped(kDomain);
+  batched.AddSamples(stream);
+  for (double x : stream) looped.AddSample(x);
+  const RangeQuery q{20.0, 70.0};
+  EXPECT_EQ(batched.Estimate(q).estimate, looped.Estimate(q).estimate);
+  EXPECT_EQ(batched.Estimate(q).lo, looped.Estimate(q).lo);
+  EXPECT_EQ(batched.samples_seen(), looped.samples_seen());
+}
+
+TEST(OnlineEstimatorTest, FreezeNeedsTwoSamples) {
+  OnlineSelectivityEstimator est(kDomain);
+  EXPECT_EQ(est.Freeze().status().code(), StatusCode::kFailedPrecondition);
+  est.AddSample(10.0);
+  EXPECT_EQ(est.Freeze().status().code(), StatusCode::kFailedPrecondition);
+  est.AddSample(20.0);
+  EXPECT_TRUE(est.Freeze().ok());
+}
+
+TEST(OnlineEstimatorTest, FrozenSnapshotMatchesProgressiveEstimate) {
+  Rng rng(12);
+  OnlineSelectivityEstimator est(kDomain);
+  for (int i = 0; i < 400; ++i) est.AddSample(100.0 * rng.NextDouble());
+  auto frozen = est.Freeze();
+  ASSERT_TRUE(frozen.ok());
+  for (double a = 0.0; a < 90.0; a += 7.0) {
+    const RangeQuery q{a, a + 12.0};
+    // The frozen instance answers through the common interface with
+    // exactly the progressive estimate as of the freeze point.
+    EXPECT_EQ(frozen.value()->EstimateSelectivity(q.a, q.b),
+              est.Estimate(q).estimate);
+  }
+  EXPECT_EQ(frozen.value()->name(), "online(400)");
+  EXPECT_EQ(frozen.value()->StorageBytes(), 400u * sizeof(double));
+}
+
+TEST(OnlineEstimatorTest, FrozenSnapshotIsImmutableUnderLaterIngest) {
+  Rng rng(13);
+  OnlineSelectivityEstimator est(kDomain);
+  for (int i = 0; i < 100; ++i) est.AddSample(100.0 * rng.NextDouble());
+  auto frozen = est.Freeze();
+  ASSERT_TRUE(frozen.ok());
+  const RangeQuery q{30.0, 60.0};
+  const double before = frozen.value()->EstimateSelectivity(q.a, q.b);
+  for (int i = 0; i < 1000; ++i) est.AddSample(100.0 * rng.NextDouble());
+  EXPECT_EQ(frozen.value()->EstimateSelectivity(q.a, q.b), before);
+  EXPECT_NE(est.samples_seen(), 100u);
 }
 
 }  // namespace

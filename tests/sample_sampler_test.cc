@@ -117,5 +117,139 @@ TEST(SamplerDeathTest, OversizedSampleAborts) {
   EXPECT_DEATH(ReservoirSample(population, 11, rng), "SELEST_CHECK");
 }
 
+// --- DecayingReservoir (the live server's per-column ingest sample) -------
+
+TEST(DecayingReservoirTest, UnderfullHoldsTheStreamVerbatim) {
+  DecayingReservoir reservoir(10);
+  const auto stream = Iota(6);
+  reservoir.AddBatch(stream);
+  EXPECT_EQ(reservoir.size(), 6u);
+  EXPECT_EQ(reservoir.items_seen(), 6u);
+  const auto values = reservoir.values();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(values[i], stream[i]);
+  }
+}
+
+TEST(DecayingReservoirTest, FullReservoirStaysAtCapacity) {
+  DecayingReservoir reservoir(16, 0.0, 3);
+  reservoir.AddBatch(Iota(1000));
+  EXPECT_EQ(reservoir.size(), 16u);
+  EXPECT_EQ(reservoir.items_seen(), 1000u);
+  EXPECT_TRUE(IsSubMultiset(
+      {reservoir.values().begin(), reservoir.values().end()}, Iota(1000)));
+}
+
+TEST(DecayingReservoirTest, SameSeedSameStreamIsDeterministic) {
+  DecayingReservoir a(8, 0.0, 5);
+  DecayingReservoir b(8, 0.0, 5);
+  a.AddBatch(Iota(500));
+  b.AddBatch(Iota(500));
+  const auto va = a.values();
+  const auto vb = b.values();
+  ASSERT_EQ(va.size(), vb.size());
+  for (size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+}
+
+TEST(DecayingReservoirTest, AlgorithmRIsRoughlyUniform) {
+  // Every element of a 20-item stream should land in a 10-slot reservoir
+  // with probability 1/2 (the classic Algorithm R guarantee).
+  const auto population = Iota(20);
+  std::map<double, int> inclusion;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    DecayingReservoir reservoir(10, 0.0, static_cast<uint64_t>(t + 1));
+    reservoir.AddBatch(population);
+    for (double v : reservoir.values()) ++inclusion[v];
+  }
+  for (const auto& [value, count] : inclusion) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.5, 0.03)
+        << "element " << value;
+  }
+}
+
+TEST(DecayingReservoirTest, DecayBiasesTowardRecentItems) {
+  // With decay on, late items displace early ones at a fixed rate, so the
+  // tail of the stream is over-represented relative to Algorithm R. The
+  // extreme makes it deterministic: decay 1.0 and capacity 1 always holds
+  // the newest item.
+  DecayingReservoir newest_only(1, 1.0, 7);
+  newest_only.AddBatch(Iota(100));
+  ASSERT_EQ(newest_only.size(), 1u);
+  EXPECT_EQ(newest_only.values()[0], 99.0);
+
+  // Statistically: the mean of a decaying reservoir over an increasing
+  // stream exceeds the uniform-sample mean.
+  double decayed_sum = 0.0;
+  double uniform_sum = 0.0;
+  const auto stream = Iota(2000);
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    DecayingReservoir decayed(50, 0.2, static_cast<uint64_t>(t + 1));
+    DecayingReservoir uniform(50, 0.0, static_cast<uint64_t>(t + 1));
+    decayed.AddBatch(stream);
+    uniform.AddBatch(stream);
+    for (double v : decayed.values()) decayed_sum += v;
+    for (double v : uniform.values()) uniform_sum += v;
+  }
+  EXPECT_GT(decayed_sum, uniform_sum);
+}
+
+TEST(DecayingReservoirTest, MergeOfUnderfullReservoirsIsExactUnion) {
+  DecayingReservoir a(64, 0.0, 1);
+  DecayingReservoir b(64, 0.0, 2);
+  a.AddBatch(Iota(20));
+  b.AddBatch(Iota(10));
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.size(), 30u);
+  EXPECT_EQ(a.items_seen(), 30u);
+  std::vector<double> merged(a.values().begin(), a.values().end());
+  std::vector<double> expected = Iota(20);
+  const auto tail = Iota(10);
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  std::sort(merged.begin(), merged.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(DecayingReservoirTest, MergeIdentitiesAndErrors) {
+  DecayingReservoir a(8, 0.0, 1);
+  a.AddBatch(Iota(5));
+  DecayingReservoir empty(8, 0.0, 2);
+  // Merging an empty peer changes nothing.
+  ASSERT_TRUE(a.MergeFrom(empty).ok());
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.items_seen(), 5u);
+  // Merging into an empty reservoir copies the peer.
+  DecayingReservoir into_empty(8, 0.0, 3);
+  ASSERT_TRUE(into_empty.MergeFrom(a).ok());
+  EXPECT_EQ(into_empty.size(), 5u);
+  EXPECT_EQ(into_empty.items_seen(), 5u);
+  // Capacities must match.
+  DecayingReservoir wrong_capacity(4, 0.0, 4);
+  EXPECT_EQ(a.MergeFrom(wrong_capacity).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DecayingReservoirTest, MergeOfFullReservoirsTracksStreamWeights) {
+  // Both reservoirs full: items_seen adds up, the result stays at
+  // capacity, and each slot comes from one of the two inputs.
+  DecayingReservoir a(32, 0.0, 1);
+  DecayingReservoir b(32, 0.0, 2);
+  a.AddBatch(Iota(500));
+  std::vector<double> high(500);
+  for (size_t i = 0; i < high.size(); ++i) {
+    high[i] = 1000.0 + static_cast<double>(i);
+  }
+  b.AddBatch(high);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(a.items_seen(), 1000u);
+  std::vector<double> population = Iota(500);
+  population.insert(population.end(), high.begin(), high.end());
+  EXPECT_TRUE(IsSubMultiset({a.values().begin(), a.values().end()},
+                            population));
+}
+
 }  // namespace
 }  // namespace selest

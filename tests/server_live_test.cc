@@ -1,0 +1,395 @@
+// The live statistics server, deterministic paths: registration serving
+// bit-identical to the passive catalog, ingest + refresh semantics for the
+// merge and rebuild paths, the ingest-volume and TTL staleness policies,
+// snapshot write-back, file ingest, the online serve path, and the
+// RunConfigsLive sweep equivalences.
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/live_server.h"
+#include "src/catalog/statistics_catalog.h"
+#include "src/data/dataset.h"
+#include "src/data/io.h"
+#include "src/eval/parallel_experiment.h"
+#include "src/query/workload.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 1000.0);
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<double> MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(kDomain.lo + rng.NextDouble() * kDomain.width());
+  }
+  return rows;
+}
+
+EstimatorConfig ConfigWithBins(EstimatorKind kind, int bins) {
+  EstimatorConfig config;
+  config.kind = kind;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = bins;
+  return config;
+}
+
+// Inline refreshes: every policy trigger completes before the call that
+// caused it returns, which is what these deterministic tests rely on.
+LiveServerOptions InlineOptions() {
+  LiveServerOptions options;
+  options.background_refresh = false;
+  return options;
+}
+
+TEST(LiveServerTest, RegistrationServesBitIdenticalToDirectBuild) {
+  LiveStatisticsServer server(InlineOptions());
+  const std::vector<double> rows = MakeRows(500, 1);
+  const EstimatorConfig config =
+      ConfigWithBins(EstimatorKind::kEquiWidth, 32);
+  ASSERT_TRUE(server.RegisterColumn("t", "x", kDomain, config, rows).ok());
+  EXPECT_TRUE(server.HasColumn("t", "x"));
+  EXPECT_EQ(server.num_columns(), 1u);
+
+  auto direct = BuildEstimator(rows, kDomain, config);
+  ASSERT_TRUE(direct.ok());
+  for (double a = 0.0; a < 900.0; a += 97.0) {
+    const RangeQuery query{a, a + 120.0};
+    auto served = server.Estimate("t", "x", query);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.value(), direct.value()->EstimateSelectivity(query));
+  }
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 1u);
+  EXPECT_GT(stats.value().serves, 0u);
+  EXPECT_EQ(stats.value().refreshes, 0u);
+}
+
+TEST(LiveServerTest, UnknownColumnAndBadRegistrationAreErrors) {
+  LiveStatisticsServer server(InlineOptions());
+  EXPECT_EQ(server.Estimate("t", "x", {0.0, 1.0}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.Ingest("t", "x", MakeRows(4, 2)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.Refresh("t", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(server
+                .RegisterColumn("", "x", kDomain,
+                                ConfigWithBins(EstimatorKind::kEquiWidth, 8),
+                                MakeRows(16, 3))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server.HasColumn("t", "x"));
+}
+
+TEST(LiveServerTest, MergePathRefreshMatchesFullRebuild) {
+  LiveStatisticsServer server(InlineOptions());
+  const std::vector<double> initial = MakeRows(600, 4);
+  const std::vector<double> extra = MakeRows(400, 5);
+  const EstimatorConfig config =
+      ConfigWithBins(EstimatorKind::kEquiWidth, 24);
+  ASSERT_TRUE(
+      server.RegisterColumn("t", "x", kDomain, config, initial).ok());
+  ASSERT_TRUE(server.Ingest("t", "x", extra).ok());
+  ASSERT_TRUE(server.Refresh("t", "x").ok());
+
+  // Equi-width folds are exact: the refreshed generation answers like a
+  // from-scratch build over initial ∪ extra.
+  std::vector<double> all = initial;
+  all.insert(all.end(), extra.begin(), extra.end());
+  auto whole = BuildEstimator(all, kDomain, config);
+  ASSERT_TRUE(whole.ok());
+  for (double a = 0.0; a < 900.0; a += 83.0) {
+    const RangeQuery query{a, a + 140.0};
+    auto served = server.Estimate("t", "x", query);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.value(), whole.value()->EstimateSelectivity(query));
+  }
+
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 2u);
+  EXPECT_EQ(stats.value().ingested_rows, extra.size());
+  EXPECT_EQ(stats.value().refreshes, 1u);
+  EXPECT_EQ(stats.value().merge_refreshes, 1u);
+  EXPECT_EQ(stats.value().rebuild_refreshes, 0u);
+  auto generation = server.CurrentGeneration("t", "x");
+  ASSERT_TRUE(generation.ok());
+  EXPECT_TRUE(generation.value()->merged);
+  EXPECT_EQ(generation.value()->rows_at_build, initial.size() + extra.size());
+}
+
+TEST(LiveServerTest, RebuildPathServesReservoirContents) {
+  // kMaxDiff does not merge; refreshes rebuild from the reservoir. With a
+  // reservoir large enough to hold every row, the rebuild sees exactly
+  // initial ∪ extra and answers like a from-scratch build over them.
+  LiveServerOptions options = InlineOptions();
+  options.reservoir_capacity = 4096;
+  LiveStatisticsServer server(std::move(options));
+  const std::vector<double> initial = MakeRows(500, 6);
+  const std::vector<double> extra = MakeRows(300, 7);
+  const EstimatorConfig config = ConfigWithBins(EstimatorKind::kMaxDiff, 16);
+  ASSERT_TRUE(
+      server.RegisterColumn("t", "x", kDomain, config, initial).ok());
+  ASSERT_TRUE(server.Ingest("t", "x", extra).ok());
+  ASSERT_TRUE(server.Refresh("t", "x").ok());
+
+  std::vector<double> all = initial;
+  all.insert(all.end(), extra.begin(), extra.end());
+  auto whole = BuildEstimator(all, kDomain, config);
+  ASSERT_TRUE(whole.ok());
+  for (double a = 0.0; a < 900.0; a += 111.0) {
+    const RangeQuery query{a, a + 90.0};
+    auto served = server.Estimate("t", "x", query);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.value(), whole.value()->EstimateSelectivity(query));
+  }
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rebuild_refreshes, 1u);
+  EXPECT_EQ(stats.value().merge_refreshes, 0u);
+  auto generation = server.CurrentGeneration("t", "x");
+  ASSERT_TRUE(generation.ok());
+  EXPECT_FALSE(generation.value()->merged);
+}
+
+TEST(LiveServerTest, IngestVolumePolicyTriggersInlineRefresh) {
+  LiveServerOptions options = InlineOptions();
+  options.refresh_ingest_rows = 100;
+  options.keep_generation_history = true;
+  LiveStatisticsServer server(std::move(options));
+  const EstimatorConfig config =
+      ConfigWithBins(EstimatorKind::kEquiWidth, 16);
+  ASSERT_TRUE(
+      server.RegisterColumn("t", "x", kDomain, config, MakeRows(200, 8))
+          .ok());
+
+  // 60 rows: below the threshold, no flip.
+  ASSERT_TRUE(server.Ingest("t", "x", MakeRows(60, 9)).ok());
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 1u);
+  EXPECT_EQ(stats.value().rows_since_refresh, 60u);
+
+  // 60 more crosses 100: inline refresh, counter reset by the folded rows.
+  ASSERT_TRUE(server.Ingest("t", "x", MakeRows(60, 10)).ok());
+  stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 2u);
+  EXPECT_EQ(stats.value().threshold_refreshes, 1u);
+  EXPECT_EQ(stats.value().rows_since_refresh, 0u);
+
+  auto history = server.GenerationHistory("t", "x");
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history.value().size(), 2u);
+  EXPECT_EQ(history.value()[0]->number, 1u);
+  EXPECT_EQ(history.value()[1]->number, 2u);
+}
+
+TEST(LiveServerTest, TtlPolicyRefreshesOnServe) {
+  uint64_t fake_now = 0;
+  LiveServerOptions options = InlineOptions();
+  options.ttl_ticks = 10;
+  options.clock = [&fake_now]() { return fake_now; };
+  LiveStatisticsServer server(std::move(options));
+  ASSERT_TRUE(server
+                  .RegisterColumn("t", "x", kDomain,
+                                  ConfigWithBins(EstimatorKind::kEquiWidth, 8),
+                                  MakeRows(150, 11))
+                  .ok());
+  const RangeQuery query{100.0, 400.0};
+
+  fake_now = 9;  // within TTL: serve does not refresh
+  ASSERT_TRUE(server.Estimate("t", "x", query).ok());
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 1u);
+  EXPECT_EQ(stats.value().ttl_refreshes, 0u);
+
+  fake_now = 10;  // expired: the serve triggers an inline refresh
+  ASSERT_TRUE(server.Estimate("t", "x", query).ok());
+  stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 2u);
+  EXPECT_EQ(stats.value().ttl_refreshes, 1u);
+  auto generation = server.CurrentGeneration("t", "x");
+  ASSERT_TRUE(generation.ok());
+  EXPECT_EQ(generation.value()->built_at_ticks, 10u);
+}
+
+TEST(LiveServerTest, PublishedGenerationsAreWrittenBack) {
+  LiveServerOptions options = InlineOptions();
+  options.snapshot_directory = FreshDir("live_server_writeback");
+  LiveStatisticsServer server(std::move(options));
+  const EstimatorConfig config =
+      ConfigWithBins(EstimatorKind::kEquiWidth, 16);
+  ASSERT_TRUE(
+      server.RegisterColumn("t", "x", kDomain, config, MakeRows(300, 12))
+          .ok());
+  ASSERT_NE(server.store(), nullptr);
+  const CatalogKey key{"t", "x", FingerprintConfig(config)};
+  EXPECT_TRUE(server.store()->Contains(key));
+
+  ASSERT_TRUE(server.Ingest("t", "x", MakeRows(100, 13)).ok());
+  ASSERT_TRUE(server.Refresh("t", "x").ok());
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().writebacks, 2u);  // registration + refresh
+  EXPECT_EQ(stats.value().writeback_errors, 0u);
+
+  // The persisted snapshot answers like the served generation.
+  auto loaded = server.store()->Get(key);
+  ASSERT_TRUE(loaded.ok());
+  auto current = server.CurrentEstimator("t", "x");
+  ASSERT_TRUE(current.ok());
+  const RangeQuery query{200.0, 700.0};
+  EXPECT_EQ(loaded.value()->EstimateSelectivity(query),
+            current.value()->EstimateSelectivity(query));
+}
+
+TEST(LiveServerTest, IngestFromFileFoldsTheDataset) {
+  LiveStatisticsServer server(InlineOptions());
+  ASSERT_TRUE(server
+                  .RegisterColumn("t", "x", kDomain,
+                                  ConfigWithBins(EstimatorKind::kEquiWidth, 8),
+                                  MakeRows(100, 14))
+                  .ok());
+  const std::string path = testing::TempDir() + "live_ingest.txt";
+  const std::vector<double> rows = MakeRows(64, 15);
+  ASSERT_TRUE(SaveDatasetText(Dataset("ingest", kDomain, rows), path).ok());
+  auto count = server.IngestFromFile("t", "x", path);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), rows.size());
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().ingested_rows, rows.size());
+}
+
+TEST(LiveServerTest, OnlineEstimateCoversIngestedRows) {
+  LiveStatisticsServer server(InlineOptions());
+  ASSERT_TRUE(server
+                  .RegisterColumn("t", "x", kDomain,
+                                  ConfigWithBins(EstimatorKind::kEquiWidth, 8),
+                                  MakeRows(200, 16))
+                  .ok());
+  ASSERT_TRUE(server.Ingest("t", "x", MakeRows(300, 17)).ok());
+  auto interval = server.OnlineEstimate("t", "x", {100.0, 900.0});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_EQ(interval.value().samples, 500u);  // registration + ingested
+  EXPECT_LE(interval.value().lo, interval.value().estimate);
+  EXPECT_GE(interval.value().hi, interval.value().estimate);
+}
+
+TEST(LiveServerTest, GenerationHistoryRequiresOptIn) {
+  LiveStatisticsServer server(InlineOptions());
+  ASSERT_TRUE(server
+                  .RegisterColumn("t", "x", kDomain,
+                                  ConfigWithBins(EstimatorKind::kEquiWidth, 8),
+                                  MakeRows(100, 18))
+                  .ok());
+  EXPECT_EQ(server.GenerationHistory("t", "x").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --- RunConfigsLive -------------------------------------------------------
+
+ExperimentSetup MakeSetup(const Dataset& data) {
+  ExperimentSetup setup;
+  setup.data = &data;
+  setup.sample = data.values();
+  Rng rng(99);
+  WorkloadConfig workload;
+  workload.query_fraction = 0.05;
+  workload.num_queries = 64;
+  setup.queries = GenerateWorkload(data, workload, rng);
+  return setup;
+}
+
+TEST(RunConfigsLiveTest, PureReadSweepMatchesServedSweep) {
+  const Dataset data("d", kDomain, MakeRows(1200, 19));
+  const ExperimentSetup setup = MakeSetup(data);
+  const std::vector<EstimatorConfig> configs = {
+      ConfigWithBins(EstimatorKind::kEquiWidth, 20),
+      ConfigWithBins(EstimatorKind::kEquiDepth, 20),
+      ConfigWithBins(EstimatorKind::kMaxDiff, 20),
+  };
+  Catalog catalog;
+  const auto served =
+      RunConfigsServed(catalog, "d", "x", setup, configs, {});
+  LiveStatisticsServer server(InlineOptions());
+  const auto live = RunConfigsLive(server, "d", "x", setup, configs, {});
+  ASSERT_EQ(served.size(), live.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    ASSERT_TRUE(served[i].ok());
+    ASSERT_TRUE(live[i].ok());
+    EXPECT_EQ(live[i].value().mean_relative_error,
+              served[i].value().mean_relative_error);
+    EXPECT_EQ(live[i].value().mean_absolute_error,
+              served[i].value().mean_absolute_error);
+    EXPECT_EQ(live[i].value().max_relative_error,
+              served[i].value().max_relative_error);
+    EXPECT_EQ(live[i].value().evaluated, served[i].value().evaluated);
+  }
+}
+
+TEST(RunConfigsLiveTest, IngestSweepReflectsFoldedRows) {
+  const Dataset data("d", kDomain, MakeRows(1000, 20));
+  const ExperimentSetup setup = MakeSetup(data);
+  const std::vector<EstimatorConfig> configs = {
+      ConfigWithBins(EstimatorKind::kEquiWidth, 16)};
+
+  LiveSweepOptions options;
+  options.ingest_rows = MakeRows(400, 21);
+  LiveStatisticsServer server(InlineOptions());
+  const auto live = RunConfigsLive(server, "d", "x", setup, configs, options);
+  ASSERT_EQ(live.size(), 1u);
+  ASSERT_TRUE(live[0].ok());
+
+  // The scored generation is the refreshed one: equi-width folds being
+  // exact, its report equals evaluating a build over sample ∪ ingest.
+  std::vector<double> all(setup.sample.begin(), setup.sample.end());
+  all.insert(all.end(), options.ingest_rows.begin(),
+             options.ingest_rows.end());
+  auto whole = BuildEstimator(all, kDomain, configs[0]);
+  ASSERT_TRUE(whole.ok());
+  const GroundTruth truth(data);
+  const ErrorReport expected =
+      Evaluate(*whole.value(), setup.queries, truth);
+  EXPECT_EQ(live[0].value().mean_relative_error,
+            expected.mean_relative_error);
+  auto stats = server.ColumnStats("d", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 2u);
+}
+
+TEST(RunConfigsLiveTest, BadConfigYieldsErrorCellInOrder) {
+  const Dataset data("d", kDomain, MakeRows(400, 22));
+  const ExperimentSetup setup = MakeSetup(data);
+  EstimatorConfig bad = ConfigWithBins(EstimatorKind::kEquiWidth, 16);
+  bad.fixed_smoothing = 1.0e9;  // beyond kMaxNumBins: the build fails
+  const std::vector<EstimatorConfig> configs = {
+      ConfigWithBins(EstimatorKind::kEquiWidth, 16), bad,
+      ConfigWithBins(EstimatorKind::kEquiDepth, 16)};
+  LiveStatisticsServer server(InlineOptions());
+  const auto live = RunConfigsLive(server, "d", "x", setup, configs, {});
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_TRUE(live[0].ok());
+  EXPECT_FALSE(live[1].ok());
+  EXPECT_TRUE(live[2].ok());
+}
+
+}  // namespace
+}  // namespace selest
