@@ -1,0 +1,381 @@
+// Perf bench: what durability costs, and what recovery costs.
+//
+// Three phases, all against the live statistics server's equi-width
+// (mergeable fold) path:
+//
+//   1. Ingest overhead — batches/sec with the WAL off, with the WAL in
+//      buffered group-commit mode (sync_every_append=false; appends stay
+//      pending until the refresh-boundary Sync), and with a full fsync
+//      per append. Reports each mode's overhead vs WAL-off; the budget
+//      the durability contract promises (DESIGN.md §11) is ≤ 15% in
+//      buffered mode.
+//   2. Recovery time vs log length — register + N ingest batches, drop
+//      the server, then time RecoverColumn on a fresh one, with and
+//      without a proven snapshot mark shortening the replay tail.
+//   3. Serve latency during recovery — p50/p99 of Estimate on an already
+//      live column while a second column recovers a long log on another
+//      thread (recovery must not stall serving).
+//
+// Writes BENCH_durability.json (hand-rolled JSON — wall-clock phases, not
+// single hot loops, so google-benchmark's timing model does not fit).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/catalog/live_server.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+constexpr size_t kRegistrationRows = 1 << 14;  // 16,384
+constexpr size_t kIngestBatches = 512;
+constexpr size_t kIngestBatchRows = 256;
+constexpr size_t kIngestReps = 5;
+constexpr size_t kServeReads = 1 << 14;
+
+const Domain kDomain = ContinuousDomain(0.0, 1.0e6);
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<double> MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rows(n);
+  for (double& x : rows) {
+    x = kDomain.Clamp(0.5e6 + 1.2e5 * rng.NextGaussian());
+  }
+  return rows;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double Percentile(std::vector<uint64_t>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(latencies.size() - 1) + 0.5);
+  return static_cast<double>(latencies[index]);
+}
+
+EstimatorConfig BenchConfig() {
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  return config;
+}
+
+LiveServerOptions BaseOptions() {
+  LiveServerOptions options;
+  options.background_refresh = false;
+  options.reservoir_capacity = kRegistrationRows;
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: ingest overhead per WAL mode.
+
+enum class WalMode { kOff, kBuffered, kFsyncEveryAppend };
+
+const char* WalModeName(WalMode mode) {
+  switch (mode) {
+    case WalMode::kOff:
+      return "off";
+    case WalMode::kBuffered:
+      return "buffered";
+    case WalMode::kFsyncEveryAppend:
+      return "fsync_every_append";
+  }
+  return "?";
+}
+
+struct IngestResult {
+  std::string mode;
+  double batches_per_sec = 0.0;
+  double rows_per_sec = 0.0;
+  double overhead_pct = 0.0;  // vs WAL-off, filled by the caller
+  // Cost of the refresh that closes the pass: snapshot rebuild plus
+  // write-back for every mode, plus the deferred group-commit WAL sync in
+  // buffered mode. Reported separately because it is disk-throughput
+  // bound and amortized over the whole interval, not per-ingest latency.
+  double refresh_ms = 0.0;
+};
+
+struct IngestPassTiming {
+  double batches_per_sec = 0.0;
+  double refresh_ms = 0.0;
+};
+
+// One timed pass: a fresh server, kIngestBatches ingests, one refresh.
+// The ingest loop and the refresh are clocked separately — the ≤ 15%
+// overhead budget applies to the ingest path an acknowledged batch
+// experiences, while the refresh-boundary sync is amortized batch-count
+// independent work. Returns zeros on error.
+IngestPassTiming TimeIngestPass(WalMode mode,
+                                const std::vector<std::vector<double>>& batches) {
+  LiveServerOptions options = BaseOptions();
+  // Snapshot write-back is on for every mode — it is a PR 5/6 feature that
+  // exists without a WAL, so charging it only to the WAL modes would
+  // overstate the durability overhead. The WAL is the only delta.
+  options.snapshot_directory = FreshDir("bench_dur_ingest_store");
+  if (mode != WalMode::kOff) {
+    options.wal_directory = FreshDir("bench_dur_ingest_wal");
+    options.wal.sync_every_append = mode == WalMode::kFsyncEveryAppend;
+  }
+  LiveStatisticsServer server(std::move(options));
+  const Status registered =
+      server.RegisterColumn("bench", "x", kDomain, BenchConfig(),
+                            MakeRows(kRegistrationRows, 7));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 registered.ToString().c_str());
+    return {};
+  }
+  const uint64_t start_ns = NowNs();
+  for (const std::vector<double>& batch : batches) {
+    const Status ingested = server.Ingest("bench", "x", batch);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.ToString().c_str());
+      return {};
+    }
+  }
+  const uint64_t ingested_ns = NowNs();
+  // Every mode finishes with one refresh at equal work: the rebuild +
+  // snapshot write happen regardless of durability, and buffered mode
+  // additionally pays its deferred WAL sync at this boundary.
+  (void)server.Refresh("bench", "x");
+  const uint64_t refreshed_ns = NowNs();
+  IngestPassTiming timing;
+  const double ingest_seconds =
+      static_cast<double>(ingested_ns - start_ns) * 1e-9;
+  if (ingest_seconds > 0.0) {
+    timing.batches_per_sec =
+        static_cast<double>(kIngestBatches) / ingest_seconds;
+  }
+  timing.refresh_ms =
+      static_cast<double>(refreshed_ns - ingested_ns) * 1e-6;
+  return timing;
+}
+
+IngestResult RunIngest(WalMode mode) {
+  // Pre-generate the batches so the clock sees only the ingest path.
+  std::vector<std::vector<double>> batches;
+  batches.reserve(kIngestBatches);
+  for (size_t i = 0; i < kIngestBatches; ++i) {
+    batches.push_back(MakeRows(kIngestBatchRows, 1000 + i));
+  }
+  // Best-of-N: each pass's window is a handful of milliseconds, so one
+  // scheduler preemption can double it. The fastest pass is the one with
+  // the least interference — the honest hardware number.
+  IngestPassTiming best;
+  for (size_t rep = 0; rep < kIngestReps; ++rep) {
+    const IngestPassTiming pass = TimeIngestPass(mode, batches);
+    if (pass.batches_per_sec > best.batches_per_sec) {
+      best.batches_per_sec = pass.batches_per_sec;
+    }
+    if (best.refresh_ms == 0.0 ||
+        (pass.refresh_ms > 0.0 && pass.refresh_ms < best.refresh_ms)) {
+      best.refresh_ms = pass.refresh_ms;
+    }
+  }
+  IngestResult result;
+  result.mode = WalModeName(mode);
+  result.batches_per_sec = best.batches_per_sec;
+  result.rows_per_sec =
+      best.batches_per_sec * static_cast<double>(kIngestBatchRows);
+  result.refresh_ms = best.refresh_ms;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: recovery time vs log length.
+
+struct RecoveryResult {
+  size_t batches = 0;
+  bool snapshot_mark = false;
+  double recover_ms = 0.0;
+  uint64_t recovered_rows = 0;
+};
+
+RecoveryResult RunRecovery(size_t batches, bool with_snapshot_mark) {
+  const std::string wal_dir = FreshDir("bench_dur_recover_wal");
+  const std::string store_dir = FreshDir("bench_dur_recover_store");
+  const EstimatorConfig config = BenchConfig();
+  {
+    LiveServerOptions options = BaseOptions();
+    options.wal_directory = wal_dir;
+    options.snapshot_directory = store_dir;
+    LiveStatisticsServer server(std::move(options));
+    (void)server.RegisterColumn("bench", "x", kDomain, config,
+                                MakeRows(kRegistrationRows, 7));
+    for (size_t i = 0; i < batches; ++i) {
+      (void)server.Ingest("bench", "x", MakeRows(kIngestBatchRows, 1000 + i));
+    }
+    // A refresh writes the snapshot and its proven mark, so recovery only
+    // replays the (empty) tail; without it the whole log replays.
+    if (with_snapshot_mark) (void)server.Refresh("bench", "x");
+  }
+  LiveServerOptions options = BaseOptions();
+  options.wal_directory = wal_dir;
+  options.snapshot_directory = store_dir;
+  LiveStatisticsServer restarted(std::move(options));
+  const uint64_t start_ns = NowNs();
+  const Status recovered = restarted.RecoverColumn("bench", "x", kDomain,
+                                                   config);
+  RecoveryResult result;
+  result.batches = batches;
+  result.snapshot_mark = with_snapshot_mark;
+  result.recover_ms = static_cast<double>(NowNs() - start_ns) * 1e-6;
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n", recovered.ToString().c_str());
+    return result;
+  }
+  auto generation = restarted.CurrentGeneration("bench", "x");
+  if (generation.ok()) result.recovered_rows = generation.value()->rows_at_build;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Phase 3: serve latency while another column recovers.
+
+struct ServeDuringRecoveryResult {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double recover_ms = 0.0;
+};
+
+ServeDuringRecoveryResult RunServeDuringRecovery() {
+  const std::string wal_dir = FreshDir("bench_dur_serve_wal");
+  const std::string store_dir = FreshDir("bench_dur_serve_store");
+  const EstimatorConfig config = BenchConfig();
+  {
+    LiveServerOptions options = BaseOptions();
+    options.wal_directory = wal_dir;
+    options.snapshot_directory = store_dir;
+    LiveStatisticsServer victim(std::move(options));
+    (void)victim.RegisterColumn("crashed", "x", kDomain, config,
+                                MakeRows(kRegistrationRows, 7));
+    for (size_t i = 0; i < kIngestBatches; ++i) {
+      (void)victim.Ingest("crashed", "x", MakeRows(kIngestBatchRows, 1000 + i));
+    }
+  }
+  LiveServerOptions options = BaseOptions();
+  options.wal_directory = wal_dir;
+  options.snapshot_directory = store_dir;
+  LiveStatisticsServer server(std::move(options));
+  // The live column readers hit while "crashed" recovers its long log.
+  (void)server.RegisterColumn("live", "y", kDomain, config,
+                              MakeRows(kRegistrationRows, 9));
+  const RangeQuery query{4.0e5, 6.0e5};
+  ServeDuringRecoveryResult result;
+  std::thread recoverer([&]() {
+    const uint64_t start_ns = NowNs();
+    (void)server.RecoverColumn("crashed", "x", kDomain, config);
+    result.recover_ms = static_cast<double>(NowNs() - start_ns) * 1e-6;
+  });
+  std::vector<uint64_t> latencies;
+  latencies.reserve(kServeReads);
+  for (size_t i = 0; i < kServeReads; ++i) {
+    const uint64_t begin = NowNs();
+    auto estimate = server.Estimate("live", "y", query);
+    latencies.push_back(NowNs() - begin);
+    if (!estimate.ok()) break;
+  }
+  recoverer.join();
+  result.p50_ns = Percentile(latencies, 0.50);
+  result.p99_ns = Percentile(latencies, 0.99);
+  return result;
+}
+
+void WriteJson(const std::vector<IngestResult>& ingest,
+               const std::vector<RecoveryResult>& recovery,
+               const ServeDuringRecoveryResult& serve,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"benchmark\": \"durability\",\n"
+      << "  \"registration_rows\": " << kRegistrationRows << ",\n"
+      << "  \"ingest_batch_rows\": " << kIngestBatchRows << ",\n"
+      << "  \"ingest_overhead_budget_pct\": 15,\n"
+      << "  \"ingest\": [\n";
+  for (size_t i = 0; i < ingest.size(); ++i) {
+    const IngestResult& r = ingest[i];
+    out << "    {\"wal_mode\": \"" << r.mode
+        << "\", \"batches_per_sec\": " << r.batches_per_sec
+        << ", \"rows_per_sec\": " << r.rows_per_sec
+        << ", \"overhead_pct\": " << r.overhead_pct
+        << ", \"refresh_ms\": " << r.refresh_ms << "}"
+        << (i + 1 < ingest.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"recovery\": [\n";
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryResult& r = recovery[i];
+    out << "    {\"log_batches\": " << r.batches << ", \"snapshot_mark\": "
+        << (r.snapshot_mark ? "true" : "false")
+        << ", \"recover_ms\": " << r.recover_ms
+        << ", \"recovered_rows\": " << r.recovered_rows << "}"
+        << (i + 1 < recovery.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"serve_during_recovery\": {\"p50_ns\": " << serve.p50_ns
+      << ", \"p99_ns\": " << serve.p99_ns
+      << ", \"recover_ms\": " << serve.recover_ms << "}\n}\n";
+}
+
+}  // namespace
+}  // namespace selest
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_durability.json";
+  std::vector<selest::IngestResult> ingest;
+  for (const selest::WalMode mode :
+       {selest::WalMode::kOff, selest::WalMode::kBuffered,
+        selest::WalMode::kFsyncEveryAppend}) {
+    ingest.push_back(selest::RunIngest(mode));
+  }
+  const double baseline = ingest[0].batches_per_sec;
+  for (selest::IngestResult& r : ingest) {
+    r.overhead_pct = baseline <= 0.0
+                         ? 0.0
+                         : 100.0 * (baseline - r.batches_per_sec) / baseline;
+    std::printf(
+        "ingest wal=%s batches/s=%.0f rows/s=%.0f overhead=%.1f%% "
+        "refresh_ms=%.2f\n",
+        r.mode.c_str(), r.batches_per_sec, r.rows_per_sec, r.overhead_pct,
+        r.refresh_ms);
+  }
+  std::vector<selest::RecoveryResult> recovery;
+  for (const size_t batches : {size_t{16}, size_t{64}, size_t{256}}) {
+    for (const bool mark : {false, true}) {
+      recovery.push_back(selest::RunRecovery(batches, mark));
+      const selest::RecoveryResult& r = recovery.back();
+      std::printf(
+          "recovery batches=%zu snapshot_mark=%d recover_ms=%.2f rows=%llu\n",
+          r.batches, r.snapshot_mark ? 1 : 0, r.recover_ms,
+          static_cast<unsigned long long>(r.recovered_rows));
+    }
+  }
+  const selest::ServeDuringRecoveryResult serve =
+      selest::RunServeDuringRecovery();
+  std::printf("serve-during-recovery p50=%.0fns p99=%.0fns recover_ms=%.2f\n",
+              serve.p50_ns, serve.p99_ns, serve.recover_ms);
+  selest::WriteJson(ingest, recovery, serve, path);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

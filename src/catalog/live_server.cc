@@ -47,9 +47,26 @@ struct LiveStatisticsServer::Column {
   DecayingReservoir reservoir;
   OnlineSelectivityEstimator online;
   uint64_t total_rows = 0;  // registration rows + accepted ingest rows
+  // Durable ingest log; null when LiveServerOptions::wal_directory is
+  // empty. Guarded by ingest_mutex like the rest of the ingest side.
+  std::unique_ptr<WriteAheadLog> wal;
 
   // At most one refresh per column at a time; losers coalesce.
   std::atomic<bool> refresh_in_flight{false};
+
+  std::atomic<ServerHealth> health{ServerHealth::kHealthy};
+  std::atomic<uint64_t> consecutive_wal_failures{0};
+  // TTL reference point. Re-anchored downward when the clock steps
+  // backwards past it, so a non-monotonic clock neither fires a spurious
+  // refresh (unsigned wrap) nor wedges the TTL forever.
+  std::atomic<uint64_t> ttl_anchor_ticks{0};
+
+  // Recovery provenance, written once by RecoverColumn before the column
+  // becomes visible.
+  bool recovered = false;
+  bool recovery_used_snapshot = false;
+  size_t recovered_quarantined_segments = 0;
+  uint64_t recovered_truncated_bytes = 0;
 
   std::atomic<uint64_t> serves{0};
   std::atomic<uint64_t> ingested_rows{0};
@@ -62,10 +79,31 @@ struct LiveStatisticsServer::Column {
   std::atomic<uint64_t> threshold_refreshes{0};
   std::atomic<uint64_t> writebacks{0};
   std::atomic<uint64_t> writeback_errors{0};
+  std::atomic<uint64_t> wal_appends{0};
+  std::atomic<uint64_t> wal_append_errors{0};
+  std::atomic<uint64_t> refresh_retries{0};
+  std::atomic<uint64_t> writeback_retries{0};
 
   mutable std::mutex history_mutex;
   std::vector<std::shared_ptr<const LiveGeneration>> history;
 };
+
+const char* ServerHealthName(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kHealthy:
+      return "healthy";
+    case ServerHealth::kDegraded:
+      return "degraded";
+    case ServerHealth::kReadOnly:
+      return "read-only";
+  }
+  return "unknown";
+}
+
+std::string LiveStatisticsServer::WalDirectoryFor(const std::string& wal_root,
+                                                  const CatalogKey& key) {
+  return wal_root + "/" + SnapshotStore::LabelFor(key) + ".wal";
+}
 
 LiveStatisticsServer::LiveStatisticsServer(LiveServerOptions options)
     : options_(std::move(options)) {
@@ -113,6 +151,20 @@ Status LiveStatisticsServer::RegisterColumn(const std::string& relation,
     SELEST_ASSIGN_OR_RETURN(column->accumulator,
                             BuildEstimator(initial_rows, domain, config));
   }
+  if (!options_.wal_directory.empty()) {
+    // A fresh registration replaces the column's durable history: reset
+    // the log and make the registration rows its first record. A column
+    // that cannot log its baseline is not durable, so failure here fails
+    // the registration rather than silently serving volatile state.
+    SELEST_ASSIGN_OR_RETURN(
+        column->wal,
+        WriteAheadLog::Open(WalDirectoryFor(options_.wal_directory,
+                                            column->key),
+                            options_.wal, /*reset=*/true));
+    SELEST_RETURN_IF_ERROR(column->wal->Append(
+        WalRecordType::kRegister, EncodeRowBatch(initial_rows)));
+    SELEST_RETURN_IF_ERROR(column->wal->Sync());
+  }
   column->reservoir.AddBatch(initial_rows);
   column->online.AddSamples(initial_rows);
   column->total_rows = initial_rows.size();
@@ -124,7 +176,80 @@ Status LiveStatisticsServer::RegisterColumn(const std::string& relation,
   generation->built_at_ticks = Now();
   generation->rows_at_build = initial_rows.size();
   generation->merged = false;
-  Publish(column, std::move(generation));
+  const uint64_t covered =
+      column->wal != nullptr ? column->wal->last_sequence() : 0;
+  Publish(column, std::move(generation), covered);
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  columns_.insert_or_assign(std::make_pair(relation, attribute),
+                            std::move(column));
+  return Status::Ok();
+}
+
+Status LiveStatisticsServer::RecoverColumn(const std::string& relation,
+                                           const std::string& attribute,
+                                           const Domain& domain,
+                                           const EstimatorConfig& config) {
+  if (options_.wal_directory.empty()) {
+    return FailedPreconditionError(
+        "RecoverColumn requires LiveServerOptions::wal_directory");
+  }
+  if (relation.empty() || attribute.empty()) {
+    return InvalidArgumentError(
+        "live-server recovery needs non-empty relation and attribute "
+        "names");
+  }
+  const CatalogKey key{relation, attribute, FingerprintConfig(config)};
+  SELEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<WriteAheadLog> wal,
+      WriteAheadLog::Open(WalDirectoryFor(options_.wal_directory, key),
+                          options_.wal));
+  const RecoveryManager manager(store(), RecoveryOptions{options_.retry});
+  SELEST_ASSIGN_OR_RETURN(RecoveredColumn recovered,
+                          manager.Recover(key, *wal, domain, config));
+
+  auto column = std::make_shared<Column>(relation, attribute, domain,
+                                         config, key, options_);
+  // Replaying the batches in their original order through the identically
+  // seeded reservoir reproduces the pre-crash reservoir bit-for-bit, so
+  // non-mergeable rebuilds land on the same estimator too.
+  column->reservoir.AddBatch(recovered.registration_rows);
+  column->online.AddSamples(recovered.registration_rows);
+  for (const std::vector<double>& batch : recovered.ingest_batches) {
+    column->reservoir.AddBatch(batch);
+    column->online.AddSamples(batch);
+  }
+  column->total_rows = recovered.total_rows;
+
+  std::unique_ptr<SelectivityEstimator> serving;
+  bool merged = false;
+  if (recovered.accumulator != nullptr) {
+    // Mergeable: serve a serialize-clone of the recovered accumulator —
+    // bit-identical to the pre-crash fold state over every durable row.
+    SELEST_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                            SnapshotEstimator(*recovered.accumulator));
+    SELEST_ASSIGN_OR_RETURN(serving, LoadEstimatorSnapshot(bytes));
+    column->accumulator = std::move(recovered.accumulator);
+    merged = true;
+  } else {
+    const std::span<const double> view = column->reservoir.values();
+    const std::vector<double> rows(view.begin(), view.end());
+    SELEST_ASSIGN_OR_RETURN(serving, BuildEstimator(rows, domain, config));
+  }
+  column->wal = std::move(wal);
+  column->recovered = true;
+  column->recovery_used_snapshot = recovered.used_snapshot;
+  column->recovered_quarantined_segments = recovered.quarantined_segments;
+  column->recovered_truncated_bytes = recovered.truncated_bytes;
+
+  auto generation = std::make_shared<LiveGeneration>();
+  generation->estimator =
+      std::shared_ptr<const SelectivityEstimator>(std::move(serving));
+  generation->number = recovered.last_generation + 1;
+  generation->built_at_ticks = Now();
+  generation->rows_at_build = recovered.total_rows;
+  generation->merged = merged;
+  Publish(column, std::move(generation), recovered.last_sequence);
 
   std::lock_guard<std::mutex> lock(registry_mutex_);
   columns_.insert_or_assign(std::make_pair(relation, attribute),
@@ -134,17 +259,48 @@ Status LiveStatisticsServer::RegisterColumn(const std::string& relation,
 
 void LiveStatisticsServer::Publish(
     const std::shared_ptr<Column>& column,
-    std::shared_ptr<const LiveGeneration> generation) {
+    std::shared_ptr<const LiveGeneration> generation,
+    uint64_t covered_sequence) {
   column->current.store(generation);
+  column->ttl_anchor_ticks.store(generation->built_at_ticks,
+                                 std::memory_order_relaxed);
   if (options_.keep_generation_history) {
     std::lock_guard<std::mutex> lock(column->history_mutex);
     column->history.push_back(generation);
   }
-  if (store_.has_value()) {
-    const Status written = store_->Put(column->key, *generation->estimator);
-    if (written.ok()) {
-      column->writebacks.fetch_add(1, std::memory_order_relaxed);
-    } else {
+  if (!store_.has_value()) return;
+  // Write-back with retry: a transient store failure must not cost the
+  // generation its durable snapshot when the next attempt would succeed.
+  uint32_t file_crc = 0;
+  size_t attempts = 0;
+  const Status written = RetryWithBackoff(
+      options_.retry,
+      [&]() { return store_->Put(column->key, *generation->estimator,
+                                 &file_crc); },
+      &attempts);
+  if (attempts > 1) {
+    column->writeback_retries.fetch_add(attempts - 1,
+                                        std::memory_order_relaxed);
+  }
+  if (!written.ok()) {
+    column->writeback_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  column->writebacks.fetch_add(1, std::memory_order_relaxed);
+  if (column->wal != nullptr) {
+    // Put-then-mark: the mark carries the file's CRC, so recovery only
+    // trusts it when the file on disk is the one this mark describes. A
+    // failed mark merely forfeits the snapshot fast path (full replay
+    // still recovers everything).
+    std::lock_guard<std::mutex> lock(column->ingest_mutex);
+    const Status marked = [&]() -> Status {
+      SELEST_RETURN_IF_ERROR(column->wal->Append(
+          WalRecordType::kSnapshotMark,
+          EncodeSnapshotMark(covered_sequence, generation->number,
+                             file_crc)));
+      return column->wal->Sync();
+    }();
+    if (!marked.ok()) {
       column->writeback_errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -159,12 +315,32 @@ Status LiveStatisticsServer::Ingest(const std::string& relation,
                          attribute);
   }
   if (rows.empty()) return Status::Ok();
+  if (column->health.load(std::memory_order_relaxed) ==
+      ServerHealth::kReadOnly) {
+    return FailedPreconditionError(
+        relation + "." + attribute +
+        " is read-only after repeated WAL failures; serving continues "
+        "from the last generation (ResetColumnHealth to re-enable "
+        "ingest)");
+  }
   std::vector<double> clamped(rows.begin(), rows.end());
   for (double& v : clamped) v = column->domain.Clamp(v);
 
   bool threshold_hit = false;
   {
     std::lock_guard<std::mutex> lock(column->ingest_mutex);
+    if (column->wal != nullptr) {
+      // WAL-first: the batch must be logged before any in-memory state
+      // changes. On failure nothing was folded, so the caller can retry
+      // the exact batch without double-counting. With sync_every_append
+      // (default) the append is durable on return; in buffered mode it
+      // stays pending until the group-commit Sync at the next refresh
+      // boundary — the documented durability trade.
+      const Status logged = column->wal->Append(WalRecordType::kIngest,
+                                                EncodeRowBatch(clamped));
+      NoteWalResult(column, logged.ok());
+      SELEST_RETURN_IF_ERROR(logged);
+    }
     if (column->accumulator != nullptr) {
       SELEST_RETURN_IF_ERROR(column->accumulator->FoldRows(clamped));
     }
@@ -235,12 +411,49 @@ StatusOr<IntervalEstimate> LiveStatisticsServer::OnlineEstimate(
   return column->online.Estimate(query);
 }
 
+void LiveStatisticsServer::NoteWalResult(
+    const std::shared_ptr<Column>& column, bool ok) {
+  if (ok) {
+    column->wal_appends.fetch_add(1, std::memory_order_relaxed);
+    column->consecutive_wal_failures.store(0, std::memory_order_relaxed);
+    // A durable append heals a degraded column; read-only stays latched
+    // (this path is unreachable read-only anyway — Ingest gates first).
+    ServerHealth expected = ServerHealth::kDegraded;
+    column->health.compare_exchange_strong(expected, ServerHealth::kHealthy);
+    return;
+  }
+  column->wal_append_errors.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t failures = column->consecutive_wal_failures.fetch_add(
+                                1, std::memory_order_relaxed) +
+                            1;
+  const ServerHealth next = failures >= options_.read_only_after_failures
+                                ? ServerHealth::kReadOnly
+                                : ServerHealth::kDegraded;
+  // Only walk downhill: a concurrent success must not be overwritten from
+  // degraded back to read-only by a stale failure, and read-only never
+  // self-clears.
+  ServerHealth current = column->health.load(std::memory_order_relaxed);
+  while (static_cast<int>(next) > static_cast<int>(current) &&
+         !column->health.compare_exchange_weak(current, next)) {
+  }
+}
+
 void LiveStatisticsServer::CheckStaleness(
     const std::shared_ptr<Column>& column) {
   if (options_.ttl_ticks == 0) return;
-  const std::shared_ptr<const LiveGeneration> generation =
-      column->current.load();
-  if (Now() - generation->built_at_ticks < options_.ttl_ticks) return;
+  const uint64_t now = Now();
+  const uint64_t anchor =
+      column->ttl_anchor_ticks.load(std::memory_order_relaxed);
+  if (now < anchor) {
+    // The clock stepped backwards past the anchor (an injected fake, NTP,
+    // a suspend glitch). `now - anchor` would wrap to an enormous age and
+    // fire spuriously; never re-anchoring would wedge the TTL until the
+    // clock catches back up. Re-anchor at the new "now": the TTL restarts
+    // from here and fires after a full honest interval.
+    column->ttl_anchor_ticks.store(now, std::memory_order_relaxed);
+    return;
+  }
+  if (now - anchor < options_.ttl_ticks) return;
   // Fire-and-forget: a failed inline TTL refresh is already counted in
   // refresh_errors and must not fail the serve that noticed it.
   (void)MaybeTriggerRefresh(column, &column->ttl_refreshes);
@@ -290,11 +503,12 @@ Status LiveStatisticsServer::Refresh(const std::string& relation,
 }
 
 Status LiveStatisticsServer::DoRefresh(const std::shared_ptr<Column>& column) {
-  const Status status = [&]() -> Status {
+  const auto body = [&]() -> Status {
     SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointServerRefresh));
     bool merged = false;
     uint64_t rows_at_build = 0;
     uint64_t rows_folded = 0;
+    uint64_t covered_sequence = 0;
     std::unique_ptr<SelectivityEstimator> next;
     if (column->accumulator != nullptr) {
       // Merge path: serialize-clone the accumulator under the mutex, then
@@ -308,6 +522,15 @@ Status LiveStatisticsServer::DoRefresh(const std::shared_ptr<Column>& column) {
         rows_at_build = column->total_rows;
         rows_folded =
             column->rows_since_refresh.load(std::memory_order_relaxed);
+        if (column->wal != nullptr) {
+          // Group commit: flush any buffered appends so every row folded
+          // into the captured accumulator is durable at or below the
+          // covered bound. A failed Sync drops its pending records from
+          // the log, but the snapshot written below still preserves those
+          // rows, so the lower covered bound stays safe.
+          (void)column->wal->Sync();
+          covered_sequence = column->wal->durable_sequence();
+        }
       }
       SELEST_ASSIGN_OR_RETURN(next, LoadEstimatorSnapshot(bytes));
       merged = true;
@@ -322,6 +545,10 @@ Status LiveStatisticsServer::DoRefresh(const std::shared_ptr<Column>& column) {
         rows_at_build = column->total_rows;
         rows_folded =
             column->rows_since_refresh.load(std::memory_order_relaxed);
+        if (column->wal != nullptr) {
+          (void)column->wal->Sync();  // group-commit boundary, as above
+          covered_sequence = column->wal->durable_sequence();
+        }
       }
       SELEST_ASSIGN_OR_RETURN(
           next, BuildEstimator(rows, column->domain, column->config));
@@ -333,7 +560,7 @@ Status LiveStatisticsServer::DoRefresh(const std::shared_ptr<Column>& column) {
     generation->built_at_ticks = Now();
     generation->rows_at_build = rows_at_build;
     generation->merged = merged;
-    Publish(column, std::move(generation));
+    Publish(column, std::move(generation), covered_sequence);
     column->refreshes.fetch_add(1, std::memory_order_relaxed);
     if (merged) {
       column->merge_refreshes.fetch_add(1, std::memory_order_relaxed);
@@ -344,7 +571,16 @@ Status LiveStatisticsServer::DoRefresh(const std::shared_ptr<Column>& column) {
     column->rows_since_refresh.fetch_sub(rows_folded,
                                          std::memory_order_relaxed);
     return Status::Ok();
-  }();
+  };
+  // Transient refresh failures (an injected fault, a racing resource
+  // error) retry with backoff instead of instantly parking the column on
+  // a stale generation until the next trigger.
+  size_t attempts = 0;
+  const Status status = RetryWithBackoff(options_.retry, body, &attempts);
+  if (attempts > 1) {
+    column->refresh_retries.fetch_add(attempts - 1,
+                                      std::memory_order_relaxed);
+  }
   if (!status.ok()) {
     column->refresh_errors.fetch_add(1, std::memory_order_relaxed);
   }
@@ -420,7 +656,49 @@ StatusOr<LiveColumnStats> LiveStatisticsServer::ColumnStats(
   stats.writebacks = column->writebacks.load(std::memory_order_relaxed);
   stats.writeback_errors =
       column->writeback_errors.load(std::memory_order_relaxed);
+  stats.health = column->health.load(std::memory_order_relaxed);
+  stats.wal_appends = column->wal_appends.load(std::memory_order_relaxed);
+  stats.wal_append_errors =
+      column->wal_append_errors.load(std::memory_order_relaxed);
+  stats.consecutive_wal_failures =
+      column->consecutive_wal_failures.load(std::memory_order_relaxed);
+  stats.refresh_retries =
+      column->refresh_retries.load(std::memory_order_relaxed);
+  stats.writeback_retries =
+      column->writeback_retries.load(std::memory_order_relaxed);
+  stats.recovered = column->recovered;
+  stats.recovery_used_snapshot = column->recovery_used_snapshot;
+  stats.recovered_quarantined_segments =
+      column->recovered_quarantined_segments;
+  stats.recovered_truncated_bytes = column->recovered_truncated_bytes;
+  if (column->wal != nullptr) {
+    std::lock_guard<std::mutex> ingest_lock(column->ingest_mutex);
+    stats.wal_last_sequence = column->wal->durable_sequence();
+  }
   return stats;
+}
+
+Status LiveStatisticsServer::ResetColumnHealth(const std::string& relation,
+                                               const std::string& attribute) {
+  const std::shared_ptr<Column> column = FindColumn(relation, attribute);
+  if (column == nullptr) {
+    return NotFoundError("no live registration for " + relation + "." +
+                         attribute);
+  }
+  column->consecutive_wal_failures.store(0, std::memory_order_relaxed);
+  column->health.store(ServerHealth::kHealthy, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+ServerHealth LiveStatisticsServer::Health() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ServerHealth worst = ServerHealth::kHealthy;
+  for (const auto& [name, column] : columns_) {
+    const ServerHealth health =
+        column->health.load(std::memory_order_relaxed);
+    if (static_cast<int>(health) > static_cast<int>(worst)) worst = health;
+  }
+  return worst;
 }
 
 bool LiveStatisticsServer::HasColumn(const std::string& relation,

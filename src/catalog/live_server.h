@@ -19,11 +19,18 @@
 //     and/or when the serving generation is older than `ttl_ticks` by the
 //     injected clock, executed inline or in the background on the shared
 //     exec thread pool. A refresh that fails — an injected est/build or
-//     server/refresh fault, a clone error — leaves the old generation
-//     serving and bumps an error counter (graceful degradation,
-//     DESIGN.md §8).
+//     server/refresh fault, a clone error — retries with capped backoff
+//     (util/retry.h), then leaves the old generation serving and bumps an
+//     error counter (graceful degradation, DESIGN.md §8);
+//   * optionally a per-column write-ahead log (durability/wal.h): Ingest
+//     appends and fsyncs the batch before folding it, so a crash loses
+//     nothing that was acknowledged. RecoverColumn rebuilds a column from
+//     its newest proven snapshot plus the WAL tail. Repeated WAL failures
+//     walk the column's health from healthy → degraded → read-only
+//     (ServerHealth).
 //
-// Generation lifecycle and the full contract: DESIGN.md §10.
+// Generation lifecycle: DESIGN.md §10. Durability and the fsync-boundary
+// contract: DESIGN.md §11.
 #ifndef SELEST_CATALOG_LIVE_SERVER_H_
 #define SELEST_CATALOG_LIVE_SERVER_H_
 
@@ -42,14 +49,27 @@
 
 #include "src/catalog/snapshot_store.h"
 #include "src/data/domain.h"
+#include "src/durability/recovery_manager.h"
+#include "src/durability/wal.h"
 #include "src/est/estimator_factory.h"
 #include "src/exec/thread_pool.h"
 #include "src/online/online_estimator.h"
 #include "src/query/range_query.h"
 #include "src/sample/sampler.h"
+#include "src/util/retry.h"
 #include "src/util/status.h"
 
 namespace selest {
+
+// Per-column (and server-wide) health. Transitions on the WAL write path:
+// an append/sync failure degrades the column; `read_only_after_failures`
+// consecutive failures latch it read-only (ingest rejected, serving
+// continues from the last generation). A successful durable append heals
+// kDegraded back to kHealthy; kReadOnly is sticky until RecoverColumn or
+// ResetColumnHealth — the operator must decide the log is trustworthy
+// again, the server must not flap on its own.
+enum class ServerHealth { kHealthy = 0, kDegraded = 1, kReadOnly = 2 };
+const char* ServerHealthName(ServerHealth health);
 
 struct LiveServerOptions {
   // Capacity and recency bias of the per-column ingest reservoir (see
@@ -88,6 +108,23 @@ struct LiveServerOptions {
 
   // Seeds the per-column reservoirs.
   uint64_t seed = 1;
+
+  // When set, every column keeps a write-ahead log under
+  // `wal_directory/<label>.wal/` and Ingest appends (and by default
+  // fsyncs) the batch before folding it — nothing a successful Ingest
+  // acknowledged is lost by a crash. Empty disables durability entirely
+  // (the pre-WAL in-memory behavior).
+  std::string wal_directory;
+  WalOptions wal;
+
+  // Retry discipline for the transient-failure paths: refresh execution,
+  // snapshot write-back, and recovery's snapshot load. Only kInternal /
+  // kResourceExhausted retry; corruption and programmer errors fail fast
+  // (util/retry.h).
+  RetryOptions retry;
+
+  // Consecutive WAL failures before the column latches read-only.
+  size_t read_only_after_failures = 3;
 };
 
 // One published epoch of a column. Immutable after publication.
@@ -124,6 +161,19 @@ struct LiveColumnStats {
   uint64_t threshold_refreshes = 0;   // refresh triggers by ingest volume
   uint64_t writebacks = 0;        // generation snapshots persisted
   uint64_t writeback_errors = 0;  // snapshot writes that failed
+
+  // Durability & health (all zero / kHealthy when the WAL is disabled).
+  ServerHealth health = ServerHealth::kHealthy;
+  uint64_t wal_appends = 0;        // batches made durable by Ingest
+  uint64_t wal_append_errors = 0;  // batches rejected at the WAL
+  uint64_t consecutive_wal_failures = 0;
+  uint64_t wal_last_sequence = 0;  // newest durable WAL sequence
+  uint64_t refresh_retries = 0;    // extra refresh attempts beyond the 1st
+  uint64_t writeback_retries = 0;  // extra write-back attempts
+  bool recovered = false;              // column came from RecoverColumn
+  bool recovery_used_snapshot = false; // fast path (snapshot + tail replay)
+  uint64_t recovered_quarantined_segments = 0;
+  uint64_t recovered_truncated_bytes = 0;
 };
 
 class LiveStatisticsServer {
@@ -144,6 +194,18 @@ class LiveStatisticsServer {
                         const std::string& attribute, const Domain& domain,
                         const EstimatorConfig& config,
                         std::span<const double> initial_rows);
+
+  // Rebuilds a column from its durable state (snapshot + WAL) after a
+  // crash: opens the column's log (quarantining unreadable segments,
+  // truncating a torn tail), replays it through the RecoveryManager, and
+  // publishes a recovered generation. For mergeable estimators the
+  // recovered accumulator — and hence the published generation — is
+  // bit-identical to the pre-crash state covering every durably
+  // acknowledged row. Requires `wal_directory`; kNotFound when the log
+  // holds no registration record.
+  Status RecoverColumn(const std::string& relation,
+                       const std::string& attribute, const Domain& domain,
+                       const EstimatorConfig& config);
 
   // Folds new rows into the column's ingest-side state: the mergeable
   // accumulator (exact or bounded-drift, per estimator type), the
@@ -216,6 +278,19 @@ class LiveStatisticsServer {
     return store_.has_value() ? &*store_ : nullptr;
   }
 
+  // Clears a column's read-only latch and failure streak back to healthy.
+  // The operator's "the disk is fixed" lever; it does not touch the log.
+  Status ResetColumnHealth(const std::string& relation,
+                           const std::string& attribute);
+
+  // Worst health across all registered columns (kHealthy when empty).
+  ServerHealth Health() const;
+
+  // Where a column's WAL segments live under `wal_root` — shared with the
+  // chaos harness so it can reopen / damage the log out-of-process-style.
+  static std::string WalDirectoryFor(const std::string& wal_root,
+                                     const CatalogKey& key);
+
  private:
   struct Column;
 
@@ -229,12 +304,18 @@ class LiveStatisticsServer {
   // run inline, OK when scheduled or coalesced.
   Status MaybeTriggerRefresh(const std::shared_ptr<Column>& column,
                              std::atomic<uint64_t>* trigger_counter);
-  // The refresh body: produce the next generation, flip, write back.
+  // The refresh body: produce the next generation (with retry), flip,
+  // write back.
   Status DoRefresh(const std::shared_ptr<Column>& column);
-  // Atomically flips the column to `generation` and persists it.
+  // Atomically flips the column to `generation` and persists it (snapshot
+  // write-back with retry, then a WAL snapshot mark covering
+  // `covered_sequence`).
   void Publish(const std::shared_ptr<Column>& column,
-               std::shared_ptr<const LiveGeneration> generation);
+               std::shared_ptr<const LiveGeneration> generation,
+               uint64_t covered_sequence);
   void CheckStaleness(const std::shared_ptr<Column>& column);
+  // Health transitions for a WAL write outcome.
+  void NoteWalResult(const std::shared_ptr<Column>& column, bool ok);
 
   LiveServerOptions options_;
   std::optional<SnapshotStore> store_;

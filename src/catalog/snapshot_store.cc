@@ -40,16 +40,37 @@ std::string Hex(uint64_t value) {
 }  // namespace
 
 SnapshotStore::SnapshotStore(std::string directory)
-    : directory_(std::move(directory)) {}
+    : directory_(std::move(directory)) {
+  // Reclaim orphaned temporaries: a crash between the tmp-write and the
+  // rename (see WriteBytesToFile) leaves a `<name>.snapshot.tmpN` sibling
+  // no reader ever opens. Swept only at construction — a live writer's
+  // in-flight temporary is never older than the store using it.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory_, ec)) return;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".snapshot.tmp") == std::string::npos) continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec) && !remove_ec) {
+      ++swept_tmp_files_;
+    }
+  }
+}
+
+std::string SnapshotStore::LabelFor(const CatalogKey& key) {
+  const uint64_t identity = CatalogKeyHash{}(key) ^ key.fingerprint;
+  return Sanitize(key.relation) + "." + Sanitize(key.attribute) + "-" +
+         Hex(identity);
+}
 
 std::string SnapshotStore::PathFor(const CatalogKey& key) const {
-  const uint64_t identity = CatalogKeyHash{}(key) ^ key.fingerprint;
-  return directory_ + "/" + Sanitize(key.relation) + "." +
-         Sanitize(key.attribute) + "-" + Hex(identity) + ".snapshot";
+  return directory_ + "/" + LabelFor(key) + ".snapshot";
 }
 
 Status SnapshotStore::Put(const CatalogKey& key,
-                          const SelectivityEstimator& estimator) {
+                          const SelectivityEstimator& estimator,
+                          uint32_t* file_crc_out) {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec) {
@@ -60,6 +81,7 @@ Status SnapshotStore::Put(const CatalogKey& key,
                           SnapshotEstimator(estimator));
   SELEST_RETURN_IF_ERROR(WriteBytesToFile(PathFor(key), bytes));
   puts_.fetch_add(1, std::memory_order_relaxed);
+  if (file_crc_out != nullptr) *file_crc_out = SnapshotContentCrc(bytes);
   return Status::Ok();
 }
 

@@ -22,10 +22,18 @@ namespace selest {
 class SnapshotStore {
  public:
   // Snapshots live under `directory` (created on first Put if missing).
+  // Construction sweeps orphaned `*.snapshot.tmp*` siblings left by a
+  // crash between temporary write and rename (the `store/rename` crash
+  // point) — they are invisible to every read path and would otherwise
+  // leak forever.
   explicit SnapshotStore(std::string directory);
 
   // Serializes and atomically persists the estimator's snapshot.
-  Status Put(const CatalogKey& key, const SelectivityEstimator& estimator);
+  // `file_crc_out` (may be null) receives the CRC32 of the whole written
+  // file — the token WAL snapshot-mark records carry so recovery can
+  // prove which marks describe the snapshot actually on disk.
+  Status Put(const CatalogKey& key, const SelectivityEstimator& estimator,
+             uint32_t* file_crc_out = nullptr);
 
   // Loads and validates the snapshot: kNotFound when no file exists,
   // kDataLoss / kOutOfRange / kFailedPrecondition / kInvalidArgument per
@@ -42,13 +50,21 @@ class SnapshotStore {
   // snapshots in place).
   std::string PathFor(const CatalogKey& key) const;
 
+  // Filesystem-safe label of a key: sanitized relation.attribute plus the
+  // key's identity hash. Shared with the per-column WAL directory naming,
+  // so a column's snapshot and its log are visibly siblings on disk.
+  static std::string LabelFor(const CatalogKey& key);
+
   const std::string& directory() const { return directory_; }
 
   uint64_t puts() const { return puts_.load(std::memory_order_relaxed); }
   uint64_t gets() const { return gets_.load(std::memory_order_relaxed); }
+  // Orphaned temporary files removed by the construction sweep.
+  uint64_t swept_tmp_files() const { return swept_tmp_files_; }
 
  private:
   std::string directory_;
+  uint64_t swept_tmp_files_ = 0;
 
   mutable std::atomic<uint64_t> puts_{0};
   mutable std::atomic<uint64_t> gets_{0};

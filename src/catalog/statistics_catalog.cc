@@ -269,6 +269,38 @@ std::shared_ptr<const Catalog::Registration> Catalog::FindRegistration(
   return it == registry_.end() ? nullptr : it->second;
 }
 
+StatusOr<std::unique_ptr<SelectivityEstimator>> Catalog::LoadSnapshotWithRetry(
+    const CatalogKey& key) {
+  std::unique_ptr<SelectivityEstimator> loaded;
+  size_t attempts = 0;
+  const Status status = RetryWithBackoff(
+      options_.retry,
+      [&]() -> Status {
+        auto result = store_->Get(key);
+        if (!result.ok()) return result.status();
+        loaded = std::move(result).value();
+        return Status::Ok();
+      },
+      &attempts);
+  if (attempts > 1) {
+    snapshot_retries_.fetch_add(attempts - 1, std::memory_order_relaxed);
+  }
+  if (!status.ok()) return status;
+  return loaded;
+}
+
+Status Catalog::PutSnapshotWithRetry(const CatalogKey& key,
+                                     const SelectivityEstimator& estimator) {
+  size_t attempts = 0;
+  const Status status = RetryWithBackoff(
+      options_.retry, [&]() { return store_->Put(key, estimator); },
+      &attempts);
+  if (attempts > 1) {
+    snapshot_retries_.fetch_add(attempts - 1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
 StatusOr<std::shared_ptr<const SelectivityEstimator>> Catalog::GetEstimator(
     const CatalogKey& key) {
   const std::shared_ptr<const Registration> registration =
@@ -284,7 +316,7 @@ StatusOr<std::shared_ptr<const SelectivityEstimator>> Catalog::GetEstimator(
   // Cold miss: prefer the disk snapshot; any damage (kDataLoss and
   // friends) is counted and degrades to a rebuild.
   if (store_.has_value()) {
-    auto loaded = store_->Get(key);
+    auto loaded = LoadSnapshotWithRetry(key);
     if (loaded.ok()) {
       std::shared_ptr<const SelectivityEstimator> estimator =
           std::move(loaded).value();
@@ -303,7 +335,7 @@ StatusOr<std::shared_ptr<const SelectivityEstimator>> Catalog::GetEstimator(
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<const SelectivityEstimator> estimator = std::move(rebuilt);
   if (store_.has_value()) {
-    const Status written = store_->Put(key, *estimator);
+    const Status written = PutSnapshotWithRetry(key, *estimator);
     if (written.ok()) {
       writebacks_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -346,7 +378,7 @@ Status Catalog::Warm(const CatalogKey& key) {
   // GetEstimator writes back only on rebuild; a cache hit for a key whose
   // snapshot was deleted out-of-band still needs persisting here.
   if (store_.has_value() && !store_->Contains(key)) {
-    const Status written = store_->Put(key, *estimator);
+    const Status written = PutSnapshotWithRetry(key, *estimator);
     if (written.ok()) {
       writebacks_.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
@@ -379,6 +411,8 @@ CatalogServeStats Catalog::serve_stats() const {
   stats.snapshot_errors = snapshot_errors_.load(std::memory_order_relaxed);
   stats.rebuilds = rebuilds_.load(std::memory_order_relaxed);
   stats.writebacks = writebacks_.load(std::memory_order_relaxed);
+  stats.snapshot_retries =
+      snapshot_retries_.load(std::memory_order_relaxed);
   return stats;
 }
 

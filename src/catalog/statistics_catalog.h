@@ -27,6 +27,7 @@
 #include "src/est/estimator_factory.h"
 #include "src/query/range_query.h"
 #include "src/util/random.h"
+#include "src/util/retry.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
 
@@ -129,6 +130,12 @@ struct CatalogOptions {
   // Entry budget of the in-memory estimator cache.
   size_t cache_capacity = 64;
   size_t cache_shards = 8;
+  // Retry discipline for the durable tier (snapshot load and write-back).
+  // Transient failures — a racing rename, an injected store fault — retry
+  // with capped backoff instead of failing the serve once and keeping a
+  // stale or missing snapshot; corruption (kDataLoss and friends) still
+  // fails fast into the rebuild path (util/retry.h).
+  RetryOptions retry;
 };
 
 // Serve-path counters. Read with relaxed atomics: exact once concurrent
@@ -139,6 +146,7 @@ struct CatalogServeStats {
   uint64_t snapshot_errors = 0;  // snapshots rejected (corrupt/unwritable)
   uint64_t rebuilds = 0;         // cold misses rebuilt from the sample
   uint64_t writebacks = 0;       // snapshots persisted after a rebuild
+  uint64_t snapshot_retries = 0; // extra store attempts beyond the first
 };
 
 class Catalog {
@@ -216,6 +224,14 @@ class Catalog {
   mutable std::atomic<uint64_t> snapshot_errors_{0};
   mutable std::atomic<uint64_t> rebuilds_{0};
   mutable std::atomic<uint64_t> writebacks_{0};
+  mutable std::atomic<uint64_t> snapshot_retries_{0};
+
+  // store_->Get / store_->Put under the configured retry policy, counting
+  // extra attempts into snapshot_retries_.
+  StatusOr<std::unique_ptr<SelectivityEstimator>> LoadSnapshotWithRetry(
+      const CatalogKey& key);
+  Status PutSnapshotWithRetry(const CatalogKey& key,
+                              const SelectivityEstimator& estimator);
 };
 
 }  // namespace selest

@@ -50,6 +50,16 @@ bool PlanFires(const FaultPlan& plan, size_t hit_index) {
 
 }  // namespace
 
+std::span<const char* const> WritePathCrashPoints() {
+  static constexpr const char* kPoints[] = {
+      kFaultPointWalAppend,
+      kFaultPointWalSync,
+      kFaultPointStoreRename,
+      kFaultPointServerRefresh,
+  };
+  return kPoints;
+}
+
 void FaultInjector::Arm(const std::string& point, const FaultPlan& plan) {
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
@@ -58,6 +68,13 @@ void FaultInjector::Arm(const std::string& point, const FaultPlan& plan) {
   it->second.hits.store(0, std::memory_order_relaxed);
   it->second.fired.store(0, std::memory_order_relaxed);
   if (inserted) g_armed_points.fetch_add(1, std::memory_order_release);
+}
+
+void FaultInjector::ArmNthHit(const std::string& point, size_t nth) {
+  FaultPlan plan;
+  plan.skip = nth;
+  plan.count = 1;
+  Arm(point, plan);
 }
 
 void FaultInjector::Disarm(const std::string& point) {

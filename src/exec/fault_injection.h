@@ -20,6 +20,21 @@
 //                        pool workers and the calling thread)
 //   server/refresh       LiveStatisticsServer refresh, before the new
 //                        generation is produced (merge or rebuild path)
+//   wal/append           WriteAheadLog::Append, before the record is
+//                        buffered (the record is wholly lost)
+//   wal/fsync            WriteAheadLog::Sync, before the flush; firing
+//                        leaves a deterministic torn tail on disk (half
+//                        the pending bytes) and drops the rest
+//   store/rename         WriteBytesToFile, between the temporary write
+//                        and the rename; firing leaks the .tmp sibling
+//                        exactly as a crash at that instant would
+//
+// The four write-path points above (wal/append, wal/fsync, store/rename,
+// server/refresh) double as *crash points*: the chaos harness
+// (durability_chaos_test) arms each to fire on its k-th hit via ArmNthHit
+// and treats the injected error as process death — abandon every object,
+// reconstruct from disk, verify the recovery invariants. Enumerating k
+// over a point's hit count covers every crash instant on the write path.
 //
 // Thread-safety: Check may race with Arm/Disarm from other threads; the
 // registry is mutex-protected and hit counters are atomic. The injector
@@ -30,7 +45,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/util/status.h"
 
@@ -43,6 +61,16 @@ inline constexpr char kFaultPointDatasetReadBinary[] = "data/io/read-binary";
 inline constexpr char kFaultPointEstimatorBuild[] = "est/build";
 inline constexpr char kFaultPointExecTask[] = "exec/task";
 inline constexpr char kFaultPointServerRefresh[] = "server/refresh";
+inline constexpr char kFaultPointWalAppend[] = "wal/append";
+inline constexpr char kFaultPointWalSync[] = "wal/fsync";
+inline constexpr char kFaultPointStoreRename[] = "store/rename";
+
+// The crash points of the durable write path (ingest → WAL → refresh →
+// snapshot write-back), in the order a chaos harness should enumerate
+// them. Every point here is reached between two externally observable
+// filesystem states, so "crash on the k-th hit, restart, verify" covers
+// the whole path.
+std::span<const char* const> WritePathCrashPoints();
 
 // How an armed point decides which hits fail. Deterministic: the decision
 // depends only on the plan and the point's hit index, never on timing.
@@ -63,6 +91,11 @@ class FaultInjector {
   // Arms `point` with `plan`, replacing any previous plan and resetting
   // the point's hit and fired counters.
   static void Arm(const std::string& point, const FaultPlan& plan = {});
+
+  // Arms `point` to fire exactly once, on its `nth` hit (0-based) — the
+  // crash-schedule primitive: a deterministic "die at instant n" along a
+  // replayed execution.
+  static void ArmNthHit(const std::string& point, size_t nth);
 
   // Disarms `point`; its counters are discarded. No-op when unarmed.
   static void Disarm(const std::string& point);
@@ -96,6 +129,36 @@ class ScopedFault {
 
  private:
   std::string point_;
+};
+
+// A fault schedule: several points armed together, each on its own k-th
+// hit, disarmed as one unit. The chaos harness uses single-entry
+// schedules per crash instant; multi-entry schedules model correlated
+// failures (e.g. a disk that fails appends and renames together).
+struct FaultScheduleEntry {
+  std::string point;
+  size_t nth = 0;
+};
+
+class ScopedFaultSchedule {
+ public:
+  explicit ScopedFaultSchedule(std::vector<FaultScheduleEntry> entries)
+      : entries_(std::move(entries)) {
+    for (const FaultScheduleEntry& entry : entries_) {
+      FaultInjector::ArmNthHit(entry.point, entry.nth);
+    }
+  }
+  ~ScopedFaultSchedule() {
+    for (const FaultScheduleEntry& entry : entries_) {
+      FaultInjector::Disarm(entry.point);
+    }
+  }
+
+  ScopedFaultSchedule(const ScopedFaultSchedule&) = delete;
+  ScopedFaultSchedule& operator=(const ScopedFaultSchedule&) = delete;
+
+ private:
+  std::vector<FaultScheduleEntry> entries_;
 };
 
 }  // namespace selest

@@ -1,0 +1,89 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace selest {
+namespace {
+
+// SplitMix64 finalizer: a stateless seeded hash of the attempt index,
+// giving each attempt an independent uniform draw in [0, 1) that is
+// reproducible across runs (the same construction as the fault injector's
+// probabilistic plans).
+double HashToUnit(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+uint64_t DefaultClockTicks() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void DefaultSleepTicks(uint64_t ticks) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ticks));
+}
+
+}  // namespace
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+uint64_t BackoffDelayTicks(const RetryOptions& options, size_t attempt) {
+  if (attempt == 0) return 0;
+  const size_t shift = std::min<size_t>(attempt - 1, 63);
+  uint64_t delay = options.base_delay_ticks;
+  // Saturating shift: base << shift without wrapping past 2^64.
+  if (shift > 0) {
+    delay = (delay >> (64 - shift)) != 0 ? ~uint64_t{0} : delay << shift;
+  }
+  delay = std::min(delay, options.max_delay_ticks);
+  const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  const double factor =
+      1.0 - jitter + jitter * HashToUnit(options.seed, attempt);
+  return static_cast<uint64_t>(static_cast<double>(delay) * factor);
+}
+
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& operation,
+                        size_t* attempts_out,
+                        const std::function<void(uint64_t)>& sleep,
+                        const std::function<uint64_t()>& clock) {
+  const auto now = clock ? clock : DefaultClockTicks;
+  const auto wait = sleep ? sleep : DefaultSleepTicks;
+  const size_t max_attempts = std::max<size_t>(options.max_attempts, 1);
+  const uint64_t start = now();
+
+  Status status;
+  size_t attempts = 0;
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    status = operation();
+    attempts = attempt;
+    if (status.ok() || !IsRetryableStatus(status)) break;
+    if (attempt == max_attempts) break;
+    const uint64_t delay = BackoffDelayTicks(options, attempt);
+    if (options.deadline_ticks > 0) {
+      const uint64_t tick = now();
+      // A clock stepping backwards must not extend the budget: treat any
+      // backwards step as zero elapsed time rather than wrapping negative.
+      const uint64_t elapsed = tick >= start ? tick - start : 0;
+      if (elapsed >= options.deadline_ticks ||
+          options.deadline_ticks - elapsed <= delay) {
+        break;
+      }
+    }
+    wait(delay);
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return status;
+}
+
+}  // namespace selest

@@ -1,0 +1,73 @@
+// Retry with capped exponential backoff and deterministic jitter.
+//
+// The durable tiers (snapshot store, write-ahead log, background refresh)
+// talk to a filesystem that can fail transiently; PR 7 replaces their
+// fail-once-keep-stale behavior with a uniform retry discipline:
+//
+//   * capped exponential backoff: attempt k sleeps
+//     min(base << k, max) ticks, scaled by a jitter factor;
+//   * deterministic seeded jitter: the factor for attempt k is a pure
+//     function of (seed, k), so a test replays the exact delay sequence;
+//   * a deadline budget: the whole loop — attempts plus sleeps — gives up
+//     once the budget is spent, so a wedged disk cannot wedge the caller;
+//   * a retryability gate: only transient codes (kInternal,
+//     kResourceExhausted) are retried. Corrupt bytes (kDataLoss), missing
+//     files (kNotFound) and contract violations fail immediately —
+//     retrying them cannot succeed and only hides the real error.
+//
+// Ticks are nanoseconds under the default clock/sleep; tests inject both
+// to drive the loop without real time passing.
+#ifndef SELEST_UTIL_RETRY_H_
+#define SELEST_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/util/status.h"
+
+namespace selest {
+
+struct RetryOptions {
+  // Total tries, including the first. 1 disables retrying entirely; 0 is
+  // treated as 1.
+  size_t max_attempts = 3;
+  // Backoff before retry k (k = 1, 2, ...): min(base << (k-1), max) ticks,
+  // scaled into [1 - jitter, 1] by the seeded per-attempt draw.
+  uint64_t base_delay_ticks = 1'000'000;  // 1 ms in nanosecond ticks
+  uint64_t max_delay_ticks = 64'000'000;  // 64 ms cap
+  // Fraction of the delay randomized away (0 = fixed delays, 1 = full
+  // jitter). Clamped to [0, 1].
+  double jitter = 0.5;
+  uint64_t seed = 0;
+  // Budget across the whole loop, by the injected clock; 0 = unlimited. A
+  // retry whose backoff would overrun the budget is not taken.
+  uint64_t deadline_ticks = 0;
+};
+
+// True for codes that name a transient condition worth retrying
+// (kInternal, kResourceExhausted). Deterministic failures — corrupt bytes,
+// missing files, invalid arguments — return false.
+bool IsRetryableStatus(const Status& status);
+
+// The backoff before retry `attempt` (1-based: the sleep between try k and
+// try k+1). Pure function of (options, attempt): capped exponential scaled
+// by the seeded jitter draw.
+uint64_t BackoffDelayTicks(const RetryOptions& options, size_t attempt);
+
+// Runs `operation` until it succeeds, returns a non-retryable error, the
+// attempt budget is spent, or the deadline would be overrun. Returns the
+// last status observed. `attempts_out` (may be null) receives the number
+// of tries actually made. `sleep` and `clock` default to real nanosecond
+// sleeping/steady_clock; tests inject fakes. A clock that steps backwards
+// never extends the budget (elapsed time is clamped at 0), so retry loops
+// survive non-monotonic time sources.
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& operation,
+                        size_t* attempts_out = nullptr,
+                        const std::function<void(uint64_t)>& sleep = nullptr,
+                        const std::function<uint64_t()>& clock = nullptr);
+
+}  // namespace selest
+
+#endif  // SELEST_UTIL_RETRY_H_

@@ -2,8 +2,11 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdio>
 #include <cstring>
+
+#include "src/exec/fault_injection.h"
 
 namespace selest {
 
@@ -30,9 +33,28 @@ void ByteWriter::WriteString(const std::string& value) {
   bytes_.insert(bytes_.end(), value.begin(), value.end());
 }
 
-void ByteWriter::WriteDoubleVector(const std::vector<double>& values) {
+void ByteWriter::WriteDoubleVector(std::span<const double> values) {
   WriteU64(values.size());
-  for (double v : values) WriteDouble(v);
+  // Bulk path for the WAL ingest hot loop: resize once, then fill. On a
+  // little-endian host the wire format is the in-memory layout, so the
+  // whole array is one memcpy; the byte-store fallback keeps the encoding
+  // identical elsewhere.
+  size_t at = bytes_.size();
+  bytes_.resize(at + values.size() * sizeof(uint64_t));
+  if constexpr (std::endian::native == std::endian::little) {
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + at, values.data(),
+                  values.size() * sizeof(double));
+    }
+  } else {
+    for (double v : values) {
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int shift = 0; shift < 64; shift += 8) {
+        bytes_[at++] = static_cast<uint8_t>(bits >> shift);
+      }
+    }
+  }
 }
 
 Status ByteReader::Need(size_t count) {
@@ -107,25 +129,51 @@ StatusOr<std::vector<double>> ByteReader::ReadDoubleVector() {
 
 namespace {
 
-std::array<uint32_t, 256> MakeCrc32Table() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 tables. tables[0] is the classic byte-at-a-time table;
+// tables[t][b] extends it so eight input bytes fold into the register per
+// step. Same polynomial, bit-identical results to the one-table loop (the
+// golden-vector test pins this).
+std::array<std::array<uint32_t, 256>, 8> MakeCrc32Tables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (size_t t = 1; t < 8; ++t) {
+      tables[t][i] =
+          (tables[t - 1][i] >> 8) ^ tables[0][tables[t - 1][i] & 0xFFu];
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(std::span<const uint8_t> bytes) {
-  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  static const std::array<std::array<uint32_t, 256>, 8> tables =
+      MakeCrc32Tables();
   uint32_t crc = 0xFFFFFFFFu;
-  for (uint8_t byte : bytes) {
-    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(bytes[i]) |
+                               static_cast<uint32_t>(bytes[i + 1]) << 8 |
+                               static_cast<uint32_t>(bytes[i + 2]) << 16 |
+                               static_cast<uint32_t>(bytes[i + 3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(bytes[i + 4]) |
+                        static_cast<uint32_t>(bytes[i + 5]) << 8 |
+                        static_cast<uint32_t>(bytes[i + 6]) << 16 |
+                        static_cast<uint32_t>(bytes[i + 7]) << 24;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+          tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+  }
+  for (; i < bytes.size(); ++i) {
+    crc = (crc >> 8) ^ tables[0][(crc ^ bytes[i]) & 0xFFu];
   }
   return crc ^ 0xFFFFFFFFu;
 }
@@ -144,6 +192,14 @@ std::vector<uint8_t> WrapSnapshot(uint32_t type_tag,
     bytes.push_back(static_cast<uint8_t>(crc >> shift));
   }
   return bytes;
+}
+
+uint32_t SnapshotContentCrc(std::span<const uint8_t> file_bytes) {
+  // Skip the envelope's trailing payload-CRC (see header comment). Files
+  // too short to carry one are hashed whole; they fail UnwrapSnapshot
+  // anyway, so their identity value never proves a usable snapshot.
+  if (file_bytes.size() <= 4) return Crc32(file_bytes);
+  return Crc32(file_bytes.first(file_bytes.size() - 4));
 }
 
 StatusOr<SnapshotView> UnwrapSnapshot(std::span<const uint8_t> bytes) {
@@ -218,6 +274,10 @@ Status WriteBytesToFile(const std::string& path,
     std::remove(tmp_path.c_str());
     return InternalError("short write to " + tmp_path);
   }
+  // Crash point between the temporary write and the rename: firing leaves
+  // the .tmp sibling on disk, exactly as a process death here would — the
+  // orphan the SnapshotStore construction sweep exists to reclaim.
+  SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointStoreRename));
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
     return InternalError("failed to rename " + tmp_path + " to " + path);

@@ -32,7 +32,7 @@ class ByteWriter {
   void WriteU64(uint64_t value);
   void WriteDouble(double value);
   void WriteString(const std::string& value);
-  void WriteDoubleVector(const std::vector<double>& values);
+  void WriteDoubleVector(std::span<const double> values);
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
@@ -81,6 +81,14 @@ struct SnapshotView {
 // Wraps `payload` in the checksummed envelope described above.
 std::vector<uint8_t> WrapSnapshot(uint32_t type_tag,
                                   std::span<const uint8_t> payload);
+
+// Content identity of a wrapped snapshot, for use in durability marks.
+// The envelope ends in CRC32(payload), and a CRC over bytes that already
+// end in their own CRC collapses to a constant residue — Crc32 of the
+// whole file is identical for every valid snapshot and cannot tell two
+// snapshots apart. This hashes everything before the embedded checksum
+// instead (header + payload), which is content-sensitive.
+uint32_t SnapshotContentCrc(std::span<const uint8_t> file_bytes);
 
 // Validates and strips the envelope. Truncation (at any byte) is
 // kOutOfRange; bad magic or a CRC mismatch is kDataLoss; a format version

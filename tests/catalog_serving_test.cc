@@ -9,6 +9,8 @@
 
 #include <filesystem>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "src/catalog/serving_cache.h"
@@ -26,7 +28,10 @@ namespace {
 // A per-test snapshot directory, cleared up front so state persisted by a
 // previous run (snapshots survive on purpose) cannot skew the counters.
 std::string FreshDir(const std::string& name) {
-  const std::string dir = testing::TempDir() + name;
+  // Suffixed with the pid: each gtest case runs as its own ctest process,
+  // and concurrent cases of the same binary must not share a directory.
+  const std::string dir =
+      testing::TempDir() + name + "_" + std::to_string(::getpid());
   std::filesystem::remove_all(dir);
   return dir;
 }

@@ -1,0 +1,151 @@
+// TTL staleness under a non-monotonic clock. A backwards time step (NTP
+// correction, suspend/resume, a misbehaving injected clock) must neither
+// fire a spurious refresh (the unsigned age would wrap to an enormous
+// value) nor wedge the TTL until the clock catches back up to the old
+// anchor.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/live_server.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/query/range_query.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 1000.0);
+
+std::vector<double> MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(kDomain.lo + rng.NextDouble() * kDomain.width());
+  }
+  return rows;
+}
+
+EstimatorConfig EquiWidthConfig(int bins) {
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = bins;
+  return config;
+}
+
+struct Fixture {
+  explicit Fixture(uint64_t ttl_ticks) {
+    now = std::make_shared<uint64_t>(1000);
+    LiveServerOptions options;
+    options.background_refresh = false;
+    options.ttl_ticks = ttl_ticks;
+    options.clock = [clock = now]() { return *clock; };
+    server = std::make_unique<LiveStatisticsServer>(std::move(options));
+  }
+
+  uint64_t TtlRefreshes() {
+    auto stats = server->ColumnStats("t", "x");
+    EXPECT_TRUE(stats.ok());
+    return stats.ok() ? stats.value().ttl_refreshes : 0;
+  }
+
+  std::shared_ptr<uint64_t> now;
+  std::unique_ptr<LiveStatisticsServer> server;
+};
+
+TEST(ServerClockSkewTest, BackwardsStepDoesNotFireSpuriously) {
+  Fixture fx(/*ttl_ticks=*/100);
+  ASSERT_TRUE(fx.server
+                  ->RegisterColumn("t", "x", kDomain, EquiWidthConfig(16),
+                                   MakeRows(300, 1))
+                  .ok());
+  const RangeQuery query{200.0, 700.0};
+  // Fresh: well inside the TTL.
+  *fx.now = 1050;
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 0u);
+
+  // The clock steps far backwards. Unsigned `now - built_at` would wrap
+  // to ~2^64 and fire; the anchor discipline must treat this as "time is
+  // suspect, restart the interval" instead.
+  *fx.now = 10;
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 0u);
+  auto stats = fx.server->ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 1u);
+}
+
+TEST(ServerClockSkewTest, TtlStillFiresAfterReanchoring) {
+  Fixture fx(/*ttl_ticks=*/100);
+  ASSERT_TRUE(fx.server
+                  ->RegisterColumn("t", "x", kDomain, EquiWidthConfig(16),
+                                   MakeRows(300, 2))
+                  .ok());
+  const RangeQuery query{200.0, 700.0};
+  // Step backwards (re-anchors at 10), then advance along the NEW
+  // timeline: the TTL must fire one full interval later — no wedge
+  // waiting for the clock to climb back past the original build tick.
+  *fx.now = 10;
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 0u);
+  *fx.now = 109;  // 99 ticks after the re-anchor: still fresh
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 0u);
+  *fx.now = 111;  // past one full TTL on the new timeline
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 1u);
+  auto stats = fx.server->ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().generation, 2u);
+}
+
+TEST(ServerClockSkewTest, RepeatedOscillationNeverWedgesOrStorms) {
+  Fixture fx(/*ttl_ticks=*/100);
+  ASSERT_TRUE(fx.server
+                  ->RegisterColumn("t", "x", kDomain, EquiWidthConfig(16),
+                                   MakeRows(300, 3))
+                  .ok());
+  const RangeQuery query{100.0, 900.0};
+  // A sawtooth clock: each serve steps back a little, never accumulating
+  // 100 ticks of forward progress since the last anchor. No refresh may
+  // fire — each backwards step restarts the interval.
+  uint64_t tick = 1000;
+  for (int i = 0; i < 20; ++i) {
+    tick = (i % 2 == 0) ? tick + 60 : tick - 80;
+    *fx.now = tick;
+    ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  }
+  EXPECT_EQ(fx.TtlRefreshes(), 0u);
+
+  // Then honest forward time resumes: exactly one refresh per interval,
+  // not a storm paying back the oscillation.
+  *fx.now = tick + 150;
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 1u);
+  ASSERT_TRUE(fx.server->Estimate("t", "x", query).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 1u);  // same tick: no double fire
+}
+
+TEST(ServerClockSkewTest, IngestPathUsesTheSameAnchorDiscipline) {
+  Fixture fx(/*ttl_ticks=*/100);
+  ASSERT_TRUE(fx.server
+                  ->RegisterColumn("t", "x", kDomain, EquiWidthConfig(16),
+                                   MakeRows(300, 4))
+                  .ok());
+  *fx.now = 10;  // backwards before the first ingest
+  ASSERT_TRUE(fx.server->Ingest("t", "x", MakeRows(10, 5)).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 0u);
+  *fx.now = 120;  // a full interval after the re-anchor
+  ASSERT_TRUE(fx.server->Ingest("t", "x", MakeRows(10, 6)).ok());
+  EXPECT_EQ(fx.TtlRefreshes(), 1u);
+}
+
+}  // namespace
+}  // namespace selest

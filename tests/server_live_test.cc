@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "src/catalog/live_server.h"
@@ -24,7 +26,10 @@ namespace {
 const Domain kDomain = ContinuousDomain(0.0, 1000.0);
 
 std::string FreshDir(const std::string& name) {
-  const std::string dir = testing::TempDir() + name;
+  // Suffixed with the pid: each gtest case runs as its own ctest process,
+  // and concurrent cases of the same binary must not share a directory.
+  const std::string dir =
+      testing::TempDir() + name + "_" + std::to_string(::getpid());
   std::filesystem::remove_all(dir);
   return dir;
 }

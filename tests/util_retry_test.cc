@@ -1,0 +1,177 @@
+// The retry discipline: capped exponential backoff, deterministic seeded
+// jitter, the retryability gate, the attempt budget, and the deadline —
+// all driven through injected clocks and sleeps so no real time passes.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/retry.h"
+#include "src/util/status.h"
+
+namespace selest {
+namespace {
+
+TEST(RetryTest, FirstSuccessMakesOneAttempt) {
+  size_t attempts = 0;
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(
+      RetryOptions{},
+      [&]() {
+        ++calls;
+        return Status::Ok();
+      },
+      &attempts);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 1u);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, TransientFailureRetriesUpToBudget) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  size_t attempts = 0;
+  size_t calls = 0;
+  std::vector<uint64_t> slept;
+  const Status status = RetryWithBackoff(
+      options,
+      [&]() {
+        ++calls;
+        return InternalError("flaky disk");
+      },
+      &attempts, [&](uint64_t ticks) { slept.push_back(ticks); });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(attempts, 4u);
+  EXPECT_EQ(calls, 4u);
+  // One backoff between each pair of attempts, none after the last.
+  EXPECT_EQ(slept.size(), 3u);
+}
+
+TEST(RetryTest, SucceedsMidwayAndStops) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  size_t attempts = 0;
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(
+      options,
+      [&]() {
+        ++calls;
+        return calls < 3 ? InternalError("transient") : Status::Ok();
+      },
+      &attempts, [](uint64_t) {});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 3u);
+}
+
+TEST(RetryTest, NonRetryableCodesFailFast) {
+  for (const Status& terminal :
+       {DataLossError("corrupt"), NotFoundError("missing"),
+        InvalidArgumentError("bad"), FailedPreconditionError("nope")}) {
+    size_t attempts = 0;
+    const Status status = RetryWithBackoff(
+        RetryOptions{}, [&]() { return terminal; }, &attempts,
+        [](uint64_t) {});
+    EXPECT_EQ(status.code(), terminal.code());
+    EXPECT_EQ(attempts, 1u) << terminal.message();
+  }
+  EXPECT_TRUE(IsRetryableStatus(InternalError("x")));
+  EXPECT_TRUE(IsRetryableStatus(ResourceExhaustedError("x")));
+  EXPECT_FALSE(IsRetryableStatus(DataLossError("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Ok()));
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryOptions options;
+  options.base_delay_ticks = 100;
+  options.max_delay_ticks = 1000;
+  options.jitter = 0.0;  // fixed delays for exact assertions
+  EXPECT_EQ(BackoffDelayTicks(options, 1), 100u);
+  EXPECT_EQ(BackoffDelayTicks(options, 2), 200u);
+  EXPECT_EQ(BackoffDelayTicks(options, 3), 400u);
+  EXPECT_EQ(BackoffDelayTicks(options, 4), 800u);
+  EXPECT_EQ(BackoffDelayTicks(options, 5), 1000u);   // capped
+  EXPECT_EQ(BackoffDelayTicks(options, 50), 1000u);  // shift saturates
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeedAndBounded) {
+  RetryOptions options;
+  options.base_delay_ticks = 1000;
+  options.max_delay_ticks = 1000000;
+  options.jitter = 0.5;
+  options.seed = 7;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    const uint64_t first = BackoffDelayTicks(options, attempt);
+    const uint64_t again = BackoffDelayTicks(options, attempt);
+    EXPECT_EQ(first, again);  // pure function of (options, attempt)
+    RetryOptions fixed = options;
+    fixed.jitter = 0.0;
+    const uint64_t full = BackoffDelayTicks(fixed, attempt);
+    EXPECT_LE(first, full);
+    EXPECT_GE(first, full / 2);  // jitter 0.5 → factor in [0.5, 1]
+  }
+  RetryOptions other = options;
+  other.seed = 8;
+  bool any_differs = false;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    any_differs |=
+        BackoffDelayTicks(options, attempt) != BackoffDelayTicks(other, attempt);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(RetryTest, DeadlineStopsTheLoop) {
+  RetryOptions options;
+  options.max_attempts = 100;
+  options.base_delay_ticks = 10;
+  options.jitter = 0.0;
+  options.deadline_ticks = 25;
+  uint64_t fake_now = 0;
+  size_t attempts = 0;
+  const Status status = RetryWithBackoff(
+      options, [&]() { return InternalError("always"); }, &attempts,
+      [&](uint64_t ticks) { fake_now += ticks; }, [&]() { return fake_now; });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // Sleeps of 10 then 20 ticks: the second retry would start at tick 30,
+  // past the 25-tick budget, so the loop gives up after two attempts.
+  EXPECT_EQ(attempts, 2u);
+}
+
+TEST(RetryTest, BackwardsClockNeverExtendsOrWedgesTheBudget) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.base_delay_ticks = 1;
+  options.jitter = 0.0;
+  options.deadline_ticks = 1000;
+  // The clock jumps far backwards after the first read; elapsed time is
+  // clamped at 0, so the loop still runs its full attempt budget instead
+  // of either wedging or overflowing into "deadline exceeded".
+  uint64_t fake_now = 500;
+  bool first_read = true;
+  size_t attempts = 0;
+  const Status status = RetryWithBackoff(
+      options, [&]() { return InternalError("always"); }, &attempts,
+      [](uint64_t) {},
+      [&]() {
+        if (first_read) {
+          first_read = false;
+          return fake_now;
+        }
+        return fake_now - 400;  // stepped backwards
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(attempts, 5u);
+}
+
+TEST(RetryTest, ZeroMaxAttemptsStillRunsOnce) {
+  RetryOptions options;
+  options.max_attempts = 0;
+  size_t attempts = 0;
+  const Status status = RetryWithBackoff(
+      options, [&]() { return InternalError("x"); }, &attempts,
+      [](uint64_t) {});
+  EXPECT_EQ(attempts, 1u);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace selest
