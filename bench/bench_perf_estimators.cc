@@ -13,14 +13,20 @@
 // result.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "src/data/domain.h"
 #include "src/est/equi_width_histogram.h"
+#include "src/est/estimator_factory.h"
 #include "src/est/guarded_estimator.h"
 #include "src/est/kernel_estimator.h"
 #include "src/est/sampling_estimator.h"
@@ -28,6 +34,7 @@
 #include "src/eval/parallel_experiment.h"
 #include "src/smoothing/normal_scale.h"
 #include "src/util/random.h"
+#include "src/util/simd.h"
 
 namespace selest {
 namespace {
@@ -168,6 +175,199 @@ void BM_SamplingEstimator(benchmark::State& state) {
 }
 BENCHMARK(BM_SamplingEstimator)->Range(1 << 10, 1 << 20);
 
+// --- The SIMD batch paths (DESIGN.md §12) ---
+//
+// Each batch benchmark times EstimateSelectivityBatch under the scalar
+// tier and under one vector tier back to back on the same pre-generated
+// query stream. Both sides take the identical pool fan-out, so
+// `speedup_vs_scalar` isolates the vector kernels (per-thread throughput;
+// run with SELEST_THREADS=1 for clean single-thread numbers), and
+// `bit_identical` re-asserts the exactness contract on every iteration.
+// Unsupported tiers report skipped, so one BENCH_estimators.json diffs
+// cleanly across hosts of different ISA generations.
+//
+// Note the scalar tier is itself post-PR code (branch-free searches, SoA
+// strips), i.e. a harder baseline than the `std::lower_bound` chains the
+// seed shipped. Where a benchmark supplies a `prepr` functor — a faithful
+// replica of the seed's per-query algorithm — the extra
+// `speedup_vs_prepr` counter reports the vector tier against that
+// original baseline too.
+
+SimdTier TierFromArg(int64_t arg) {
+  return arg == 2 ? SimdTier::kAvx512 : SimdTier::kAvx2;
+}
+
+void BatchTierSpeedup(benchmark::State& state, const SelectivityEstimator& est,
+                      size_t num_queries,
+                      const std::function<double(const RangeQuery&)>& prepr =
+                          nullptr) {
+  const SimdTier tier = TierFromArg(state.range(0));
+  if (!SimdTierSupported(tier)) {
+    state.SkipWithError("simd tier not supported on this host");
+    return;
+  }
+  Rng rng(9);
+  std::vector<RangeQuery> queries(num_queries);
+  for (RangeQuery& q : queries) q = NextQuery(rng);
+  std::vector<double> scalar_out(queries.size());
+  std::vector<double> vector_out(queries.size());
+
+  double scalar_seconds = 0.0;
+  double vector_seconds = 0.0;
+  double prepr_seconds = 0.0;
+  bool identical = true;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      ScopedSimdTier scoped(SimdTier::kScalar);
+      est.EstimateSelectivityBatch(queries, scalar_out);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      ScopedSimdTier scoped(tier);
+      est.EstimateSelectivityBatch(queries, vector_out);
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    scalar_seconds += std::chrono::duration<double>(t1 - t0).count();
+    vector_seconds += std::chrono::duration<double>(t2 - t1).count();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Exact comparison: the SIMD contract is bit-identity.
+      if (scalar_out[i] != vector_out[i]) identical = false;
+    }
+    benchmark::DoNotOptimize(vector_out.data());
+    if (prepr) {
+      double acc = 0.0;
+      const auto t3 = std::chrono::steady_clock::now();
+      for (const RangeQuery& q : queries) acc += prepr(q);
+      const auto t4 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(acc);
+      prepr_seconds += std::chrono::duration<double>(t4 - t3).count();
+    }
+  }
+  if (!identical) {
+    state.SkipWithError("vector tier diverged from the scalar batch");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+  state.counters["simd_width"] =
+      static_cast<double>(SimdOpsForTier(tier)->width);
+  state.counters["bit_identical"] = identical ? 1.0 : 0.0;
+  state.counters["speedup_vs_scalar"] =
+      vector_seconds > 0.0 ? scalar_seconds / vector_seconds : 0.0;
+  if (prepr) {
+    state.counters["speedup_vs_prepr"] =
+        vector_seconds > 0.0 ? prepr_seconds / vector_seconds : 0.0;
+  }
+}
+
+constexpr size_t kBatchSampleSize = 1 << 16;
+constexpr size_t kBatchQueries = 4096;
+
+// Two bin-count regimes: tens of bins is the paper's own configuration
+// (h-NS on small samples; 1% queries touch 1–2 bins, so the vectorized
+// edge search dominates), while 1024 bins makes every query walk ~11 bins
+// — a per-bin accumulation whose summation order the bit-identity contract
+// pins, so the walk cannot be collapsed into prefix-sum lookups and the
+// vector win is structurally smaller there.
+void BM_BatchEquiWidth(benchmark::State& state) {
+  static auto* cache = new std::map<int64_t, const EquiWidthHistogram*>();
+  const EquiWidthHistogram*& slot = (*cache)[state.range(1)];
+  if (slot == nullptr) {
+    auto built = EquiWidthHistogram::Create(MakeSample(kBatchSampleSize),
+                                            kDomain,
+                                            static_cast<int>(state.range(1)));
+    if (!built.ok()) {
+      std::fprintf(stderr, "equi-width build failed: %s\n",
+                   built.status().ToString().c_str());
+      std::exit(1);
+    }
+    slot = new EquiWidthHistogram(std::move(built).value());
+  }
+  const EquiWidthHistogram* est = slot;
+  // The seed's BinnedDensity::Selectivity, std::lower_bound and all — the
+  // pre-PR scalar baseline the acceptance speedup is quoted against.
+  const auto prepr = [est](const RangeQuery& q) {
+    const auto& edges = est->bins().edges();
+    const auto& counts = est->bins().counts();
+    if (q.a > q.b) return 0.0;
+    double mass = 0.0;
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(edges.begin(), edges.end(), q.a) - edges.begin());
+    size_t i = first == 0 ? 0 : first - 1;
+    for (; i < counts.size() && edges[i] <= q.b; ++i) {
+      const double lo = edges[i];
+      const double hi = edges[i + 1];
+      const double width = hi - lo;
+      if (width <= 0.0) {
+        if (lo >= q.a && lo <= q.b) mass += counts[i];
+        continue;
+      }
+      const double overlap = std::min(q.b, hi) - std::max(q.a, lo);
+      if (overlap <= 0.0) continue;
+      mass += counts[i] * (overlap / width);
+    }
+    return std::clamp(mass / est->bins().total_count(), 0.0, 1.0);
+  };
+  BatchTierSpeedup(state, *est, kBatchQueries, prepr);
+}
+BENCHMARK(BM_BatchEquiWidth)
+    ->ArgNames({"tier", "bins"})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BatchKernel(benchmark::State& state) {
+  static const auto* est = [] {
+    KernelEstimatorOptions options;
+    options.bandwidth = kBenchBandwidth;
+    auto built =
+        KernelEstimator::Create(MakeSample(kBatchSampleSize), kDomain, options);
+    return new KernelEstimator(std::move(built).value());
+  }();
+  BatchTierSpeedup(state, *est, kBatchQueries);
+}
+BENCHMARK(BM_BatchKernel)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchKernelBoundary(benchmark::State& state) {
+  static const auto* est = [] {
+    const auto sample = MakeSample(kBatchSampleSize);
+    KernelEstimatorOptions options;
+    options.bandwidth = NormalScaleBandwidth(sample, kDomain);
+    options.boundary = BoundaryPolicy::kBoundaryKernel;
+    auto built = KernelEstimator::Create(sample, kDomain, options);
+    return new KernelEstimator(std::move(built).value());
+  }();
+  BatchTierSpeedup(state, *est, kBatchQueries);
+}
+BENCHMARK(BM_BatchKernelBoundary)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchSampling(benchmark::State& state) {
+  static const auto* est = [] {
+    auto built = SamplingEstimator::Create(MakeSample(kBatchSampleSize));
+    return new SamplingEstimator(std::move(built).value());
+  }();
+  BatchTierSpeedup(state, *est, kBatchQueries);
+}
+BENCHMARK(BM_BatchSampling)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchHybrid(benchmark::State& state) {
+  static const SelectivityEstimator* est = [] {
+    EstimatorConfig config;
+    config.kind = EstimatorKind::kHybrid;
+    auto built = BuildEstimator(MakeSample(kBatchSampleSize), kDomain, config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "hybrid build failed: %s\n",
+                   built.status().ToString().c_str());
+      std::exit(1);
+    }
+    return built.value().release();
+  }();
+  BatchTierSpeedup(state, *est, kBatchQueries);
+}
+BENCHMARK(BM_BatchHybrid)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
 // --- The Fig. 12 sweep across thread counts ---
 //
 // One full sweep = the four headline configs of Fig. 12 (equi-width h-NS,
@@ -303,3 +503,30 @@ BENCHMARK(BM_Fig12SweepWallClock)
 
 }  // namespace
 }  // namespace selest
+
+// Custom main instead of benchmark_main (mirrors bench_perf_catalog):
+// unless the caller already chose a report destination, results also land
+// in BENCH_estimators.json so every run leaves a machine-readable artifact
+// that tools/bench_diff.py can compare against a previous build's file.
+// The host's detected SIMD tier is recorded in the JSON context block.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_estimators.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  benchmark::AddCustomContext("simd_tier",
+                              selest::SimdTierName(selest::ActiveSimdTier()));
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,7 +26,9 @@ StatusOr<BinnedDensity> BinnedDensity::Create(std::vector<double> edges,
   for (double c : counts) {
     if (c < 0.0) return InvalidArgumentError("counts must be non-negative");
   }
-  return BinnedDensity(std::move(edges), std::move(counts), total_count);
+  return BinnedDensity(AlignedDoubles(edges.begin(), edges.end()),
+                       AlignedDoubles(counts.begin(), counts.end()),
+                       total_count);
 }
 
 namespace {
@@ -35,15 +37,9 @@ namespace {
 // left edge so the full edge range is covered. Out-of-range values clamp
 // into the first/last bin. Shared by FromSample and FoldedWith so batch
 // builds and incremental folds bucket identically.
-size_t BucketIndex(const std::vector<double>& edges, size_t num_bins,
-                   double v) {
-  auto it = std::lower_bound(edges.begin(), edges.end(), v);
-  size_t bin;
-  if (it == edges.begin()) {
-    bin = 0;
-  } else {
-    bin = static_cast<size_t>(it - edges.begin()) - 1;
-  }
+size_t BucketIndex(std::span<const double> edges, size_t num_bins, double v) {
+  const size_t pos = BranchFreeLowerBound(edges.data(), edges.size(), v);
+  const size_t bin = pos == 0 ? 0 : pos - 1;
   return std::min(bin, num_bins - 1);
 }
 
@@ -84,11 +80,11 @@ double BinnedDensity::Selectivity(double a, double b) const {
   double mass = 0.0;
   // Only bins overlapping [a, b] contribute; find the first candidate by
   // binary search. lower_bound (not upper_bound) so that zero-width atom
-  // bins located exactly at `a` are not skipped.
-  const auto first = std::lower_bound(edges_.begin(), edges_.end(), a);
-  size_t i = first == edges_.begin()
-                 ? 0
-                 : static_cast<size_t>(first - edges_.begin()) - 1;
+  // bins located exactly at `a` are not skipped. The branch-free search
+  // returns the same index and is what the vector block kernel replays,
+  // keeping the two paths structurally identical.
+  const size_t first = BranchFreeLowerBound(edges_.data(), edges_.size(), a);
+  size_t i = first == 0 ? 0 : first - 1;
   for (; i < counts_.size() && edges_[i] <= b; ++i) {
     const double lo = edges_[i];
     const double hi = edges_[i + 1];
@@ -115,7 +111,7 @@ StatusOr<BinnedDensity> BinnedDensity::MergedWith(
     return FailedPreconditionError(
         "histogram merge requires identical bin edges");
   }
-  std::vector<double> counts(counts_);
+  AlignedDoubles counts(counts_);
   for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts_[i];
   return BinnedDensity(edges_, std::move(counts),
                        total_count_ + other.total_count_);

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "src/util/simd.h"
 #include "src/util/status.h"
 
 namespace selest {
@@ -41,8 +42,10 @@ class BinnedDensity {
                                             std::vector<double> edges);
 
   size_t num_bins() const { return counts_.size(); }
-  const std::vector<double>& edges() const { return edges_; }
-  const std::vector<double>& counts() const { return counts_; }
+  // Edges and counts live in contiguous 64-byte-aligned strips (SoA hot
+  // state for the vector batch kernels; DESIGN.md §12).
+  const AlignedDoubles& edges() const { return edges_; }
+  const AlignedDoubles& counts() const { return counts_; }
   double total_count() const { return total_count_; }
 
   // Density estimate f̂_H(x); atoms (zero-width bins) return +inf at their
@@ -52,6 +55,16 @@ class BinnedDensity {
   // Selectivity of [a, b] per formula (4). Atoms contribute fully when
   // a <= c <= b. Returns a value in [0, 1] (up to rounding).
   double Selectivity(double a, double b) const;
+
+  // Selectivity for one SIMD block: ops.width queries at a time, each
+  // out[k] bit-identical to Selectivity(a[k], b[k]). Arrays must be
+  // ops.width long and kSimdAlign-aligned.
+  void SelectivityBlock(const SimdOps& ops, const double* a, const double* b,
+                        double* out) const {
+    ops.histogram_block(edges_.data(), counts_.data(),
+                        static_cast<int64_t>(counts_.size()), total_count_, a,
+                        b, out);
+  }
 
   // Bytes of storage for the edges + counts: what a system catalog would
   // persist.
@@ -73,14 +86,14 @@ class BinnedDensity {
   double MassBelow(double x) const;
 
  private:
-  BinnedDensity(std::vector<double> edges, std::vector<double> counts,
+  BinnedDensity(AlignedDoubles edges, AlignedDoubles counts,
                 double total_count)
       : edges_(std::move(edges)),
         counts_(std::move(counts)),
         total_count_(total_count) {}
 
-  std::vector<double> edges_;
-  std::vector<double> counts_;
+  AlignedDoubles edges_;
+  AlignedDoubles counts_;
   double total_count_;
 };
 

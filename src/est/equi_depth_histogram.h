@@ -22,6 +22,8 @@ class EquiDepthHistogram : public SelectivityEstimator {
                                              int num_bins);
 
   double EstimateSelectivity(double a, double b) const override;
+  void EstimateSelectivityBatch(std::span<const RangeQuery> queries,
+                                std::span<double> out) const override;
   size_t StorageBytes() const override { return bins_.StorageBytes(); }
   std::string name() const override;
 

@@ -42,8 +42,7 @@ double EquiWidthHistogram::EstimateSelectivity(double a, double b) const {
 void EquiWidthHistogram::EstimateSelectivityBatch(
     std::span<const RangeQuery> queries, std::span<double> out) const {
   SELEST_CHECK_EQ(queries.size(), out.size());
-  BatchWith(queries, out,
-            [this](const RangeQuery& q) { return bins_.Selectivity(q.a, q.b); });
+  BatchWithBinned(bins_, queries, out);
 }
 
 std::string EquiWidthHistogram::name() const {

@@ -40,10 +40,27 @@ StatusOr<HybridEstimator> HybridEstimator::Create(
   for (double cp : change_points) partition.push_back(cp);
   partition.push_back(domain.hi);
 
-  const auto count_in = [&sorted](double lo, double hi) {
-    const auto first = std::lower_bound(sorted.begin(), sorted.end(), lo);
-    const auto last = std::upper_bound(sorted.begin(), sorted.end(), hi);
-    return static_cast<size_t>(last - first);
+  // Every merge decision needs the sample count between two partition
+  // edges. Searching the sample from scratch for each candidate made every
+  // merge round O(bins · log n); instead, hoist the searches: compute each
+  // edge's lower/upper-bound ranks once, keep the rank arrays in sync with
+  // the partition as edges are erased, and a bin count becomes one
+  // subtraction. The partitions produced are bit-identical.
+  const size_t n_samples = sorted.size();
+  std::vector<size_t> edge_lb(partition.size());
+  std::vector<size_t> edge_ub(partition.size());
+  for (size_t i = 0; i < partition.size(); ++i) {
+    edge_lb[i] = BranchFreeLowerBound(sorted.data(), n_samples, partition[i]);
+    edge_ub[i] = BranchFreeUpperBound(sorted.data(), n_samples, partition[i]);
+  }
+  // Samples in [partition[i], partition[j]].
+  const auto count_between = [&edge_lb, &edge_ub](size_t i, size_t j) {
+    return edge_ub[j] - edge_lb[i];
+  };
+  const auto erase_edge = [&partition, &edge_lb, &edge_ub](size_t i) {
+    partition.erase(partition.begin() + static_cast<long>(i));
+    edge_lb.erase(edge_lb.begin() + static_cast<long>(i));
+    edge_ub.erase(edge_ub.begin() + static_cast<long>(i));
   };
   const size_t min_count = static_cast<size_t>(
       std::ceil(options.min_bin_fraction * static_cast<double>(sorted.size())));
@@ -53,18 +70,17 @@ StatusOr<HybridEstimator> HybridEstimator::Create(
   while (merged && partition.size() > 2) {
     merged = false;
     for (size_t i = 0; i + 1 < partition.size(); ++i) {
-      const size_t bin_count = count_in(partition[i], partition[i + 1]);
+      const size_t bin_count = count_between(i, i + 1);
       if (bin_count >= std::max<size_t>(min_count, 2)) continue;
       // Merge with the lighter adjacent bin by erasing the shared edge.
       if (i == 0) {
-        partition.erase(partition.begin() + 1);
+        erase_edge(1);
       } else if (i + 2 == partition.size()) {
-        partition.erase(partition.end() - 2);
+        erase_edge(partition.size() - 2);
       } else {
-        const size_t left = count_in(partition[i - 1], partition[i]);
-        const size_t right = count_in(partition[i + 1], partition[i + 2]);
-        partition.erase(partition.begin() +
-                        static_cast<long>(left <= right ? i : i + 1));
+        const size_t left = count_between(i - 1, i);
+        const size_t right = count_between(i + 1, i + 2);
+        erase_edge(left <= right ? i : i + 1);
       }
       merged = true;
       break;
@@ -79,13 +95,13 @@ StatusOr<HybridEstimator> HybridEstimator::Create(
     const double lo = partition[i];
     const double hi = partition[i + 1];
     if (hi <= lo) continue;
-    const auto first = std::lower_bound(sorted.begin(), sorted.end(), lo);
+    const size_t first = edge_lb[i];
     // Bin i covers [lo, hi); the last bin also takes the right endpoint.
-    const auto last = i + 2 == partition.size()
-                          ? std::upper_bound(sorted.begin(), sorted.end(), hi)
-                          : std::lower_bound(sorted.begin(), sorted.end(), hi);
+    const size_t last =
+        i + 2 == partition.size() ? edge_ub[i + 1] : edge_lb[i + 1];
     if (first == last) continue;
-    const std::span<const double> bin_sample(first, last);
+    const std::span<const double> bin_sample(sorted.data() + first,
+                                             last - first);
 
     Domain bin_domain = domain;
     bin_domain.lo = lo;
@@ -131,9 +147,58 @@ double HybridEstimator::EstimateSelectivity(double a, double b) const {
 void HybridEstimator::EstimateSelectivityBatch(
     std::span<const RangeQuery> queries, std::span<double> out) const {
   SELEST_CHECK_EQ(queries.size(), out.size());
-  BatchWith(queries, out, [this](const RangeQuery& q) {
+  const auto per_query = [this](const RangeQuery& q) {
     return HybridEstimator::EstimateSelectivity(q.a, q.b);
-  });
+  };
+  const SimdOps* ops = ActiveSimdOps();
+  bool vectorizable = ops != nullptr;
+  for (const Cell& cell : cells_) {
+    vectorizable = vectorizable && cell.estimator.options().kernel.type() ==
+                                       KernelType::kEpanechnikov;
+  }
+  if (!vectorizable) {
+    BatchWith(queries, out, per_query);
+    return;
+  }
+  // Per-cell kernel args built once per batch (raw views into each cell's
+  // SoA state); the block lambda only reads them, so sharing across pool
+  // threads is safe.
+  std::vector<KernelBlockArgs> cell_args;
+  cell_args.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    cell_args.push_back(cell.estimator.MakeSimdArgs());
+  }
+  BatchWithBlocks(
+      queries, out, ops->width,
+      [this, ops, &cell_args](const double* a, const double* b, double* r) {
+        alignas(kSimdAlign) double lo[kMaxSimdWidth];
+        alignas(kSimdAlign) double hi[kMaxSimdWidth];
+        alignas(kSimdAlign) double cell_r[kMaxSimdWidth];
+        const int w = ops->width;
+        for (int k = 0; k < w; ++k) r[k] = 0.0;
+        for (size_t c = 0; c < cells_.size(); ++c) {
+          const Cell& cell = cells_[c];
+          for (int k = 0; k < w; ++k) {
+            lo[k] = std::max(a[k], cell.bin_domain.lo);
+            hi[k] = std::min(b[k], cell.bin_domain.hi);
+          }
+          // Lanes the scalar path skips (lo >= hi) still go through the
+          // block call — their value is discarded below — so one call
+          // serves the whole block.
+          if (ops->kernel_block(cell_args[c], lo, hi, cell_r) == 0) {
+            return false;  // mixed case split inside this cell
+          }
+          for (int k = 0; k < w; ++k) {
+            if (lo[k] < hi[k]) r[k] += cell.weight * cell_r[k];
+          }
+        }
+        for (int k = 0; k < w; ++k) {
+          r[k] = std::clamp(r[k], 0.0, 1.0);
+          if (a[k] > b[k]) r[k] = 0.0;
+        }
+        return true;
+      },
+      per_query);
 }
 
 size_t HybridEstimator::StorageBytes() const {

@@ -48,11 +48,12 @@ StatusOr<KernelEstimator> KernelEstimator::Create(
     if (!kde.ok()) return kde.status();
     boundary_kde = std::move(kde).value();
   }
-  return KernelEstimator(std::move(sorted), original_count, domain, options,
+  return KernelEstimator(AlignedDoubles(sorted.begin(), sorted.end()),
+                         original_count, domain, options,
                          std::move(boundary_kde));
 }
 
-KernelEstimator::KernelEstimator(std::vector<double> sorted,
+KernelEstimator::KernelEstimator(AlignedDoubles sorted,
                                  size_t original_count, const Domain& domain,
                                  const KernelEstimatorOptions& options,
                                  std::optional<Kde> boundary_kde)
@@ -116,35 +117,33 @@ double KernelEstimator::CdfSum(double a, double b) const {
   const double h = options_.bandwidth;
   const double radius = options_.kernel.support_radius() * h;
   const Kernel& kernel = options_.kernel;
+  const double* data = sorted_.data();
+  const size_t n = sorted_.size();
   double sum = 0.0;
+  // Branch-free searches: same indices as std::lower_bound/std::upper_bound
+  // and the structure the vector block kernel replays.
   if (a + radius <= b - radius) {
     // Samples in [a+radius, b−radius] contribute exactly 1 (the first case
     // of Alg. 1); count them with two binary searches.
-    const auto full_lo =
-        std::lower_bound(sorted_.begin(), sorted_.end(), a + radius);
-    const auto full_hi =
-        std::upper_bound(sorted_.begin(), sorted_.end(), b - radius);
+    const size_t full_lo = BranchFreeLowerBound(data, n, a + radius);
+    const size_t full_hi = BranchFreeUpperBound(data, n, b - radius);
     sum += static_cast<double>(full_hi - full_lo);
     // Left fringe: samples in [a−radius, a+radius).
-    const auto left_lo =
-        std::lower_bound(sorted_.begin(), sorted_.end(), a - radius);
-    for (auto it = left_lo; it != full_lo; ++it) {
-      sum += kernel.Cdf((b - *it) / h) - kernel.Cdf((a - *it) / h);
+    const size_t left_lo = BranchFreeLowerBound(data, n, a - radius);
+    for (size_t i = left_lo; i != full_lo; ++i) {
+      sum += kernel.Cdf((b - data[i]) / h) - kernel.Cdf((a - data[i]) / h);
     }
     // Right fringe: samples in (b−radius, b+radius].
-    const auto right_hi =
-        std::upper_bound(sorted_.begin(), sorted_.end(), b + radius);
-    for (auto it = full_hi; it != right_hi; ++it) {
-      sum += kernel.Cdf((b - *it) / h) - kernel.Cdf((a - *it) / h);
+    const size_t right_hi = BranchFreeUpperBound(data, n, b + radius);
+    for (size_t i = full_hi; i != right_hi; ++i) {
+      sum += kernel.Cdf((b - data[i]) / h) - kernel.Cdf((a - data[i]) / h);
     }
   } else {
     // Narrow query: the fringes overlap; scan every contributing sample.
-    const auto lo =
-        std::lower_bound(sorted_.begin(), sorted_.end(), a - radius);
-    const auto hi =
-        std::upper_bound(sorted_.begin(), sorted_.end(), b + radius);
-    for (auto it = lo; it != hi; ++it) {
-      sum += kernel.Cdf((b - *it) / h) - kernel.Cdf((a - *it) / h);
+    const size_t lo = BranchFreeLowerBound(data, n, a - radius);
+    const size_t hi = BranchFreeUpperBound(data, n, b + radius);
+    for (size_t i = lo; i != hi; ++i) {
+      sum += kernel.Cdf((b - data[i]) / h) - kernel.Cdf((a - data[i]) / h);
     }
   }
   return sum / static_cast<double>(original_count_);
@@ -177,12 +176,47 @@ double KernelEstimator::EstimateSelectivity(double a, double b) const {
   return std::clamp(total, 0.0, 1.0);
 }
 
+KernelBlockArgs KernelEstimator::MakeSimdArgs() const {
+  KernelBlockArgs args;
+  args.sorted = sorted_.data();
+  args.sorted_size = static_cast<int64_t>(sorted_.size());
+  args.original_count = static_cast<double>(original_count_);
+  args.h = options_.bandwidth;
+  args.radius = options_.kernel.support_radius() * options_.bandwidth;
+  args.domain_lo = domain_.lo;
+  args.domain_hi = domain_.hi;
+  args.boundary_kernel = options_.boundary == BoundaryPolicy::kBoundaryKernel;
+  args.left_cum = left_strip_.cumulative.data();
+  args.left_size = static_cast<int64_t>(left_strip_.cumulative.size());
+  args.left_lo = left_strip_.lo;
+  args.left_hi = left_strip_.hi;
+  args.right_cum = right_strip_.cumulative.data();
+  args.right_size = static_cast<int64_t>(right_strip_.cumulative.size());
+  args.right_lo = right_strip_.lo;
+  args.right_hi = right_strip_.hi;
+  return args;
+}
+
 void KernelEstimator::EstimateSelectivityBatch(
     std::span<const RangeQuery> queries, std::span<double> out) const {
   SELEST_CHECK_EQ(queries.size(), out.size());
-  BatchWith(queries, out, [this](const RangeQuery& q) {
+  const auto per_query = [this](const RangeQuery& q) {
     return KernelEstimator::EstimateSelectivity(q.a, q.b);
-  });
+  };
+  const SimdOps* ops = ActiveSimdOps();
+  // The vector kernel replays the Epanechnikov CDF only; other kernel
+  // shapes keep the scalar path.
+  if (ops == nullptr || options_.kernel.type() != KernelType::kEpanechnikov) {
+    BatchWith(queries, out, per_query);
+    return;
+  }
+  const KernelBlockArgs args = MakeSimdArgs();
+  BatchWithBlocks(
+      queries, out, ops->width,
+      [&args, ops](const double* a, const double* b, double* r) {
+        return ops->kernel_block(args, a, b, r) != 0;
+      },
+      per_query);
 }
 
 double KernelEstimator::EstimateSelectivityAlgorithm1(double a,
@@ -271,12 +305,14 @@ StatusOr<KernelEstimator> KernelEstimator::DeserializeState(
   options.quadrature_intervals = static_cast<int>(quadrature);
   // The boundary KDE exists only to build the strip tables at construction;
   // the tables are restored verbatim below, so the KDE is not rebuilt.
-  KernelEstimator estimator(std::move(sorted), original_count, domain,
-                            options, std::nullopt);
+  KernelEstimator estimator(AlignedDoubles(sorted.begin(), sorted.end()),
+                            original_count, domain, options, std::nullopt);
   for (StripTable* strip : {&estimator.left_strip_, &estimator.right_strip_}) {
     SELEST_ASSIGN_OR_RETURN(strip->lo, reader.ReadDouble());
     SELEST_ASSIGN_OR_RETURN(strip->hi, reader.ReadDouble());
-    SELEST_ASSIGN_OR_RETURN(strip->cumulative, reader.ReadDoubleVector());
+    SELEST_ASSIGN_OR_RETURN(std::vector<double> cumulative,
+                            reader.ReadDoubleVector());
+    strip->cumulative.assign(cumulative.begin(), cumulative.end());
     if (!std::isfinite(strip->lo) || !std::isfinite(strip->hi) ||
         strip->lo > strip->hi ||
         !std::is_sorted(strip->cumulative.begin(), strip->cumulative.end())) {

@@ -66,6 +66,13 @@ class KernelEstimator : public SelectivityEstimator {
   const KernelEstimatorOptions& options() const { return options_; }
   size_t sample_size() const { return original_count_; }
 
+  // Static inputs of the vectorized block kernel (util/simd.h): raw views
+  // into this estimator's SoA hot state (sorted sample strip, boundary
+  // strip tables). Valid only while this estimator is alive and unmoved —
+  // build per batch call, never store. Used here and by the hybrid
+  // estimator's per-cell batch dispatch.
+  KernelBlockArgs MakeSimdArgs() const;
+
   EstimatorTag SnapshotTypeTag() const override {
     return EstimatorTag::kKernel;
   }
@@ -83,14 +90,14 @@ class KernelEstimator : public SelectivityEstimator {
   struct StripTable {
     double lo = 0.0;
     double hi = 0.0;
-    std::vector<double> cumulative;  // cumulative[i] = mass of [lo, node_i]
+    AlignedDoubles cumulative;  // cumulative[i] = mass of [lo, node_i]
 
     // Mass of [x1, x2] ∩ [lo, hi], by linear interpolation between nodes.
     double Mass(double x1, double x2) const;
     double CumulativeAt(double x) const;
   };
 
-  KernelEstimator(std::vector<double> sorted, size_t original_count,
+  KernelEstimator(AlignedDoubles sorted, size_t original_count,
                   const Domain& domain, const KernelEstimatorOptions& options,
                   std::optional<Kde> boundary_kde);
 
@@ -101,7 +108,9 @@ class KernelEstimator : public SelectivityEstimator {
   static StripTable BuildStripTable(const Kde& kde, double lo, double hi,
                                     int nodes);
 
-  std::vector<double> sorted_;  // reflected copies included when reflecting
+  // Reflected copies included when reflecting. Contiguous 64-byte-aligned
+  // strip (SoA hot state for the vector batch kernels; DESIGN.md §12).
+  AlignedDoubles sorted_;
   size_t original_count_;
   Domain domain_;
   KernelEstimatorOptions options_;

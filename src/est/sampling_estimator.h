@@ -20,6 +20,8 @@ class SamplingEstimator : public SelectivityEstimator {
   static StatusOr<SamplingEstimator> Create(std::span<const double> sample);
 
   double EstimateSelectivity(double a, double b) const override;
+  void EstimateSelectivityBatch(std::span<const RangeQuery> queries,
+                                std::span<double> out) const override;
   size_t StorageBytes() const override;
   std::string name() const override { return "sampling"; }
 
@@ -39,10 +41,12 @@ class SamplingEstimator : public SelectivityEstimator {
   Status FoldRows(std::span<const double> rows) override;
 
  private:
-  explicit SamplingEstimator(std::vector<double> sorted)
+  explicit SamplingEstimator(AlignedDoubles sorted)
       : sorted_(std::move(sorted)) {}
 
-  std::vector<double> sorted_;
+  // Contiguous 64-byte-aligned sorted sample (SoA hot state for the
+  // vector batch kernels; DESIGN.md §12).
+  AlignedDoubles sorted_;
 };
 
 }  // namespace selest

@@ -22,6 +22,7 @@
 #include "src/exec/parallel_for.h"
 #include "src/query/range_query.h"
 #include "src/util/serialize.h"
+#include "src/util/simd.h"
 #include "src/util/status.h"
 
 namespace selest {
@@ -123,6 +124,72 @@ class SelectivityEstimator {
                     out[i] = per_query(queries[i]);
                   }
                 });
+  }
+
+  // Vector-tier body: fans chunks across the pool like BatchWith, but each
+  // chunk is processed `width` queries at a time through `block(a, b, r)`
+  // (width-long kSimdAlign-aligned arrays; returns false to decline). A
+  // declined block — and any queries a partial tail cannot pad — falls back
+  // to `per_query`, so every out[i] is the scalar value regardless of which
+  // path computed it. Partial tails are padded by replicating their last
+  // query: block lanes are independent, so padding never perturbs a real
+  // lane.
+  template <typename BlockFn, typename PerQuery>
+  static void BatchWithBlocks(std::span<const RangeQuery> queries,
+                              std::span<double> out, int width, BlockFn&& block,
+                              PerQuery&& per_query) {
+    ThreadPool& pool = ThreadPool::Default();
+    ParallelFor(&pool, queries.size(), 4 * pool.num_threads(),
+                [&queries, &out, &block, &per_query, width](
+                    size_t begin, size_t end, size_t /*chunk*/) {
+                  alignas(kSimdAlign) double a[kMaxSimdWidth];
+                  alignas(kSimdAlign) double b[kMaxSimdWidth];
+                  alignas(kSimdAlign) double r[kMaxSimdWidth];
+                  const size_t w = static_cast<size_t>(width);
+                  for (size_t i = begin; i < end; i += w) {
+                    const size_t m = end - i < w ? end - i : w;
+                    for (size_t k = 0; k < m; ++k) {
+                      a[k] = queries[i + k].a;
+                      b[k] = queries[i + k].b;
+                    }
+                    for (size_t k = m; k < w; ++k) {
+                      a[k] = a[m - 1];
+                      b[k] = b[m - 1];
+                    }
+                    if (block(a, b, r)) {
+                      for (size_t k = 0; k < m; ++k) out[i + k] = r[k];
+                    } else {
+                      for (size_t k = 0; k < m; ++k) {
+                        out[i + k] = per_query(queries[i + k]);
+                      }
+                    }
+                  }
+                });
+  }
+
+  // Batch body for every BinnedDensity-backed histogram estimator: routes
+  // blocks through bins.SelectivityBlock on the active vector tier and
+  // falls back to the per-query scalar path on the scalar tier.
+  // (Templated so this header needs no histogram dependency.)
+  template <typename Bins>
+  static void BatchWithBinned(const Bins& bins,
+                              std::span<const RangeQuery> queries,
+                              std::span<double> out) {
+    const auto per_query = [&bins](const RangeQuery& q) {
+      return bins.Selectivity(q.a, q.b);
+    };
+    const SimdOps* ops = ActiveSimdOps();
+    if (ops == nullptr) {
+      BatchWith(queries, out, per_query);
+      return;
+    }
+    BatchWithBlocks(
+        queries, out, ops->width,
+        [&bins, ops](const double* a, const double* b, double* r) {
+          bins.SelectivityBlock(*ops, a, b, r);
+          return true;
+        },
+        per_query);
   }
 };
 

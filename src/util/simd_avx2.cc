@@ -1,0 +1,5 @@
+// AVX2 tier: 4 double lanes. Compiled with -mavx2 -ffp-contract=off (see
+// src/CMakeLists.txt); only reached when CPUID reports AVX2 support.
+#define SELEST_SIMD_NAMESPACE simd_avx2
+#define SELEST_SIMD_WIDTH 4
+#include "src/util/simd_kernels.inc.h"

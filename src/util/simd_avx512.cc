@@ -1,0 +1,6 @@
+// AVX-512 tier: 8 double lanes. Compiled with -mavx512f -mavx512dq
+// -mavx512vl -mavx512bw -ffp-contract=off (see src/CMakeLists.txt); only
+// reached when CPUID reports AVX-512F support.
+#define SELEST_SIMD_NAMESPACE simd_avx512
+#define SELEST_SIMD_WIDTH 8
+#include "src/util/simd_kernels.inc.h"

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and fail on regressions.
+
+The perf benches (bench_perf_estimators, bench_perf_catalog,
+bench_perf_server, bench_perf_durability) each write a BENCH_*.json
+artifact by default. Committing one per milestone gives the repo a
+diffable perf trajectory; this tool is the diff:
+
+    tools/bench_diff.py old/BENCH_estimators.json new/BENCH_estimators.json
+
+For every benchmark present in both files it reports the per-iteration
+time ratio new/old, and exits non-zero when any benchmark slowed down by
+more than the threshold (default 10%, override with --threshold-pct).
+Benchmarks present in only one file are listed but never fail the diff —
+a new benchmark is not a regression.
+
+Counters are compared informationally (speedup_vs_scalar and friends);
+`bit_identical` dropping from 1 to 0 in the new file is treated as a
+failure, because the SIMD exactness contract is part of what the perf
+trajectory certifies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: benchmark-entry} for a google-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions);
+        # compare the raw iteration rows only.
+        if entry.get("run_type") == "aggregate":
+            continue
+        if entry.get("error_occurred"):
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def time_per_iter(entry):
+    """Per-iteration real time in the entry's own unit (unit cancels in the
+    ratio as long as the benchmark kept the same unit across runs)."""
+    t = entry.get("real_time")
+    if t is None:
+        t = entry.get("cpu_time")
+    return t, entry.get("time_unit", "ns")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=10.0,
+        help="fail when a benchmark is more than this many percent slower "
+        "(default: 10)",
+    )
+    args = parser.parse_args()
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+
+    regressions = []
+    identity_breaks = []
+    shared = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    if shared:
+        width = max(len(name) for name in shared)
+        print(f"{'benchmark':<{width}}  {'old':>12}  {'new':>12}  {'ratio':>7}")
+        for name in shared:
+            t_old, unit_old = time_per_iter(old[name])
+            t_new, unit_new = time_per_iter(new[name])
+            if not t_old or t_new is None or unit_old != unit_new:
+                print(f"{name:<{width}}  (not comparable)")
+                continue
+            ratio = t_new / t_old
+            flag = ""
+            if ratio > 1.0 + args.threshold_pct / 100.0:
+                flag = "  REGRESSION"
+                regressions.append((name, ratio))
+            elif ratio < 1.0 - args.threshold_pct / 100.0:
+                flag = "  improved"
+            print(
+                f"{name:<{width}}  {t_old:>10.1f}{unit_old:>2}  "
+                f"{t_new:>10.1f}{unit_new:>2}  {ratio:>7.3f}{flag}"
+            )
+            old_ident = old[name].get("bit_identical")
+            new_ident = new[name].get("bit_identical")
+            if old_ident == 1.0 and new_ident == 0.0:
+                identity_breaks.append(name)
+            old_speedup = old[name].get("speedup_vs_scalar")
+            new_speedup = new[name].get("speedup_vs_scalar")
+            if old_speedup is not None and new_speedup is not None:
+                print(
+                    f"{'':<{width}}  speedup_vs_scalar: "
+                    f"{old_speedup:.2f}x -> {new_speedup:.2f}x"
+                )
+
+    for name in only_old:
+        print(f"removed: {name}")
+    for name in only_new:
+        print(f"added:   {name}")
+
+    ok = True
+    if regressions:
+        ok = False
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
+            f"{args.threshold_pct:g}%:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {100.0 * (ratio - 1.0):.1f}% slower", file=sys.stderr)
+    if identity_breaks:
+        ok = False
+        print(
+            f"\nFAIL: bit_identical dropped to 0 in: {', '.join(identity_breaks)}",
+            file=sys.stderr,
+        )
+    if not shared:
+        print("warning: no benchmarks in common", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
