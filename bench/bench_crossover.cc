@@ -1,0 +1,126 @@
+// Crossover-frontier sweep: estimator × selectivity band × data size ×
+// distribution, entirely out of core.
+//
+// Every column is streamed from a seeded SyntheticColumnSource, so the
+// data-size axis can run to 10⁷–10⁸ rows without materializing a column:
+// peak RSS stays bounded by one chunk plus the estimators themselves
+// (reported at the end via getrusage). Writes BENCH_crossover.json
+// (google-benchmark shape plus a "frontier" array) for
+// tools/bench_diff.py.
+//
+// Flags:
+//   --out=PATH          output JSON (default BENCH_crossover.json)
+//   --sizes=N,N,...     data sizes (default 10000,100000,1000000)
+//   --dists=a,b,...     distributions (default uniform,normal,zipf)
+//   --bands=f,f,...     query fractions (default 0.01,0.02,0.05,0.10)
+//   --queries=N         queries per band (default 200)
+//   --seed=N            sweep seed (default 1)
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/eval/crossover.h"
+
+namespace selest {
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) parts.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+double PeakRssMiB() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+}
+
+int Run(int argc, char** argv) {
+  CrossoverConfig config = DefaultCrossoverConfig();
+  std::string out_path = "BENCH_crossover.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--sizes=")) {
+      config.data_sizes.clear();
+      for (const std::string& s : SplitCommas(v)) {
+        config.data_sizes.push_back(std::strtoull(s.c_str(), nullptr, 10));
+      }
+    } else if (const char* v = value("--dists=")) {
+      config.data.clear();
+      for (const std::string& name : SplitCommas(v)) {
+        CrossoverDataSpec spec;
+        spec.distribution = name;
+        if (name == "zipf") spec.param = 1.1;
+        config.data.push_back(spec);
+      }
+    } else if (const char* v = value("--bands=")) {
+      config.selectivity_bands.clear();
+      for (const std::string& s : SplitCommas(v)) {
+        config.selectivity_bands.push_back(std::strtod(s.c_str(), nullptr));
+      }
+    } else if (const char* v = value("--queries=")) {
+      config.queries_per_band =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto result = RunCrossover(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "crossover sweep failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const CrossoverFrontierPoint& point : result->frontier) {
+    std::printf("%-12s n=%-10llu s=%-5g error: %-12s (MRE %.4f)  "
+                "latency: %-12s (%.0f ns/query)\n",
+                point.distribution.c_str(),
+                static_cast<unsigned long long>(point.rows), point.band,
+                point.error_winner.c_str(), point.error_winner_mre,
+                point.latency_winner.c_str(), point.latency_winner_ns);
+  }
+  for (const CrossoverCell& cell : result->cells) {
+    if (!cell.error.empty()) {
+      std::fprintf(stderr, "skipped %s at %s/n=%llu: %s\n",
+                   cell.estimator.c_str(), cell.distribution.c_str(),
+                   static_cast<unsigned long long>(cell.rows),
+                   cell.error.c_str());
+    }
+  }
+  const Status written = WriteCrossoverJson(*result, out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cells, %zu frontier points), peak RSS %.0f MiB\n",
+              out_path.c_str(), result->cells.size(),
+              result->frontier.size(), PeakRssMiB());
+  return 0;
+}
+
+}  // namespace
+}  // namespace selest
+
+int main(int argc, char** argv) { return selest::Run(argc, argv); }

@@ -371,6 +371,19 @@ StatusOr<size_t> LiveStatisticsServer::IngestFromFile(
   return data.size();
 }
 
+StatusOr<uint64_t> LiveStatisticsServer::IngestFromSource(
+    const std::string& relation, const std::string& attribute,
+    ColumnSource& source) {
+  source.Reset();
+  uint64_t rows = 0;
+  for (std::span<const double> chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    SELEST_RETURN_IF_ERROR(Ingest(relation, attribute, chunk));
+    rows += chunk.size();
+  }
+  return rows;
+}
+
 StatusOr<double> LiveStatisticsServer::Estimate(const std::string& relation,
                                                 const std::string& attribute,
                                                 const RangeQuery& query) {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/catalog/snapshot_store.h"
+#include "src/data/column_source.h"
 #include "src/data/domain.h"
 #include "src/durability/recovery_manager.h"
 #include "src/durability/wal.h"
@@ -221,6 +222,17 @@ class LiveStatisticsServer {
   StatusOr<size_t> IngestFromFile(const std::string& relation,
                                   const std::string& attribute,
                                   const std::string& path);
+
+  // Ingest from a ColumnSource, one chunk per Ingest batch: the out-of-core
+  // path unifying streamed columns (mmap files, synthetic generators) with
+  // the same WAL/fold/refresh discipline as span ingest — a column too big
+  // for memory streams through at chunk granularity, and each chunk is
+  // durably acknowledged before the next is read. Returns rows folded. On
+  // error, chunks already ingested stay ingested (same contract as calling
+  // Ingest per batch).
+  StatusOr<uint64_t> IngestFromSource(const std::string& relation,
+                                      const std::string& attribute,
+                                      ColumnSource& source);
 
   // Serve-path estimate from the current generation. Never blocks on a
   // refresh: the generation pointer is loaded atomically and the answer is

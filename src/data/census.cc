@@ -7,59 +7,65 @@
 
 namespace selest {
 
+InstanceWeightSampler::InstanceWeightSampler(
+    const InstanceWeightConfig& config, Rng& rng)
+    : domain_(BitDomain(config.bits)),
+      background_fraction_(config.background_fraction) {
+  SELEST_CHECK_GT(config.num_spikes, 0);
+
+  // Spike positions: log-normal over the domain, clustered low with a long
+  // right tail like survey weights.
+  spike_positions_.resize(static_cast<size_t>(config.num_spikes));
+  for (double& position : spike_positions_) {
+    const double log_normal =
+        std::exp(std::log(config.log_mean) +
+                 config.log_sigma * rng.NextGaussian());
+    position = domain_.Clamp(domain_.Quantize(log_normal * domain_.hi));
+  }
+
+  // Zipf frequencies over the spikes (spike 0 heaviest).
+  cumulative_.resize(static_cast<size_t>(config.num_spikes));
+  double total = 0.0;
+  for (int k = 0; k < config.num_spikes; ++k) {
+    total += std::pow(k + 1.0, -config.spike_skew);
+    cumulative_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+double InstanceWeightSampler::Next(Rng& rng) const {
+  if (rng.NextDouble() < background_fraction_) {
+    // Thin continuous background: uniform over the lower half of the
+    // domain where weights live.
+    return domain_.Quantize(rng.NextDouble() * 0.5 * domain_.hi);
+  }
+  const double u = rng.NextDouble();
+  // Binary search over the cumulative frequencies.
+  size_t lo = 0;
+  size_t hi = cumulative_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cumulative_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return spike_positions_[lo];
+}
+
 Dataset GenerateInstanceWeights(std::string name,
                                 const InstanceWeightConfig& config,
                                 size_t count, Rng& rng) {
   SELEST_CHECK_GT(count, 0u);
-  SELEST_CHECK_GT(config.num_spikes, 0);
-  const Domain domain = BitDomain(config.bits);
-
-  // Spike positions: log-normal over the domain, clustered low with a long
-  // right tail like survey weights.
-  std::vector<double> spike_positions(config.num_spikes);
-  for (double& position : spike_positions) {
-    const double log_normal =
-        std::exp(std::log(config.log_mean) +
-                 config.log_sigma * rng.NextGaussian());
-    position = domain.Clamp(domain.Quantize(log_normal * domain.hi));
-  }
-
-  // Zipf frequencies over the spikes (spike 0 heaviest).
-  std::vector<double> cumulative(config.num_spikes);
-  double total = 0.0;
-  for (int k = 0; k < config.num_spikes; ++k) {
-    total += std::pow(k + 1.0, -config.spike_skew);
-    cumulative[k] = total;
-  }
-  for (double& c : cumulative) c /= total;
+  const InstanceWeightSampler sampler(config, rng);
 
   std::vector<double> values;
   values.reserve(count);
   while (values.size() < count) {
-    if (rng.NextDouble() < config.background_fraction) {
-      // Thin continuous background: uniform over the lower half of the
-      // domain where weights live.
-      values.push_back(
-          domain.Quantize(rng.NextDouble() * 0.5 * domain.hi));
-    } else {
-      const double u = rng.NextDouble();
-      int index = 0;
-      // Binary search over the cumulative frequencies.
-      int lo = 0;
-      int hi = config.num_spikes - 1;
-      while (lo < hi) {
-        const int mid = (lo + hi) / 2;
-        if (cumulative[mid] < u) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      index = lo;
-      values.push_back(spike_positions[index]);
-    }
+    values.push_back(sampler.Next(rng));
   }
-  return Dataset(std::move(name), domain, std::move(values));
+  return Dataset(std::move(name), sampler.domain(), std::move(values));
 }
 
 }  // namespace selest

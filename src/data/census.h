@@ -13,8 +13,10 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "src/data/dataset.h"
+#include "src/data/domain.h"
 #include "src/util/random.h"
 
 namespace selest {
@@ -33,6 +35,26 @@ struct InstanceWeightConfig {
   // with a long right tail, like survey weights).
   double log_mean = 0.25;   // of domain width, before the tail stretch
   double log_sigma = 0.75;
+};
+
+// The per-record draw behind GenerateInstanceWeights, split out so the
+// streaming SyntheticColumnSource (data/column_source.h) can emit the
+// identical record stream without materializing it. Construction consumes
+// the setup draws (spike positions) from `rng`; Next draws one record.
+// For a given post-setup RNG state the record sequence is deterministic,
+// which is the streaming-vs-materialized bit-identity contract.
+class InstanceWeightSampler {
+ public:
+  InstanceWeightSampler(const InstanceWeightConfig& config, Rng& rng);
+
+  const Domain& domain() const { return domain_; }
+  double Next(Rng& rng) const;
+
+ private:
+  Domain domain_;
+  double background_fraction_;
+  std::vector<double> spike_positions_;
+  std::vector<double> cumulative_;  // cumulative spike frequencies, sums to 1
 };
 
 // Generates `count` instance-weight records.

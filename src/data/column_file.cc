@@ -1,0 +1,244 @@
+#include "src/data/column_file.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace selest {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'L', 'E', 'S', 'T', 'c', 'f'};
+constexpr size_t kNameOffset = 48;
+constexpr size_t kMaxNameLength = 255;
+constexpr uint32_t kFlagDiscrete = 1u << 0;
+
+// Offsets per the header comment in column_file.h.
+struct HeaderFields {
+  uint32_t version;
+  uint32_t flags;
+  double lo;
+  double hi;
+  int32_t bits;
+  uint32_t name_length;
+  uint64_t row_count;
+};
+
+void PackHeader(const HeaderFields& fields, const std::string& name,
+                uint8_t* out) {
+  std::memset(out, 0, kColumnFileHeaderBytes);
+  std::memcpy(out, kMagic, sizeof(kMagic));
+  std::memcpy(out + 8, &fields.version, 4);
+  std::memcpy(out + 12, &fields.flags, 4);
+  std::memcpy(out + 16, &fields.lo, 8);
+  std::memcpy(out + 24, &fields.hi, 8);
+  std::memcpy(out + 32, &fields.bits, 4);
+  std::memcpy(out + 36, &fields.name_length, 4);
+  std::memcpy(out + 40, &fields.row_count, 8);
+  std::memcpy(out + kNameOffset, name.data(), name.size());
+}
+
+Status ValidateDomainForFile(const Domain& domain) {
+  if (!std::isfinite(domain.lo) || !std::isfinite(domain.hi) ||
+      !(domain.lo < domain.hi)) {
+    return InvalidArgumentError(
+        "column file domain must be a finite non-empty range, got " +
+        domain.ToString());
+  }
+  return Status::Ok();
+}
+
+StatusOr<ColumnFileHeader> ParseHeader(const uint8_t* bytes, size_t available,
+                                       const std::string& path) {
+  if (available < kColumnFileHeaderBytes) {
+    return OutOfRangeError("column file " + path + " truncated: " +
+                           std::to_string(available) + " bytes, header needs " +
+                           std::to_string(kColumnFileHeaderBytes));
+  }
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError("column file " + path + " has a wrong magic");
+  }
+  HeaderFields fields;
+  std::memcpy(&fields.version, bytes + 8, 4);
+  std::memcpy(&fields.flags, bytes + 12, 4);
+  std::memcpy(&fields.lo, bytes + 16, 8);
+  std::memcpy(&fields.hi, bytes + 24, 8);
+  std::memcpy(&fields.bits, bytes + 32, 4);
+  std::memcpy(&fields.name_length, bytes + 36, 4);
+  std::memcpy(&fields.row_count, bytes + 40, 8);
+  if (fields.version > kColumnFileVersion) {
+    return FailedPreconditionError(
+        "column file " + path + " has version " +
+        std::to_string(fields.version) + ", this build reads up to " +
+        std::to_string(kColumnFileVersion));
+  }
+  if (!std::isfinite(fields.lo) || !std::isfinite(fields.hi) ||
+      !(fields.lo < fields.hi)) {
+    return DataLossError("column file " + path + " has an impossible domain");
+  }
+  if (fields.bits < 0 || fields.bits > 62) {
+    return DataLossError("column file " + path +
+                         " has impossible domain bits " +
+                         std::to_string(fields.bits));
+  }
+  if (fields.name_length > kMaxNameLength) {
+    return DataLossError("column file " + path + " has an impossible name");
+  }
+  ColumnFileHeader header;
+  header.name.assign(reinterpret_cast<const char*>(bytes + kNameOffset),
+                     fields.name_length);
+  header.domain.lo = fields.lo;
+  header.domain.hi = fields.hi;
+  header.domain.discrete = (fields.flags & kFlagDiscrete) != 0;
+  header.domain.bits = fields.bits;
+  header.row_count = fields.row_count;
+  return header;
+}
+
+}  // namespace
+
+StatusOr<ColumnFileWriter> ColumnFileWriter::Open(const std::string& path,
+                                                  const std::string& name,
+                                                  const Domain& domain) {
+  SELEST_RETURN_IF_ERROR(ValidateDomainForFile(domain));
+  if (name.size() > kMaxNameLength) {
+    return InvalidArgumentError("column name exceeds " +
+                                std::to_string(kMaxNameLength) + " bytes");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("fopen(" + path + "): " + std::strerror(errno));
+  }
+  HeaderFields fields;
+  fields.version = kColumnFileVersion;
+  fields.flags = domain.discrete ? kFlagDiscrete : 0u;
+  fields.lo = domain.lo;
+  fields.hi = domain.hi;
+  fields.bits = static_cast<int32_t>(domain.bits);
+  fields.name_length = static_cast<uint32_t>(name.size());
+  fields.row_count = 0;  // patched by Finish
+  uint8_t header[kColumnFileHeaderBytes];
+  PackHeader(fields, name, header);
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header)) {
+    std::fclose(file);
+    return InternalError("short header write to " + path);
+  }
+  return ColumnFileWriter(file, path);
+}
+
+ColumnFileWriter::~ColumnFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+ColumnFileWriter::ColumnFileWriter(ColumnFileWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      rows_written_(other.rows_written_) {}
+
+ColumnFileWriter& ColumnFileWriter::operator=(
+    ColumnFileWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    rows_written_ = other.rows_written_;
+  }
+  return *this;
+}
+
+Status ColumnFileWriter::Append(std::span<const double> values) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("column file writer already finished");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return InvalidArgumentError("column value at append offset " +
+                                  std::to_string(i) + " is not finite");
+    }
+  }
+  if (values.empty()) return Status::Ok();
+  const size_t written =
+      std::fwrite(values.data(), sizeof(double), values.size(), file_);
+  if (written != values.size()) {
+    return InternalError("short value write to " + path_);
+  }
+  rows_written_ += values.size();
+  return Status::Ok();
+}
+
+Status ColumnFileWriter::Finish() {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("column file writer already finished");
+  }
+  std::FILE* file = std::exchange(file_, nullptr);
+  Status status = Status::Ok();
+  if (std::fseek(file, 40, SEEK_SET) != 0 ||
+      std::fwrite(&rows_written_, sizeof(rows_written_), 1, file) != 1 ||
+      std::fflush(file) != 0 || ::fsync(fileno(file)) != 0) {
+    status = InternalError("failed to finalize " + path_);
+  }
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = InternalError("failed to close " + path_);
+  }
+  return status;
+}
+
+Status WriteColumnFile(const std::string& path, const std::string& name,
+                       const Domain& domain, std::span<const double> values) {
+  SELEST_ASSIGN_OR_RETURN(ColumnFileWriter writer,
+                          ColumnFileWriter::Open(path, name, domain));
+  SELEST_RETURN_IF_ERROR(writer.Append(values));
+  return writer.Finish();
+}
+
+StatusOr<ColumnFileHeader> ReadColumnFileHeader(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    const int err = errno;
+    if (err == ENOENT) return NotFoundError("no such column file: " + path);
+    return InternalError("fopen(" + path + "): " + std::strerror(err));
+  }
+  uint8_t bytes[kColumnFileHeaderBytes];
+  const size_t read = std::fread(bytes, 1, sizeof(bytes), file);
+  std::fclose(file);
+  return ParseHeader(bytes, read, path);
+}
+
+StatusOr<std::unique_ptr<MmapColumnSource>> MmapColumnSource::Open(
+    const std::string& path, size_t chunk_rows) {
+  if (chunk_rows == 0) {
+    return InvalidArgumentError("chunk_rows must be positive");
+  }
+  SELEST_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  SELEST_ASSIGN_OR_RETURN(ColumnFileHeader header,
+                          ParseHeader(file.data(), file.size(), path));
+  const uint64_t payload = file.size() - kColumnFileHeaderBytes;
+  if (payload != header.row_count * sizeof(double)) {
+    return DataLossError(
+        "column file " + path + " declares " +
+        std::to_string(header.row_count) + " rows but holds " +
+        std::to_string(payload / sizeof(double)) +
+        " (unfinished writer or truncation)");
+  }
+  return std::unique_ptr<MmapColumnSource>(new MmapColumnSource(
+      std::move(file), std::move(header), chunk_rows));
+}
+
+std::span<const double> MmapColumnSource::NextChunk() {
+  if (next_ >= header_.row_count) return {};
+  const uint64_t remaining = header_.row_count - next_;
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(chunk_rows_, remaining));
+  const double* values = reinterpret_cast<const double*>(
+      file_.data() + kColumnFileHeaderBytes);
+  const std::span<const double> chunk(values + next_, take);
+  next_ += take;
+  return chunk;
+}
+
+}  // namespace selest

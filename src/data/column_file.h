@@ -1,0 +1,120 @@
+// Binary column files: the on-disk backend of the out-of-core data layer.
+//
+// Layout (little-endian, fixed 4096-byte header so the value array starts
+// page-aligned for mmap):
+//
+//   offset 0   magic   "SELESTcf"                     (8 bytes)
+//          8   u32     format version (1)
+//         12   u32     flags (bit 0: discrete domain)
+//         16   f64     domain.lo
+//         24   f64     domain.hi
+//         32   i32     domain.bits
+//         36   u32     name length L (<= 255)
+//         40   u64     row count
+//         48   char[L] name bytes, then zero padding to 4096
+//       4096   f64[row count] values
+//
+// The row count is patched by ColumnFileWriter::Finish, so a crash while
+// appending leaves a header whose count disagrees with the file size —
+// detected on open as kDataLoss, never served. Damage taxonomy follows
+// DESIGN.md §8: wrong magic / impossible header fields → kDataLoss,
+// truncated header → kOutOfRange, future version → kFailedPrecondition.
+#ifndef SELEST_DATA_COLUMN_FILE_H_
+#define SELEST_DATA_COLUMN_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "src/data/column_source.h"
+#include "src/data/domain.h"
+#include "src/data/mmap_file.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+inline constexpr size_t kColumnFileHeaderBytes = 4096;
+inline constexpr uint32_t kColumnFileVersion = 1;
+
+struct ColumnFileHeader {
+  std::string name;
+  Domain domain;
+  uint64_t row_count = 0;
+};
+
+// Streams values into a column file without holding them: open, append in
+// chunks, finish (which patches the row count and flushes). Abandoning a
+// writer without Finish leaves an openable-but-rejected file (see above).
+class ColumnFileWriter {
+ public:
+  // Creates/truncates `path`. The domain must be a finite non-empty range
+  // and the name at most 255 bytes.
+  static StatusOr<ColumnFileWriter> Open(const std::string& path,
+                                         const std::string& name,
+                                         const Domain& domain);
+
+  ~ColumnFileWriter();
+  ColumnFileWriter(ColumnFileWriter&& other) noexcept;
+  ColumnFileWriter& operator=(ColumnFileWriter&& other) noexcept;
+  ColumnFileWriter(const ColumnFileWriter&) = delete;
+  ColumnFileWriter& operator=(const ColumnFileWriter&) = delete;
+
+  // Appends `values` to the file. kInvalidArgument on non-finite values
+  // (a column file must never poison downstream estimators),
+  // kFailedPrecondition after Finish, kInternal on a write failure.
+  Status Append(std::span<const double> values);
+
+  uint64_t rows_written() const { return rows_written_; }
+
+  // Patches the row count, flushes, and closes. Required for the file to
+  // open; further Appends fail.
+  Status Finish();
+
+ private:
+  ColumnFileWriter(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t rows_written_ = 0;
+};
+
+// Convenience one-shot writer for values already in memory.
+Status WriteColumnFile(const std::string& path, const std::string& name,
+                       const Domain& domain, std::span<const double> values);
+
+// Validates and returns the header without mapping the value array.
+StatusOr<ColumnFileHeader> ReadColumnFileHeader(const std::string& path);
+
+// mmap-backed ColumnSource over a column file: chunks are subspans of the
+// mapping, so a pass touches each page once and resident memory stays at
+// the OS page cache's discretion, not the process heap's. Lifetime rule:
+// chunks die with the source (DESIGN.md §13).
+class MmapColumnSource : public ColumnSource {
+ public:
+  static StatusOr<std::unique_ptr<MmapColumnSource>> Open(
+      const std::string& path, size_t chunk_rows = kDefaultChunkRows);
+
+  const std::string& name() const override { return header_.name; }
+  const Domain& domain() const override { return header_.domain; }
+  uint64_t rows() const override { return header_.row_count; }
+  size_t chunk_rows() const override { return chunk_rows_; }
+  void Reset() override { next_ = 0; }
+  std::span<const double> NextChunk() override;
+
+ private:
+  MmapColumnSource(MmapFile file, ColumnFileHeader header, size_t chunk_rows)
+      : file_(std::move(file)),
+        header_(std::move(header)),
+        chunk_rows_(chunk_rows) {}
+
+  MmapFile file_;
+  ColumnFileHeader header_;
+  size_t chunk_rows_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_COLUMN_FILE_H_

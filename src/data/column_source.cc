@@ -1,0 +1,210 @@
+#include "src/data/column_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace selest {
+
+std::vector<double> MaterializeSource(ColumnSource& source) {
+  source.Reset();
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(source.rows()));
+  for (std::span<const double> chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    values.insert(values.end(), chunk.begin(), chunk.end());
+  }
+  return values;
+}
+
+// --- InMemoryColumnSource ---------------------------------------------------
+
+InMemoryColumnSource::InMemoryColumnSource(const Dataset& dataset,
+                                           size_t chunk_rows)
+    : InMemoryColumnSource(dataset.name(), dataset.domain(), dataset.values(),
+                           chunk_rows) {}
+
+InMemoryColumnSource::InMemoryColumnSource(std::string name,
+                                           const Domain& domain,
+                                           std::span<const double> values,
+                                           size_t chunk_rows)
+    : name_(std::move(name)),
+      domain_(domain),
+      values_(values),
+      chunk_rows_(chunk_rows) {
+  SELEST_CHECK_GT(chunk_rows, 0u);
+}
+
+std::span<const double> InMemoryColumnSource::NextChunk() {
+  if (next_ >= values_.size()) return {};
+  const size_t take = std::min(chunk_rows_, values_.size() - next_);
+  const std::span<const double> chunk = values_.subspan(next_, take);
+  next_ += take;
+  return chunk;
+}
+
+// --- SyntheticColumnSource --------------------------------------------------
+
+SyntheticColumnSource::SyntheticColumnSource(
+    std::string name, const Domain& domain, uint64_t rows,
+    std::unique_ptr<const RowGenerator> generator, Rng rng, size_t chunk_rows)
+    : name_(std::move(name)),
+      domain_(domain),
+      rows_(rows),
+      chunk_rows_(chunk_rows),
+      generator_(std::move(generator)),
+      stream_start_(rng),
+      rng_(rng) {
+  SELEST_CHECK_GT(rows, 0u);
+  SELEST_CHECK_GT(chunk_rows, 0u);
+  SELEST_CHECK(generator_ != nullptr);
+  buffer_.reserve(chunk_rows);
+}
+
+void SyntheticColumnSource::Reset() {
+  rng_ = stream_start_;
+  emitted_ = 0;
+}
+
+std::span<const double> SyntheticColumnSource::NextChunk() {
+  if (emitted_ >= rows_) return {};
+  const uint64_t remaining = rows_ - emitted_;
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(chunk_rows_, remaining));
+  buffer_.clear();
+  for (size_t i = 0; i < take; ++i) {
+    buffer_.push_back(generator_->Next(rng_));
+  }
+  emitted_ += take;
+  return buffer_;
+}
+
+namespace {
+
+// Replays GenerateDataset's record loop: sample, quantize to the domain's
+// resolution, discard records falling outside the domain (§5.1.1).
+class DistributionRowGenerator : public SyntheticColumnSource::RowGenerator {
+ public:
+  DistributionRowGenerator(std::shared_ptr<const Distribution> distribution,
+                           const Domain& domain)
+      : distribution_(std::move(distribution)), domain_(domain) {}
+
+  double Next(Rng& rng) const override {
+    // GenerateDataset bounds total attempts at 100·count; the streaming
+    // equivalent bounds them per record so the guard needs no stream
+    // length. Both abort only when the distribution misses the domain.
+    constexpr size_t kMaxAttemptsPerRecord = 100000;
+    for (size_t attempt = 0; attempt < kMaxAttemptsPerRecord; ++attempt) {
+      const double raw = distribution_->Sample(rng);
+      const double quantized = domain_.Quantize(raw);
+      if (domain_.Contains(quantized)) return quantized;
+    }
+    SELEST_CHECK(false &&
+                 "synthetic distribution rejects (almost) every record");
+    return domain_.lo;
+  }
+
+ private:
+  std::shared_ptr<const Distribution> distribution_;
+  Domain domain_;
+};
+
+class InstanceWeightRowGenerator
+    : public SyntheticColumnSource::RowGenerator {
+ public:
+  // Consumes the sampler's setup draws from `rng`, mirroring
+  // GenerateInstanceWeights.
+  InstanceWeightRowGenerator(const InstanceWeightConfig& config, Rng& rng)
+      : sampler_(config, rng) {}
+
+  const Domain& domain() const { return sampler_.domain(); }
+  double Next(Rng& rng) const override { return sampler_.Next(rng); }
+
+ private:
+  InstanceWeightSampler sampler_;
+};
+
+}  // namespace
+
+std::unique_ptr<SyntheticColumnSource> MakeDistributionSource(
+    std::string name, std::shared_ptr<const Distribution> distribution,
+    uint64_t rows, const Domain& domain, uint64_t seed, size_t chunk_rows) {
+  SELEST_CHECK(distribution != nullptr);
+  auto generator = std::make_unique<DistributionRowGenerator>(
+      std::move(distribution), domain);
+  return std::make_unique<SyntheticColumnSource>(
+      std::move(name), domain, rows, std::move(generator), Rng(seed),
+      chunk_rows);
+}
+
+std::unique_ptr<SyntheticColumnSource> MakeInstanceWeightSource(
+    std::string name, const InstanceWeightConfig& config, uint64_t rows,
+    uint64_t seed, size_t chunk_rows) {
+  Rng rng(seed);
+  auto generator = std::make_unique<InstanceWeightRowGenerator>(config, rng);
+  const Domain domain = generator->domain();
+  // `rng` is now past the setup draws: its state here is the stream start,
+  // exactly where GenerateInstanceWeights begins drawing records.
+  return std::make_unique<SyntheticColumnSource>(
+      std::move(name), domain, rows, std::move(generator), rng, chunk_rows);
+}
+
+StatusOr<std::unique_ptr<SyntheticColumnSource>> MakeNamedSource(
+    const std::string& distribution, uint64_t rows, int bits, uint64_t seed,
+    double param, size_t chunk_rows) {
+  if (rows == 0) {
+    return InvalidArgumentError("synthetic source needs rows > 0");
+  }
+  if (bits < 1 || bits > 62) {
+    return InvalidArgumentError("domain bits must be in [1, 62], got " +
+                                std::to_string(bits));
+  }
+  const Domain domain = BitDomain(bits);
+  const std::string name =
+      distribution + "-" + std::to_string(bits) + "b-" + std::to_string(rows);
+  if (distribution == "uniform") {
+    return MakeDistributionSource(
+        name, std::make_shared<UniformDistribution>(domain.lo, domain.hi),
+        rows, domain, seed, chunk_rows);
+  }
+  if (distribution == "normal") {
+    // Centered, ~±3σ spanning the domain, as the paper's normal files do.
+    const double mean = 0.5 * (domain.lo + domain.hi);
+    const double sigma = domain.width() / 6.0;
+    return MakeDistributionSource(
+        name, std::make_shared<NormalDistribution>(mean, sigma), rows, domain,
+        seed, chunk_rows);
+  }
+  if (distribution == "exponential") {
+    // Rate such that the domain covers ~8 mean lifetimes (long right tail
+    // inside the domain, the paper's Zipf-like skew stand-in).
+    const double rate = param > 0.0 ? param : 8.0 / domain.width();
+    return MakeDistributionSource(
+        name, std::make_shared<ExponentialDistribution>(rate, domain.lo),
+        rows, domain, seed, chunk_rows);
+  }
+  if (distribution == "zipf") {
+    const double skew = param > 0.0 ? param : 1.1;
+    const uint64_t cardinality = domain.cardinality();
+    // ZipfDistribution precomputes a cumulative table; cap the support so
+    // a wide domain does not cost gigabytes of setup.
+    constexpr uint64_t kMaxZipfSupport = 1u << 22;
+    const int support = static_cast<int>(
+        std::min<uint64_t>(cardinality, kMaxZipfSupport));
+    return MakeDistributionSource(
+        name, std::make_shared<ZipfDistribution>(support, skew), rows, domain,
+        seed, chunk_rows);
+  }
+  if (distribution == "census") {
+    InstanceWeightConfig config;
+    config.bits = bits;
+    if (param > 0.0) config.spike_skew = param;
+    return MakeInstanceWeightSource(name, config, rows, seed, chunk_rows);
+  }
+  return InvalidArgumentError(
+      "unknown distribution '" + distribution +
+      "' (expected uniform|normal|exponential|zipf|census)");
+}
+
+}  // namespace selest

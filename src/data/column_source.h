@@ -1,0 +1,171 @@
+// Streaming column access: the out-of-core replacement for the eager
+// in-memory Dataset.
+//
+// Every layer of the repro originally materialized a full
+// std::vector<double> Dataset before doing anything with it, which caps
+// experiments at RAM-comfortable sizes. A ColumnSource instead hands the
+// column out as a sequence of chunks; consumers — reservoir samplers,
+// one-pass histogram folds, streaming ground truth, the live-server ingest
+// path — process each chunk and move on, so a 10⁸-row column never needs
+// more resident memory than one chunk.
+//
+// Contract (DESIGN.md §13):
+//   * rows() is the exact number of values the stream yields between a
+//     Reset() and the terminating empty chunk.
+//   * NextChunk() returns at most chunk_rows() values; an empty span marks
+//     the end of the stream. The returned span is valid until the next
+//     NextChunk()/Reset() call on the same source, or — for backends whose
+//     chunks view stable storage (in-memory, mmap) — until the source (and
+//     the storage it views) is destroyed.
+//   * Reset() rewinds to the beginning; deterministic backends (all three
+//     below) then replay the bit-identical stream. This is what makes
+//     multi-pass streaming builds and the bit-identity contract of
+//     est/streaming_build.h well defined.
+//   * Chunk boundaries carry no meaning: consumers must compute the same
+//     result for any chunk_rows, including a misaligned final chunk (the
+//     `stream` ctest label enforces this for every streaming build).
+#ifndef SELEST_DATA_COLUMN_SOURCE_H_
+#define SELEST_DATA_COLUMN_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/data/census.h"
+#include "src/data/dataset.h"
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// Default rows per chunk: 4096 doubles = 32 KiB, comfortably inside L1/L2
+// so per-chunk sorts (streaming ground truth) stay cache-resident.
+inline constexpr size_t kDefaultChunkRows = 4096;
+
+class ColumnSource {
+ public:
+  virtual ~ColumnSource() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const Domain& domain() const = 0;
+  // Total rows one full pass yields. Known up front for every backend.
+  virtual uint64_t rows() const = 0;
+  // Rows per chunk this source was configured with (the last chunk of a
+  // pass may be shorter).
+  virtual size_t chunk_rows() const = 0;
+
+  // Rewinds to the first chunk; the stream replays bit-identically.
+  virtual void Reset() = 0;
+
+  // The next chunk, or an empty span at end of stream.
+  virtual std::span<const double> NextChunk() = 0;
+};
+
+// Materializes one full pass (Reset + all chunks). Test and small-data
+// helper — the whole point of ColumnSource is not calling this on big
+// columns.
+std::vector<double> MaterializeSource(ColumnSource& source);
+
+// --- In-memory adapter -----------------------------------------------------
+
+// Wraps values already resident in memory (a Dataset or any stable span).
+// Non-owning: the viewed storage must outlive the source.
+class InMemoryColumnSource : public ColumnSource {
+ public:
+  // Views `dataset.values()`; name and domain are copied.
+  explicit InMemoryColumnSource(const Dataset& dataset,
+                                size_t chunk_rows = kDefaultChunkRows);
+  InMemoryColumnSource(std::string name, const Domain& domain,
+                       std::span<const double> values,
+                       size_t chunk_rows = kDefaultChunkRows);
+
+  const std::string& name() const override { return name_; }
+  const Domain& domain() const override { return domain_; }
+  uint64_t rows() const override { return values_.size(); }
+  size_t chunk_rows() const override { return chunk_rows_; }
+  void Reset() override { next_ = 0; }
+  std::span<const double> NextChunk() override;
+
+ private:
+  std::string name_;
+  Domain domain_;
+  std::span<const double> values_;
+  size_t chunk_rows_;
+  size_t next_ = 0;
+};
+
+// --- Seeded synthetic generator --------------------------------------------
+
+// Streams a synthetic column without materializing it: a seeded row
+// generator is replayed on every pass (Reset restores the post-setup RNG
+// state), so the stream is deterministic and multi-pass builds see the
+// identical rows. Chunks view an internal buffer of chunk_rows values.
+class SyntheticColumnSource : public ColumnSource {
+ public:
+  // Draws one in-domain record per call, advancing `rng`.
+  class RowGenerator {
+   public:
+    virtual ~RowGenerator() = default;
+    virtual double Next(Rng& rng) const = 0;
+  };
+
+  // `rng` must already be past any setup draws the generator's
+  // construction consumed; its state at this point is the replayed
+  // stream start.
+  SyntheticColumnSource(std::string name, const Domain& domain, uint64_t rows,
+                        std::unique_ptr<const RowGenerator> generator, Rng rng,
+                        size_t chunk_rows = kDefaultChunkRows);
+
+  const std::string& name() const override { return name_; }
+  const Domain& domain() const override { return domain_; }
+  uint64_t rows() const override { return rows_; }
+  size_t chunk_rows() const override { return chunk_rows_; }
+  void Reset() override;
+  std::span<const double> NextChunk() override;
+
+ private:
+  std::string name_;
+  Domain domain_;
+  uint64_t rows_;
+  size_t chunk_rows_;
+  std::unique_ptr<const RowGenerator> generator_;
+  Rng stream_start_;  // RNG state replayed by Reset
+  Rng rng_;
+  uint64_t emitted_ = 0;
+  std::vector<double> buffer_;
+};
+
+// Streams GenerateDataset's records (data/dataset.h): the same
+// sample → quantize → reject-outside-domain loop, so for equal
+// (distribution, domain, seed) the stream is bit-identical to the
+// materialized Dataset. Aborts if a single record needs more than 10⁵
+// rejection draws (the distribution misses the domain, §5.1.1).
+std::unique_ptr<SyntheticColumnSource> MakeDistributionSource(
+    std::string name, std::shared_ptr<const Distribution> distribution,
+    uint64_t rows, const Domain& domain, uint64_t seed,
+    size_t chunk_rows = kDefaultChunkRows);
+
+// Streams GenerateInstanceWeights' census-like records (data/census.h),
+// bit-identical to the materialized Dataset for equal (config, seed).
+std::unique_ptr<SyntheticColumnSource> MakeInstanceWeightSource(
+    std::string name, const InstanceWeightConfig& config, uint64_t rows,
+    uint64_t seed, size_t chunk_rows = kDefaultChunkRows);
+
+// The named data shapes the crossover harness and tools/datagen sweep:
+// "uniform", "normal", "exponential" (the paper's artificial files,
+// §5.1.1), "zipf" (skew via `param`, default 1.1), and "census" (the
+// Table 2 instance-weight stand-in). The domain is the p-bit integer
+// domain BitDomain(bits). kInvalidArgument for an unknown name or
+// non-positive rows.
+StatusOr<std::unique_ptr<SyntheticColumnSource>> MakeNamedSource(
+    const std::string& distribution, uint64_t rows, int bits, uint64_t seed,
+    double param = 0.0, size_t chunk_rows = kDefaultChunkRows);
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_COLUMN_SOURCE_H_

@@ -15,12 +15,22 @@ Dataset::Dataset(std::string name, Domain domain, std::vector<double> values)
   for (double v : values_) SELEST_CHECK(domain_.Contains(v));
 }
 
+Dataset Dataset::FromSortedValues(std::string name, Domain domain,
+                                  std::vector<double> values) {
+  SELEST_CHECK(std::is_sorted(values.begin(), values.end()));
+  Dataset data(std::move(name), domain, std::move(values));
+  data.values_sorted_ = true;
+  return data;
+}
+
 Dataset::Dataset(Dataset&& other) noexcept
     : name_(std::move(other.name_)),
       domain_(other.domain_),
       values_(std::move(other.values_)),
+      values_sorted_(other.values_sorted_),
       sorted_cache_(std::move(other.sorted_cache_)) {
   other.values_.clear();
+  other.values_sorted_ = false;
   other.sorted_cache_ = std::make_shared<SortedCache>();
 }
 
@@ -29,14 +39,17 @@ Dataset& Dataset::operator=(Dataset&& other) noexcept {
     name_ = std::move(other.name_);
     domain_ = other.domain_;
     values_ = std::move(other.values_);
+    values_sorted_ = other.values_sorted_;
     sorted_cache_ = std::move(other.sorted_cache_);
     other.values_.clear();
+    other.values_sorted_ = false;
     other.sorted_cache_ = std::make_shared<SortedCache>();
   }
   return *this;
 }
 
 const std::vector<double>& Dataset::sorted_values() const {
+  if (values_sorted_) return values_;
   SortedCache& cache = *sorted_cache_;
   std::call_once(cache.once, [this, &cache] {
     cache.values = values_;

@@ -21,6 +21,15 @@ class Dataset {
   // Requires a non-empty value vector with every value inside `domain`.
   Dataset(std::string name, Domain domain, std::vector<double> values);
 
+  // Adopts `values` that are already sorted ascending (checked). The
+  // sorted view then aliases the value vector itself, so sorted_values(),
+  // CountInRange and CountDistinct never allocate the cached full copy —
+  // which would double resident memory for a large column. Build paths
+  // that already hold sorted data (merged sorted chunks, loaded sorted
+  // snapshots) should construct through here.
+  static Dataset FromSortedValues(std::string name, Domain domain,
+                                  std::vector<double> values);
+
   Dataset(const Dataset&) = default;
   Dataset& operator=(const Dataset&) = default;
   // A moved-from Dataset is a valid *empty* dataset (size() == 0): anything
@@ -58,6 +67,9 @@ class Dataset {
   std::string name_;
   Domain domain_;
   std::vector<double> values_;
+  // True when values_ is known sorted ascending; sorted_values() then
+  // returns values_ directly and the cache stays empty.
+  bool values_sorted_ = false;
   std::shared_ptr<SortedCache> sorted_cache_;
 };
 

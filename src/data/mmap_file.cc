@@ -1,0 +1,66 @@
+#include "src/data/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace selest {
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return NotFoundError("no such file: " + path);
+    }
+    return InternalError("open(" + path + "): " + std::strerror(err));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return InternalError("fstat(" + path + "): " + std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MmapFile(nullptr, 0);
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point either way.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return InternalError("mmap(" + path + "): " + std::strerror(map_err));
+  }
+  return MmapFile(static_cast<const uint8_t*>(mapping), size);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace selest

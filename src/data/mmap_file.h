@@ -1,0 +1,49 @@
+// Read-only memory-mapped files.
+//
+// The out-of-core data layer (data/column_file.h) serves 10⁷–10⁸-row
+// binary column files without reading them into heap memory: the file is
+// mapped once and chunk iteration hands out views into the mapping.
+//
+// Lifetime rule (DESIGN.md §13): every span derived from data() is a view
+// into the mapping and dies with the MmapFile. Holders of such spans — in
+// particular MmapColumnSource chunks — must not outlive the file object.
+#ifndef SELEST_DATA_MMAP_FILE_H_
+#define SELEST_DATA_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace selest {
+
+// An immutable mapping of a whole file. Move-only; unmaps on destruction.
+class MmapFile {
+ public:
+  // Maps `path` read-only. kNotFound when the file does not exist,
+  // kInternal for open/stat/mmap failures. An empty file maps to a valid
+  // object with size() == 0 and data() == nullptr.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace selest
+
+#endif  // SELEST_DATA_MMAP_FILE_H_

@@ -50,9 +50,11 @@ Status ValidateBuildInputs(std::span<const double> sample,
   return Status::Ok();
 }
 
-StatusOr<int> ResolveNumBins(std::span<const double> sample,
-                             const Domain& domain,
-                             const EstimatorConfig& config) {
+}  // namespace
+
+StatusOr<int> ResolveConfigNumBins(std::span<const double> sample,
+                                   const Domain& domain,
+                                   const EstimatorConfig& config) {
   int num_bins = 1;
   switch (config.smoothing) {
     case SmoothingRule::kNormalScale: {
@@ -95,6 +97,8 @@ StatusOr<int> ResolveNumBins(std::span<const double> sample,
   }
   return num_bins;
 }
+
+namespace {
 
 StatusOr<double> ResolveBandwidth(std::span<const double> sample,
                                   const Domain& domain,
@@ -181,28 +185,28 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
           std::make_unique<UniformEstimator>(domain));
     case EstimatorKind::kEquiWidth: {
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
-                              ResolveNumBins(sample, domain, config));
+                              ResolveConfigNumBins(sample, domain, config));
       auto estimator = EquiWidthHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kEquiDepth: {
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
-                              ResolveNumBins(sample, domain, config));
+                              ResolveConfigNumBins(sample, domain, config));
       auto estimator = EquiDepthHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kMaxDiff: {
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
-                              ResolveNumBins(sample, domain, config));
+                              ResolveConfigNumBins(sample, domain, config));
       auto estimator = MaxDiffHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }
     case EstimatorKind::kAverageShifted: {
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
-                              ResolveNumBins(sample, domain, config));
+                              ResolveConfigNumBins(sample, domain, config));
       auto estimator = AverageShiftedHistogram::Create(sample, domain, num_bins,
                                                        config.ash_shifts);
       if (!estimator.ok()) return estimator.status();
@@ -228,7 +232,7 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
     }
     case EstimatorKind::kVOptimal: {
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
-                              ResolveNumBins(sample, domain, config));
+                              ResolveConfigNumBins(sample, domain, config));
       auto estimator = VOptimalHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
@@ -248,7 +252,7 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
       // with k buckets and a synopsis of k coefficients store comparable
       // state.
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
-                              ResolveNumBins(sample, domain, config));
+                              ResolveConfigNumBins(sample, domain, config));
       auto estimator = WaveletHistogram::Create(sample, domain, num_bins);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());

@@ -90,6 +90,14 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
 // an allocation of attacker-controlled size.
 inline constexpr int kMaxNumBins = 1 << 22;
 
+// The bin-count resolution BuildEstimator applies for histogram kinds
+// (smoothing rule dispatch, discrete-cardinality clamp, kMaxNumBins
+// limit), exposed so the streaming build path (est/streaming_build.h) can
+// resolve the count from its reservoir sample before the one-pass fold.
+StatusOr<int> ResolveConfigNumBins(std::span<const double> sample,
+                                   const Domain& domain,
+                                   const EstimatorConfig& config);
+
 // The default degradation ladder appended after the primary estimator in a
 // guarded build: an equi-width histogram under the normal scale rule (the
 // paper's most robust cheap estimator). The uniform baseline is always the

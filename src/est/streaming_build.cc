@@ -1,0 +1,169 @@
+#include "src/est/streaming_build.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "src/est/equi_width_histogram.h"
+#include "src/est/uniform_estimator.h"
+#include "src/exec/fault_injection.h"
+#include "src/sample/sampler.h"
+
+namespace selest {
+namespace {
+
+Status ValidateStreamDomain(const Domain& domain) {
+  if (!std::isfinite(domain.lo) || !std::isfinite(domain.hi) ||
+      !(domain.lo < domain.hi)) {
+    return InvalidArgumentError("estimator domain must be a finite non-empty "
+                                "range, got " +
+                                domain.ToString());
+  }
+  return Status::Ok();
+}
+
+Status ValidateChunk(std::span<const double> chunk, uint64_t stream_offset) {
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    if (!std::isfinite(chunk[i])) {
+      return InvalidArgumentError(
+          "row " + std::to_string(stream_offset + i) + " is not finite");
+    }
+  }
+  return Status::Ok();
+}
+
+// One sequential pass: every row through the reservoir. Returns rows seen.
+StatusOr<uint64_t> FillReservoir(ColumnSource& source,
+                                 DecayingReservoir& reservoir) {
+  source.Reset();
+  uint64_t rows = 0;
+  for (std::span<const double> chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    SELEST_RETURN_IF_ERROR(ValidateChunk(chunk, rows));
+    reservoir.AddBatch(chunk);
+    rows += chunk.size();
+  }
+  return rows;
+}
+
+// The fold pass: the first chunk seeds Create (the bins need at least one
+// row), every later chunk folds in. FoldRows is exact (+1.0 integer adds),
+// so the result equals Create over the concatenated rows regardless of
+// where the chunk boundaries fall.
+StatusOr<StreamingBuild> FoldEquiWidth(ColumnSource& source, int num_bins) {
+  source.Reset();
+  StreamingBuild build;
+  build.path = StreamingBuildPath::kOnePassFold;
+  std::unique_ptr<EquiWidthHistogram> histogram;
+  for (std::span<const double> chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    SELEST_RETURN_IF_ERROR(ValidateChunk(chunk, build.rows_seen));
+    if (histogram == nullptr) {
+      auto first =
+          EquiWidthHistogram::Create(chunk, source.domain(), num_bins);
+      if (!first.ok()) return first.status();
+      histogram =
+          std::make_unique<EquiWidthHistogram>(std::move(first).value());
+    } else {
+      SELEST_RETURN_IF_ERROR(histogram->FoldRows(chunk));
+    }
+    build.rows_seen += chunk.size();
+  }
+  if (histogram == nullptr) {
+    return InvalidArgumentError("equi-width histogram needs a sample");
+  }
+  build.estimator = std::move(histogram);
+  return build;
+}
+
+}  // namespace
+
+const char* StreamingBuildPathName(StreamingBuildPath path) {
+  switch (path) {
+    case StreamingBuildPath::kDomainOnly:
+      return "domain-only";
+    case StreamingBuildPath::kOnePassFold:
+      return "one-pass-fold";
+    case StreamingBuildPath::kReservoirSample:
+      return "reservoir-sample";
+  }
+  return "unknown";
+}
+
+StreamingBuildPath StreamingPathFor(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kUniform:
+      return StreamingBuildPath::kDomainOnly;
+    case EstimatorKind::kEquiWidth:
+      return StreamingBuildPath::kOnePassFold;
+    default:
+      return StreamingBuildPath::kReservoirSample;
+  }
+}
+
+StatusOr<StreamingBuild> BuildEstimatorStreaming(
+    ColumnSource& source, const EstimatorConfig& config,
+    const StreamingBuildOptions& options) {
+  SELEST_RETURN_IF_ERROR(ValidateStreamDomain(source.domain()));
+  if (options.sample_size == 0) {
+    return InvalidArgumentError("streaming build needs sample_size >= 1");
+  }
+
+  const StreamingBuildPath path = StreamingPathFor(config.kind);
+  // The reservoir path delegates to BuildEstimator, which checks the
+  // "est/build" fault point itself; the other two paths check it here so
+  // every path trips the point exactly once per build.
+  if (path != StreamingBuildPath::kReservoirSample) {
+    SELEST_RETURN_IF_ERROR(FaultInjector::Check(kFaultPointEstimatorBuild));
+  }
+
+  if (path == StreamingBuildPath::kDomainOnly) {
+    StreamingBuild build;
+    build.path = path;
+    build.rows_seen = source.rows();
+    build.estimator = std::make_unique<UniformEstimator>(source.domain());
+    return build;
+  }
+
+  if (path == StreamingBuildPath::kOnePassFold &&
+      config.smoothing == SmoothingRule::kFixed) {
+    // The bin count needs no sample, so the sampling pass is skipped
+    // entirely — this is the single-pass build; build.sample stays empty.
+    SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                            ResolveConfigNumBins({}, source.domain(), config));
+    return FoldEquiWidth(source, num_bins);
+  }
+
+  DecayingReservoir reservoir(options.sample_size, options.reservoir_decay,
+                              options.seed);
+  SELEST_ASSIGN_OR_RETURN(const uint64_t rows,
+                          FillReservoir(source, reservoir));
+  if (rows == 0) {
+    return InvalidArgumentError("estimator needs a non-empty source");
+  }
+  std::vector<double> sample(reservoir.values().begin(),
+                             reservoir.values().end());
+
+  if (path == StreamingBuildPath::kOnePassFold) {
+    // Resolve the bin count exactly as BuildEstimator would — from the
+    // sample under the configured smoothing rule — then fold all rows.
+    SELEST_ASSIGN_OR_RETURN(
+        const int num_bins,
+        ResolveConfigNumBins(sample, source.domain(), config));
+    SELEST_ASSIGN_OR_RETURN(StreamingBuild build,
+                            FoldEquiWidth(source, num_bins));
+    build.sample = std::move(sample);
+    return build;
+  }
+
+  StreamingBuild build;
+  build.path = path;
+  build.rows_seen = rows;
+  auto estimator = BuildEstimator(sample, source.domain(), config);
+  if (!estimator.ok()) return estimator.status();
+  build.estimator = std::move(estimator).value();
+  build.sample = std::move(sample);
+  return build;
+}
+
+}  // namespace selest

@@ -1,0 +1,107 @@
+// The crossover-frontier harness: which estimator wins where?
+//
+// The paper's figures compare estimators at one data scale; the practical
+// question for a catalog is where the win/loss boundaries lie as the data
+// grows. This harness sweeps estimator × selectivity band × data size ×
+// distribution from one declarative config, entirely out of core (every
+// column is a streamed SyntheticColumnSource, so a 10⁸-row cell costs one
+// chunk of resident memory), and reduces each (distribution, size, band)
+// group to a frontier point: the error winner (lowest MRE) and the
+// latency winner (fastest per-query estimation).
+//
+// bench/bench_crossover.cc drives this from the command line and writes
+// BENCH_crossover.json in google-benchmark shape, so tools/bench_diff.py
+// diffs crossover sweeps like any other perf artifact.
+#ifndef SELEST_EVAL_CROSSOVER_H_
+#define SELEST_EVAL_CROSSOVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/column_source.h"
+#include "src/est/streaming_build.h"
+#include "src/eval/streaming_experiment.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// One synthetic column family, named per data/column_source.h
+// (MakeNamedSource): "uniform", "normal", "exponential", "zipf", "census".
+struct CrossoverDataSpec {
+  std::string distribution = "uniform";
+  // Distribution-specific shape parameter (zipf skew, exponential rate,
+  // census spike skew); 0 keeps the source's default.
+  double param = 0.0;
+  // Discrete domain resolution in bits.
+  int bits = 16;
+};
+
+struct CrossoverConfig {
+  std::vector<CrossoverDataSpec> data;
+  // Column sizes to sweep (the out-of-core axis: 10⁴ … 10⁸).
+  std::vector<uint64_t> data_sizes;
+  // Query widths as fractions of the domain (the selectivity bands).
+  std::vector<double> selectivity_bands;
+  std::vector<EstimatorConfig> estimators;
+  size_t queries_per_band = 200;
+  size_t sample_size = 2000;
+  uint64_t seed = 1;
+  size_t chunk_rows = kDefaultChunkRows;
+};
+
+// The paper-default sweep: uniform/normal/zipf data, 10⁴…10⁶ rows, the
+// four query sizes of §5.1.2, and one config per estimator family.
+CrossoverConfig DefaultCrossoverConfig();
+
+// One (distribution, size, band, estimator) measurement.
+struct CrossoverCell {
+  std::string distribution;
+  uint64_t rows = 0;
+  double band = 0.0;
+  std::string estimator;
+  StreamingBuildPath path = StreamingBuildPath::kReservoirSample;
+  // Empty when the cell ran; otherwise why the build failed (the cell is
+  // then excluded from the frontier).
+  std::string error;
+  double mean_relative_error = 0.0;
+  double p90_relative_error = 0.0;
+  double build_seconds = 0.0;
+  double estimate_ns_per_query = 0.0;
+  size_t storage_bytes = 0;
+  size_t evaluated = 0;
+};
+
+// The winners of one (distribution, size, band) group.
+struct CrossoverFrontierPoint {
+  std::string distribution;
+  uint64_t rows = 0;
+  double band = 0.0;
+  std::string error_winner;
+  double error_winner_mre = 0.0;
+  std::string latency_winner;
+  double latency_winner_ns = 0.0;
+};
+
+struct CrossoverResult {
+  std::vector<CrossoverCell> cells;
+  std::vector<CrossoverFrontierPoint> frontier;
+};
+
+// Runs the sweep. Estimators are built once per (distribution, size) —
+// builds do not depend on the band — and evaluated against each band's
+// streamed setup. Structural problems (empty config axes, an unknown
+// distribution name) fail the run; a single estimator failing to build
+// only voids its cells.
+StatusOr<CrossoverResult> RunCrossover(const CrossoverConfig& config);
+
+// Serializes the result as google-benchmark JSON: one "benchmarks" entry
+// per cell (real_time = per-query estimation nanoseconds; mre, build_ms
+// and storage_bytes ride along as counters) plus a "frontier" array.
+// tools/bench_diff.py reads the "benchmarks" part.
+Status WriteCrossoverJson(const CrossoverResult& result,
+                          const std::string& path);
+
+}  // namespace selest
+
+#endif  // SELEST_EVAL_CROSSOVER_H_

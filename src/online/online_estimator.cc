@@ -119,6 +119,17 @@ void OnlineSelectivityEstimator::AddSamples(std::span<const double> values) {
   values_.insert(values_.end(), values.begin(), values.end());
 }
 
+uint64_t OnlineSelectivityEstimator::AddFromSource(ColumnSource& source) {
+  source.Reset();
+  uint64_t rows = 0;
+  for (std::span<const double> chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    AddSamples(chunk);
+    rows += chunk.size();
+  }
+  return rows;
+}
+
 void OnlineSelectivityEstimator::EnsureSorted() const {
   if (sorted_prefix_ == values_.size()) return;
   // Merge the unsorted tail into the sorted prefix.

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "src/data/column_source.h"
 #include "src/data/domain.h"
 #include "src/density/kernel.h"
 #include "src/est/selectivity_estimator.h"
@@ -53,6 +54,12 @@ class OnlineSelectivityEstimator {
 
   // Batch ingest (the live-server Ingest path delivers rows in batches).
   void AddSamples(std::span<const double> values);
+
+  // Streams every chunk of `source` (from a Reset) into AddSamples — the
+  // out-of-core ingest path. Equivalent to AddSamples over the
+  // materialized column; one chunk resident at a time. Returns the number
+  // of rows ingested.
+  uint64_t AddFromSource(ColumnSource& source);
 
   size_t samples_seen() const { return values_.size(); }
 

@@ -1,0 +1,39 @@
+#include "src/query/streaming_ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace selest {
+
+StatusOr<std::vector<size_t>> StreamingExactCounts(
+    ColumnSource& source, std::span<const RangeQuery> queries) {
+  std::vector<size_t> counts(queries.size(), 0);
+  std::vector<double> buffer;
+  buffer.reserve(source.chunk_rows());
+  source.Reset();
+  uint64_t offset = 0;
+  for (std::span<const double> chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    buffer.assign(chunk.begin(), chunk.end());
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      if (std::isnan(buffer[i])) {
+        return InvalidArgumentError("row " + std::to_string(offset + i) +
+                                    " is NaN; exact counts need ordered rows");
+      }
+    }
+    std::sort(buffer.begin(), buffer.end());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const RangeQuery& query = queries[q];
+      if (query.a > query.b) continue;
+      const auto lo =
+          std::lower_bound(buffer.begin(), buffer.end(), query.a);
+      const auto hi = std::upper_bound(buffer.begin(), buffer.end(), query.b);
+      counts[q] += static_cast<size_t>(hi - lo);
+    }
+    offset += chunk.size();
+  }
+  return counts;
+}
+
+}  // namespace selest

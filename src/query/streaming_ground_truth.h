@@ -1,0 +1,30 @@
+// Exact selectivities over a column that never fits in memory.
+//
+// GroundTruth (ground_truth.h) answers from the fully sorted column;
+// StreamingExactCounts answers the same counts from a chunk stream: each
+// chunk is copied, sorted, binary-searched per query, and the per-chunk
+// counts are summed. Counts are exact integers, so the per-chunk sum
+// equals the whole-column count regardless of chunk boundaries — the
+// streaming ground truth is bit-identical to GroundTruth on the
+// materialized column, at one chunk of resident memory.
+#ifndef SELEST_QUERY_STREAMING_GROUND_TRUTH_H_
+#define SELEST_QUERY_STREAMING_GROUND_TRUTH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/data/column_source.h"
+#include "src/query/range_query.h"
+#include "src/util/status.h"
+
+namespace selest {
+
+// Exact per-query result sizes |{r : q.a <= r <= q.b}| for every query,
+// computed in one pass over `source` (Reset first). A non-finite row is
+// kInvalidArgument (a NaN cannot be ordered, so it cannot be counted).
+StatusOr<std::vector<size_t>> StreamingExactCounts(
+    ColumnSource& source, std::span<const RangeQuery> queries);
+
+}  // namespace selest
+
+#endif  // SELEST_QUERY_STREAMING_GROUND_TRUTH_H_

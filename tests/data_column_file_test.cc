@@ -1,0 +1,159 @@
+// Binary column-file tests: write/mmap round trip, the damage taxonomy
+// (DESIGN.md §8), and the unfinished-writer detection that makes crashed
+// writers visible.
+#include "src/data/column_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/data/column_source.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+class ColumnFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("column_file_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& file) const { return dir_ / file; }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<double> TestRows(size_t n) {
+  Rng rng(5);
+  std::vector<double> rows(n);
+  for (double& v : rows) v = std::floor(1024.0 * rng.NextDouble());
+  return rows;
+}
+
+TEST_F(ColumnFileTest, RoundTripsThroughMmap) {
+  const Domain domain = BitDomain(10);
+  const std::vector<double> rows = TestRows(1000);
+  ASSERT_TRUE(WriteColumnFile(Path("col.bin"), "weights", domain, rows).ok());
+
+  auto header = ReadColumnFileHeader(Path("col.bin"));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->name, "weights");
+  EXPECT_EQ(header->row_count, rows.size());
+  EXPECT_EQ(header->domain.lo, domain.lo);
+  EXPECT_EQ(header->domain.hi, domain.hi);
+  EXPECT_EQ(header->domain.discrete, domain.discrete);
+  EXPECT_EQ(header->domain.bits, domain.bits);
+
+  for (const size_t chunk_rows : {1ul, 64ul, 4096ul}) {
+    auto source = MmapColumnSource::Open(Path("col.bin"), chunk_rows);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    EXPECT_EQ((*source)->rows(), rows.size());
+    EXPECT_EQ((*source)->name(), "weights");
+    EXPECT_EQ(MaterializeSource(**source), rows);
+    // Reset replays.
+    EXPECT_EQ(MaterializeSource(**source), rows);
+  }
+}
+
+TEST_F(ColumnFileTest, AppendsAccumulateAcrossBatches) {
+  const std::vector<double> rows = TestRows(300);
+  auto writer = ColumnFileWriter::Open(Path("col.bin"), "w", BitDomain(10));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(std::span<const double>(rows).subspan(0, 100)).ok());
+  ASSERT_TRUE(writer->Append(std::span<const double>(rows).subspan(100)).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  auto source = MmapColumnSource::Open(Path("col.bin"));
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(MaterializeSource(**source), rows);
+}
+
+TEST_F(ColumnFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadColumnFileHeader(Path("absent.bin")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MmapColumnSource::Open(Path("absent.bin")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ColumnFileTest, TruncatedHeaderIsOutOfRange) {
+  std::ofstream out(Path("short.bin"), std::ios::binary);
+  out << "SELESTcf";  // magic only
+  out.close();
+  EXPECT_EQ(MmapColumnSource::Open(Path("short.bin")).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ColumnFileTest, WrongMagicIsDataLoss) {
+  std::ofstream out(Path("bad.bin"), std::ios::binary);
+  std::vector<char> junk(kColumnFileHeaderBytes, 'x');
+  out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  out.close();
+  EXPECT_EQ(MmapColumnSource::Open(Path("bad.bin")).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(ColumnFileTest, FutureVersionIsFailedPrecondition) {
+  const std::vector<double> rows = TestRows(10);
+  ASSERT_TRUE(WriteColumnFile(Path("v.bin"), "w", BitDomain(10), rows).ok());
+  // Patch the version field (offset 8) far beyond the current one.
+  std::fstream file(Path("v.bin"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(8);
+  const uint32_t future = 999;
+  file.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  file.close();
+  EXPECT_EQ(MmapColumnSource::Open(Path("v.bin")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ColumnFileTest, UnfinishedWriterIsDataLoss) {
+  // A writer that crashed before Finish leaves row_count = 0 with a
+  // non-empty payload; the reader must refuse rather than serve half a
+  // column as a whole one.
+  const std::vector<double> rows = TestRows(50);
+  {
+    auto writer = ColumnFileWriter::Open(Path("crash.bin"), "w", BitDomain(10));
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(rows).ok());
+    // Destructor closes without Finish — the simulated crash.
+  }
+  EXPECT_EQ(MmapColumnSource::Open(Path("crash.bin")).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(ColumnFileTest, TruncatedPayloadIsDataLoss) {
+  const std::vector<double> rows = TestRows(100);
+  ASSERT_TRUE(WriteColumnFile(Path("t.bin"), "w", BitDomain(10), rows).ok());
+  std::filesystem::resize_file(
+      Path("t.bin"), kColumnFileHeaderBytes + 50 * sizeof(double));
+  EXPECT_EQ(MmapColumnSource::Open(Path("t.bin")).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(ColumnFileTest, WriterRejectsNonFiniteValues) {
+  auto writer = ColumnFileWriter::Open(Path("nan.bin"), "w", BitDomain(10));
+  ASSERT_TRUE(writer.ok());
+  const double bad[] = {1.0, std::nan(""), 2.0};
+  EXPECT_EQ(writer->Append(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ColumnFileTest, OverlongNameIsRejected) {
+  const std::string name(300, 'n');
+  EXPECT_EQ(
+      ColumnFileWriter::Open(Path("n.bin"), name, BitDomain(10)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,148 @@
+// ColumnSource contract tests: chunk iteration, Reset replay, and
+// bit-identity between streamed synthetic columns and the materialized
+// generators they replace.
+#include "src/data/column_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/data/census.h"
+#include "src/data/dataset.h"
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+TEST(InMemoryColumnSourceTest, ChunksCoverAllValuesInOrder) {
+  std::vector<double> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  for (const size_t chunk_rows : {1ul, 64ul, 333ul, 1000ul, 4096ul}) {
+    InMemoryColumnSource source("col", ContinuousDomain(0.0, 1000.0), values,
+                                chunk_rows);
+    EXPECT_EQ(source.rows(), values.size());
+    EXPECT_EQ(source.chunk_rows(), chunk_rows);
+    std::vector<double> streamed;
+    size_t chunks = 0;
+    for (auto chunk = source.NextChunk(); !chunk.empty();
+         chunk = source.NextChunk()) {
+      EXPECT_LE(chunk.size(), chunk_rows);
+      streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+      ++chunks;
+    }
+    EXPECT_EQ(streamed, values) << "chunk_rows=" << chunk_rows;
+    EXPECT_EQ(chunks, (values.size() + chunk_rows - 1) / chunk_rows);
+    // A drained source stays drained until Reset.
+    EXPECT_TRUE(source.NextChunk().empty());
+    source.Reset();
+    EXPECT_EQ(MaterializeSource(source), values);
+  }
+}
+
+TEST(InMemoryColumnSourceTest, MisalignedFinalChunkIsShort) {
+  std::vector<double> values(130, 1.0);
+  InMemoryColumnSource source("col", ContinuousDomain(0.0, 2.0), values, 64);
+  EXPECT_EQ(source.NextChunk().size(), 64u);
+  EXPECT_EQ(source.NextChunk().size(), 64u);
+  EXPECT_EQ(source.NextChunk().size(), 2u);
+  EXPECT_TRUE(source.NextChunk().empty());
+}
+
+TEST(InMemoryColumnSourceTest, WrapsDataset) {
+  Rng rng(11);
+  const Dataset data = GenerateDataset(
+      "normal", NormalDistribution(500.0, 80.0), 400, BitDomain(10), rng);
+  InMemoryColumnSource source(data, 128);
+  EXPECT_EQ(source.name(), data.name());
+  EXPECT_EQ(source.rows(), data.size());
+  EXPECT_EQ(MaterializeSource(source), data.values());
+}
+
+TEST(SyntheticColumnSourceTest, MatchesGenerateDatasetBitForBit) {
+  const Domain domain = BitDomain(12);
+  auto distribution =
+      std::make_shared<const NormalDistribution>(2048.0, 500.0);
+  Rng eager_rng(42);
+  const Dataset eager = GenerateDataset("normal", *distribution, 2000, domain,
+                                        eager_rng);
+  for (const size_t chunk_rows : {1ul, 64ul, 4096ul}) {
+    auto source = MakeDistributionSource("normal", distribution, 2000, domain,
+                                         42, chunk_rows);
+    const std::vector<double> streamed = MaterializeSource(*source);
+    EXPECT_EQ(streamed, eager.values()) << "chunk_rows=" << chunk_rows;
+  }
+}
+
+TEST(SyntheticColumnSourceTest, ResetReplaysIdenticalStream) {
+  auto source = MakeNamedSource("zipf", 5000, 12, 9, 1.2, 256);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  const std::vector<double> first = MaterializeSource(**source);
+  const std::vector<double> second = MaterializeSource(**source);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 5000u);
+}
+
+TEST(SyntheticColumnSourceTest, CensusMatchesGenerateInstanceWeights) {
+  InstanceWeightConfig config;
+  config.bits = 12;
+  Rng eager_rng(7);
+  const Dataset eager =
+      GenerateInstanceWeights("census", config, 1500, eager_rng);
+  auto source = MakeInstanceWeightSource("census", config, 1500, 7, 100);
+  EXPECT_EQ(MaterializeSource(*source), eager.values());
+  EXPECT_EQ(source->domain().lo, eager.domain().lo);
+  EXPECT_EQ(source->domain().hi, eager.domain().hi);
+}
+
+TEST(SyntheticColumnSourceTest, RowsStayInsideDomain) {
+  for (const char* dist :
+       {"uniform", "normal", "exponential", "zipf", "census"}) {
+    auto source = MakeNamedSource(dist, 2000, 10, 5);
+    ASSERT_TRUE(source.ok()) << dist << ": " << source.status().ToString();
+    const Domain& domain = (*source)->domain();
+    for (double v : MaterializeSource(**source)) {
+      ASSERT_TRUE(domain.Contains(v)) << dist << " emitted " << v;
+    }
+  }
+}
+
+TEST(SyntheticColumnSourceTest, NamedSourceRejectsUnknownAndEmpty) {
+  EXPECT_EQ(MakeNamedSource("cauchy", 100, 10, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeNamedSource("uniform", 0, 10, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FromSortedValuesSkipsSortedCacheCopy) {
+  std::vector<double> values = {1.0, 2.0, 2.0, 5.0, 9.0};
+  const Dataset data =
+      Dataset::FromSortedValues("sorted", ContinuousDomain(0.0, 10.0), values);
+  // The sorted view aliases the value vector itself — no cached copy.
+  EXPECT_EQ(&data.sorted_values(), &data.values());
+  EXPECT_EQ(data.CountInRange(2.0, 5.0), 3u);
+  EXPECT_EQ(data.CountDistinct(), 4u);
+}
+
+TEST(DatasetTest, FromSortedValuesMatchesUnsortedConstruction) {
+  Rng rng(3);
+  std::vector<double> values(500);
+  for (double& v : values) v = std::floor(1000.0 * rng.NextDouble());
+  const Dataset unsorted("col", ContinuousDomain(0.0, 1000.0), values);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const Dataset presorted = Dataset::FromSortedValues(
+      "col", ContinuousDomain(0.0, 1000.0), std::move(sorted));
+  EXPECT_EQ(presorted.sorted_values(), unsorted.sorted_values());
+  EXPECT_EQ(presorted.CountInRange(100.0, 700.0),
+            unsorted.CountInRange(100.0, 700.0));
+}
+
+}  // namespace
+}  // namespace selest

@@ -1,0 +1,129 @@
+// Live-server ingest from a ColumnSource: the out-of-core path must be
+// observationally identical to span Ingest over the materialized rows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/live_server.h"
+#include "src/data/column_source.h"
+#include "src/data/dataset.h"
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+const Domain kDomain = ContinuousDomain(0.0, 1000.0);
+
+std::vector<double> MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(kDomain.lo + rng.NextDouble() * kDomain.width());
+  }
+  return rows;
+}
+
+EstimatorConfig EquiWidthConfig() {
+  EstimatorConfig config;
+  config.kind = EstimatorKind::kEquiWidth;
+  config.smoothing = SmoothingRule::kFixed;
+  config.fixed_smoothing = 32;
+  return config;
+}
+
+LiveServerOptions InlineOptions() {
+  LiveServerOptions options;
+  options.background_refresh = false;
+  return options;
+}
+
+TEST(ServerSourceIngestTest, MatchesSpanIngestExactly) {
+  const std::vector<double> initial = MakeRows(400, 1);
+  const std::vector<double> extra = MakeRows(600, 2);
+
+  LiveStatisticsServer via_span(InlineOptions());
+  ASSERT_TRUE(
+      via_span.RegisterColumn("t", "x", kDomain, EquiWidthConfig(), initial)
+          .ok());
+  ASSERT_TRUE(via_span.Ingest("t", "x", extra).ok());
+
+  LiveStatisticsServer via_source(InlineOptions());
+  ASSERT_TRUE(
+      via_source.RegisterColumn("t", "x", kDomain, EquiWidthConfig(), initial)
+          .ok());
+  InMemoryColumnSource source("x", kDomain, extra, 64);
+  auto ingested = via_source.IngestFromSource("t", "x", source);
+  ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  EXPECT_EQ(*ingested, extra.size());
+
+  auto span_stats = via_span.ColumnStats("t", "x");
+  auto source_stats = via_source.ColumnStats("t", "x");
+  ASSERT_TRUE(span_stats.ok());
+  ASSERT_TRUE(source_stats.ok());
+  EXPECT_EQ(source_stats->ingested_rows, span_stats->ingested_rows);
+  EXPECT_EQ(source_stats->ingested_rows, extra.size());
+
+  for (const RangeQuery query :
+       {RangeQuery{0.0, 100.0}, RangeQuery{250.0, 700.0},
+        RangeQuery{900.0, 1000.0}}) {
+    auto a = via_span.Estimate("t", "x", query);
+    auto b = via_source.Estimate("t", "x", query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "[" << query.a << ", " << query.b << "]";
+  }
+}
+
+TEST(ServerSourceIngestTest, ChunkSizeDoesNotChangeServing) {
+  const std::vector<double> initial = MakeRows(300, 3);
+  const std::vector<double> extra = MakeRows(500, 4);
+  const RangeQuery query{100.0, 600.0};
+  double reference = -1.0;
+  for (const size_t chunk_rows : {1ul, 64ul, 4096ul}) {
+    LiveStatisticsServer server(InlineOptions());
+    ASSERT_TRUE(
+        server.RegisterColumn("t", "x", kDomain, EquiWidthConfig(), initial)
+            .ok());
+    InMemoryColumnSource source("x", kDomain, extra, chunk_rows);
+    ASSERT_TRUE(server.IngestFromSource("t", "x", source).ok());
+    auto served = server.Estimate("t", "x", query);
+    ASSERT_TRUE(served.ok());
+    if (reference < 0.0) {
+      reference = *served;
+    } else {
+      EXPECT_EQ(*served, reference) << "chunk_rows=" << chunk_rows;
+    }
+  }
+}
+
+TEST(ServerSourceIngestTest, UnknownColumnIsNotFound) {
+  LiveStatisticsServer server(InlineOptions());
+  const std::vector<double> rows = MakeRows(10, 5);
+  InMemoryColumnSource source("x", kDomain, rows, 4);
+  EXPECT_EQ(server.IngestFromSource("t", "missing", source).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServerSourceIngestTest, SyntheticSourceStreamsIntoServer) {
+  LiveStatisticsServer server(InlineOptions());
+  const std::vector<double> initial = MakeRows(200, 6);
+  ASSERT_TRUE(
+      server.RegisterColumn("t", "x", ContinuousDomain(0.0, 1024.0),
+                            EquiWidthConfig(), initial)
+          .ok());
+  auto source = MakeNamedSource("uniform", 2000, 10, 11);
+  ASSERT_TRUE(source.ok());
+  auto ingested = server.IngestFromSource("t", "x", **source);
+  ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  EXPECT_EQ(*ingested, 2000u);
+  auto stats = server.ColumnStats("t", "x");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ingested_rows, 2000u);
+}
+
+}  // namespace
+}  // namespace selest

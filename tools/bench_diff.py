@@ -18,10 +18,16 @@ Counters are compared informationally (speedup_vs_scalar and friends);
 `bit_identical` dropping from 1 to 0 in the new file is treated as a
 failure, because the SIMD exactness contract is part of what the perf
 trajectory certifies.
+
+A missing or empty baseline is not a failure: the first run of a new
+bench (or a fresh checkout without committed baselines) has nothing to
+diff against, so the tool reports "no baseline" and exits 0 — the
+candidate file simply becomes the baseline to commit.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -62,6 +68,15 @@ def main():
         "(default: 10)",
     )
     args = parser.parse_args()
+
+    # No baseline (first run of a new bench) is a recording event, not a
+    # regression: there is nothing to compare against yet.
+    if not os.path.exists(args.old) or os.path.getsize(args.old) == 0:
+        print(
+            f"no baseline at {args.old}; recording — commit {args.new} "
+            "as the baseline"
+        )
+        return 0
 
     old = load_benchmarks(args.old)
     new = load_benchmarks(args.new)
