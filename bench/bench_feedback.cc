@@ -1,0 +1,97 @@
+// Drift replay: query-driven estimators vs the static roster under data
+// shift.
+//
+// Runs the three drift scenarios of src/eval/drift.h (abrupt swap, linear
+// shift, Zipf skew sweep) and writes BENCH_feedback.json — google-benchmark
+// shape plus a "drift" array of downsampled error-vs-queries curves — for
+// tools/bench_diff.py, which also flags regressions in the convergence
+// point (the query after which a feedback curve stays below the best
+// static curve).
+//
+// Flags:
+//   --out=PATH     output JSON (default BENCH_feedback.json)
+//   --seed=N       replay seed (default 17)
+//   --rows=N       rows per drift step (default 20000)
+//   --queries=N    queries per scenario (default 600)
+//   --steps=N      drift steps per scenario (default 12)
+//   --window=N     rolling-MRE window in queries (default 60)
+//   --bins=N       bins of the query-driven estimators (default 64)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/eval/drift.h"
+
+namespace selest {
+namespace {
+
+int Run(int argc, char** argv) {
+  DriftConfig config;
+  std::string out_path = "BENCH_feedback.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--seed=")) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--rows=")) {
+      config.rows = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--queries=")) {
+      config.num_queries = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--steps=")) {
+      config.num_steps = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--window=")) {
+      config.window = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--bins=")) {
+      config.num_bins = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const DriftScenario scenarios[] = {DriftScenario::kAbruptSwap,
+                                     DriftScenario::kLinearShift,
+                                     DriftScenario::kZipfSweep};
+  std::vector<DriftResult> results;
+  for (DriftScenario scenario : scenarios) {
+    config.scenario = scenario;
+    auto result = RunDriftReplay(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "drift replay (%s) failed: %s\n",
+                   DriftScenarioName(scenario),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s (best static: %s, final MRE %.4f)\n",
+                DriftScenarioName(scenario), result->best_static.c_str(),
+                result->best_static_final_mre);
+    for (const DriftCurve& curve : result->curves) {
+      std::printf("  %-24s %-7s final MRE %-8.4f overall %-8.4f "
+                  "converged after %zu queries\n",
+                  curve.estimator.c_str(),
+                  curve.query_driven ? "learned" : "static", curve.final_mre,
+                  curve.overall_mre, curve.convergence_query);
+    }
+    results.push_back(std::move(*result));
+  }
+
+  const Status written = WriteDriftJson(results, out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu scenarios)\n", out_path.c_str(), results.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace selest
+
+int main(int argc, char** argv) { return selest::Run(argc, argv); }

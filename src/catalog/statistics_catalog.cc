@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/est/estimator_snapshot.h"
 #include "src/sample/sampler.h"
 
 namespace selest {
@@ -64,7 +65,7 @@ StatusOr<ColumnStatistics> ColumnStatistics::Deserialize(ByteReader& reader) {
 
   auto kind = reader.ReadU32();
   if (!kind.ok()) return kind.status();
-  if (kind.value() > static_cast<uint32_t>(EstimatorKind::kWavelet)) {
+  if (kind.value() > static_cast<uint32_t>(EstimatorKind::kOnlineLearning)) {
     return InvalidArgumentError("corrupt catalog entry: bad estimator kind");
   }
   statistics.config.kind = static_cast<EstimatorKind>(kind.value());
@@ -371,6 +372,66 @@ StatusOr<double> Catalog::Estimate(const std::string& relation,
   return Estimate(key, query);
 }
 
+Status Catalog::ObserveTrueSelectivity(const CatalogKey& key,
+                                       const RangeQuery& query,
+                                       double true_selectivity) {
+  // One write-back at a time: two racing clone-swaps would each start from
+  // the same served state and the later Insert would drop the earlier
+  // observation.
+  std::lock_guard<std::mutex> lock(feedback_mutex_);
+  SELEST_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const SelectivityEstimator> current,
+      GetEstimator(key));
+  if (!current->SupportsFeedback()) {
+    feedback_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return FailedPreconditionError("estimator \"" + current->name() +
+                                   "\" for " + key.relation + "." +
+                                   key.attribute +
+                                   " does not accept query feedback");
+  }
+  // Clone through a snapshot round-trip: the resident instance may be mid-
+  // estimate on another thread, so the observation lands on a private copy
+  // that replaces it atomically in the cache (readers holding the old
+  // shared_ptr finish against the previous state).
+  SELEST_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          SnapshotEstimator(*current));
+  SELEST_ASSIGN_OR_RETURN(std::unique_ptr<SelectivityEstimator> clone,
+                          LoadEstimatorSnapshot(bytes));
+  SELEST_RETURN_IF_ERROR(
+      clone->ObserveTrueSelectivity(query, true_selectivity));
+  std::shared_ptr<const SelectivityEstimator> updated = std::move(clone);
+  cache_.Insert(key, updated);
+  feedback_applied_.fetch_add(1, std::memory_order_relaxed);
+  // Persist the adapted state so a cold miss (or a restart) serves the
+  // learned estimator, not the build-time prior.
+  if (store_.has_value()) {
+    const Status written = PutSnapshotWithRetry(key, *updated);
+    if (written.ok()) {
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      snapshot_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Catalog::ObserveTrueSelectivity(const std::string& relation,
+                                       const std::string& attribute,
+                                       const RangeQuery& query,
+                                       double true_selectivity) {
+  CatalogKey key;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = default_keys_.find(std::make_pair(relation, attribute));
+    if (it == default_keys_.end()) {
+      return NotFoundError("no catalog registration for " + relation + "." +
+                           attribute);
+    }
+    key = it->second;
+  }
+  return ObserveTrueSelectivity(key, query, true_selectivity);
+}
+
 Status Catalog::Warm(const CatalogKey& key) {
   SELEST_ASSIGN_OR_RETURN(
       const std::shared_ptr<const SelectivityEstimator> estimator,
@@ -413,6 +474,9 @@ CatalogServeStats Catalog::serve_stats() const {
   stats.writebacks = writebacks_.load(std::memory_order_relaxed);
   stats.snapshot_retries =
       snapshot_retries_.load(std::memory_order_relaxed);
+  stats.feedback_applied = feedback_applied_.load(std::memory_order_relaxed);
+  stats.feedback_rejected =
+      feedback_rejected_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -147,6 +147,8 @@ struct CatalogServeStats {
   uint64_t rebuilds = 0;         // cold misses rebuilt from the sample
   uint64_t writebacks = 0;       // snapshots persisted after a rebuild
   uint64_t snapshot_retries = 0; // extra store attempts beyond the first
+  uint64_t feedback_applied = 0;  // observations folded into a served column
+  uint64_t feedback_rejected = 0; // feedback to a non-query-driven estimator
 };
 
 class Catalog {
@@ -179,6 +181,24 @@ class Catalog {
   StatusOr<double> Estimate(const std::string& relation,
                             const std::string& attribute,
                             const RangeQuery& query);
+
+  // Feedback write-back (DESIGN.md §14): folds the true selectivity of an
+  // executed query back into the column's served estimator. The resident
+  // estimator is never mutated in place — readers may be serving it
+  // concurrently — instead it is cloned through a snapshot round-trip, the
+  // clone observes the feedback, and the cache entry is swapped to the
+  // clone (and re-persisted when the durable tier is enabled), RCU-style.
+  // kFailedPrecondition when the key's estimator is not query-driven.
+  // Concurrent write-backs are serialized per catalog so no observation is
+  // lost to a racing clone-swap.
+  Status ObserveTrueSelectivity(const CatalogKey& key, const RangeQuery& query,
+                                double true_selectivity);
+
+  // Write-back via the column's default config.
+  Status ObserveTrueSelectivity(const std::string& relation,
+                                const std::string& attribute,
+                                const RangeQuery& query,
+                                double true_selectivity);
 
   // Ensures the key is resident in cache and, when the durable tier is
   // enabled, persisted on disk — the "build once" half of the contract.
@@ -225,6 +245,12 @@ class Catalog {
   mutable std::atomic<uint64_t> rebuilds_{0};
   mutable std::atomic<uint64_t> writebacks_{0};
   mutable std::atomic<uint64_t> snapshot_retries_{0};
+  mutable std::atomic<uint64_t> feedback_applied_{0};
+  mutable std::atomic<uint64_t> feedback_rejected_{0};
+
+  // Serializes feedback write-backs (clone → observe → swap) so concurrent
+  // observations compose instead of overwriting each other's clones.
+  std::mutex feedback_mutex_;
 
   // store_->Get / store_->Put under the configured retry policy, counting
   // extra attempts into snapshot_retries_.

@@ -19,6 +19,9 @@
 #include "src/est/uniform_estimator.h"
 #include "src/est/v_optimal_histogram.h"
 #include "src/est/wavelet_histogram.h"
+#include "src/feedback/feedback_histogram.h"
+#include "src/feedback/reconstructed_distribution.h"
+#include "src/online/online_learning.h"
 #include "src/smoothing/direct_plug_in.h"
 #include "src/smoothing/normal_scale.h"
 
@@ -149,6 +152,12 @@ const char* EstimatorKindName(EstimatorKind kind) {
       return "adaptive-kernel";
     case EstimatorKind::kWavelet:
       return "wavelet";
+    case EstimatorKind::kFeedback:
+      return "feedback";
+    case EstimatorKind::kReconstructed:
+      return "reconstructed";
+    case EstimatorKind::kOnlineLearning:
+      return "online-learning";
   }
   return "unknown";
 }
@@ -254,6 +263,36 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
       SELEST_ASSIGN_OR_RETURN(const int num_bins,
                               ResolveConfigNumBins(sample, domain, config));
       auto estimator = WaveletHistogram::Create(sample, domain, num_bins);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kFeedback: {
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveConfigNumBins(sample, domain, config));
+      FeedbackHistogramOptions options;
+      options.num_bins = num_bins;
+      auto estimator =
+          FeedbackHistogram::CreateFromSample(sample, domain, options);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kReconstructed: {
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveConfigNumBins(sample, domain, config));
+      ReconstructedDistributionOptions options;
+      options.num_bins = num_bins;
+      auto estimator = ReconstructedDistributionEstimator::CreateFromSample(
+          sample, domain, options);
+      if (!estimator.ok()) return estimator.status();
+      return Wrap(std::move(estimator).value());
+    }
+    case EstimatorKind::kOnlineLearning: {
+      SELEST_ASSIGN_OR_RETURN(const int num_bins,
+                              ResolveConfigNumBins(sample, domain, config));
+      OnlineLearningOptions options;
+      options.num_bins = num_bins;
+      auto estimator =
+          OnlineLearningEstimator::CreateFromSample(sample, domain, options);
       if (!estimator.ok()) return estimator.status();
       return Wrap(std::move(estimator).value());
     }

@@ -35,6 +35,12 @@ enum class EstimatorKind {
   // Wavelet histogram ([4]); the smoothing parameter is the coefficient
   // budget.
   kWavelet,
+  // The query-driven family (DESIGN.md §14): built from a sample prior (or
+  // the uniform assumption) and refined per ObserveTrueSelectivity. The
+  // smoothing rules resolve their grid resolution like any histogram.
+  kFeedback,
+  kReconstructed,
+  kOnlineLearning,
 };
 
 const char* EstimatorKindName(EstimatorKind kind);

@@ -15,6 +15,9 @@
 #include "src/est/uniform_estimator.h"
 #include "src/est/v_optimal_histogram.h"
 #include "src/est/wavelet_histogram.h"
+#include "src/feedback/feedback_histogram.h"
+#include "src/feedback/reconstructed_distribution.h"
+#include "src/online/online_learning.h"
 
 namespace selest {
 
@@ -171,6 +174,12 @@ StatusOr<std::unique_ptr<SelectivityEstimator>> DeserializeEstimator(
       return LoadConcrete<HybridEstimator>(reader);
     case EstimatorTag::kGuarded:
       return LoadGuarded(reader, depth);
+    case EstimatorTag::kFeedback:
+      return LoadConcrete<FeedbackHistogram>(reader);
+    case EstimatorTag::kReconstructed:
+      return LoadConcrete<ReconstructedDistributionEstimator>(reader);
+    case EstimatorTag::kOnlineLearning:
+      return LoadConcrete<OnlineLearningEstimator>(reader);
     case EstimatorTag::kNone:
       break;
   }

@@ -95,6 +95,38 @@ GuardedStats GuardedEstimator::stats() const {
   return stats;
 }
 
+bool GuardedEstimator::SupportsFeedback() const {
+  for (const auto& link : chain_) {
+    if (link->SupportsFeedback()) return true;
+  }
+  return false;
+}
+
+Status GuardedEstimator::ObserveTrueSelectivity(const RangeQuery& query,
+                                                double true_selectivity) {
+  // Repair like EstimateSelectivity so the links see the same normalized
+  // range the guard would have served an estimate for.
+  double a = query.a;
+  double b = query.b;
+  if (std::isnan(a)) a = domain_.lo;
+  if (std::isnan(b)) b = domain_.hi;
+  if (a > b) std::swap(a, b);
+  const RangeQuery repaired{domain_.Clamp(a), domain_.Clamp(b)};
+  Status last = FailedPreconditionError(
+      "no link of \"" + name() + "\" accepts query feedback");
+  bool accepted = false;
+  for (const auto& link : chain_) {
+    if (!link->SupportsFeedback()) continue;
+    last = link->ObserveTrueSelectivity(repaired, true_selectivity);
+    if (last.ok()) accepted = true;
+  }
+  if (accepted) {
+    feedback_observations_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  return last;
+}
+
 Status GuardedEstimator::SerializeState(ByteWriter& writer) const {
   WriteDomain(writer, domain_);
   writer.WriteU32(static_cast<uint32_t>(chain_.size()));

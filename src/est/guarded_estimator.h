@@ -96,6 +96,19 @@ class GuardedEstimator : public SelectivityEstimator {
   // est/estimator_snapshot.cc on the public constructor.
   Status SerializeState(ByteWriter& writer) const override;
 
+  // The guard is a self-correcting tier when any link is query-driven:
+  // feedback is repaired like a query (NaN→domain edge, inverted→swap) and
+  // forwarded to every supporting link, so a fallback keeps learning even
+  // while a poisoned primary is being skipped. Mutator — not part of the
+  // const thread-safety contract (the catalog write-back observes a clone).
+  bool SupportsFeedback() const override;
+  Status ObserveTrueSelectivity(const RangeQuery& query,
+                                double true_selectivity) override;
+  // Observations accepted by at least one link.
+  uint64_t feedback_observations() const override {
+    return feedback_observations_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::unique_ptr<SelectivityEstimator>> chain_;
   Domain domain_;
@@ -105,6 +118,7 @@ class GuardedEstimator : public SelectivityEstimator {
   mutable std::atomic<uint64_t> clamped_estimates_{0};
   mutable std::atomic<uint64_t> fallback_estimates_{0};
   mutable std::atomic<uint64_t> uniform_rescues_{0};
+  std::atomic<uint64_t> feedback_observations_{0};
 };
 
 }  // namespace selest

@@ -19,6 +19,12 @@ Status SelectivityEstimator::FoldRows(std::span<const double> /*rows*/) {
                                  "\" does not support incremental folds");
 }
 
+Status SelectivityEstimator::ObserveTrueSelectivity(
+    const RangeQuery& /*query*/, double /*true_selectivity*/) {
+  return FailedPreconditionError("estimator \"" + name() +
+                                 "\" does not accept query feedback");
+}
+
 void SelectivityEstimator::EstimateSelectivityBatch(
     std::span<const RangeQuery> queries, std::span<double> out) const {
   SELEST_CHECK_EQ(queries.size(), out.size());

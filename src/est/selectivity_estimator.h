@@ -44,6 +44,9 @@ enum class EstimatorTag : uint32_t {
   kAdaptiveKernel = 10,
   kHybrid = 11,
   kGuarded = 12,
+  kFeedback = 13,
+  kReconstructed = 14,
+  kOnlineLearning = 15,
 };
 
 class SelectivityEstimator {
@@ -106,6 +109,31 @@ class SelectivityEstimator {
   virtual bool SupportsMerge() const { return false; }
   virtual Status MergeFrom(const SelectivityEstimator& other);
   virtual Status FoldRows(std::span<const double> rows);
+
+  // --- Query feedback (the query-driven estimation contract, DESIGN.md §14) -
+  //
+  // A *query-driven* estimator can refine itself from execution feedback:
+  // ObserveTrueSelectivity folds one (range, true-selectivity) observation
+  // into the estimator's state. Like the merge contract above, observation
+  // is a mutator and NOT part of the const thread-safety contract — the
+  // catalog's write-back path (catalog/statistics_catalog) observes on a
+  // private clone and publishes it atomically, so concurrent readers keep
+  // serving the previous immutable state.
+  //
+  // Observation ordering matters: feedback estimators are online learners,
+  // so permuting the observation sequence may change the state. The family
+  // contract (enforced by feedback_property_test) bounds that divergence:
+  // after repeated passes over the same observation multiset, estimates
+  // under any two orderings agree within a documented tolerance, and an
+  // observation whose true selectivity the estimator already predicts
+  // exactly is a no-op (idempotence at the fixed point).
+  //
+  // feedback_observations() counts accepted observations (monotone).
+  // Defaults: not query-driven / kFailedPrecondition / 0.
+  virtual bool SupportsFeedback() const { return false; }
+  virtual Status ObserveTrueSelectivity(const RangeQuery& query,
+                                        double true_selectivity);
+  virtual uint64_t feedback_observations() const { return 0; }
 
  protected:
   // Shared body for EstimateSelectivityBatch overrides: fans chunks across

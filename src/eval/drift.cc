@@ -1,0 +1,364 @@
+#include "src/eval/drift.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "src/data/dataset.h"
+#include "src/data/distribution.h"
+#include "src/data/domain.h"
+#include "src/est/estimator_factory.h"
+#include "src/feedback/feedback_histogram.h"
+#include "src/feedback/reconstructed_distribution.h"
+#include "src/online/online_learning.h"
+#include "src/query/ground_truth.h"
+#include "src/sample/sampler.h"
+#include "src/util/random.h"
+
+namespace selest {
+namespace {
+
+// Endpoints of the continuous scenarios' drift.
+constexpr double kStartMean = 30.0;
+constexpr double kStartSigma = 8.0;
+constexpr double kEndMean = 72.0;
+constexpr double kEndSigma = 5.0;
+// Zipf sweep endpoints.
+constexpr double kStartSkew = 0.4;
+constexpr double kEndSkew = 1.6;
+constexpr int kZipfValues = 1024;
+
+Domain ScenarioDomain(DriftScenario scenario) {
+  return scenario == DriftScenario::kZipfSweep ? BitDomain(10)
+                                               : ContinuousDomain(0.0, 100.0);
+}
+
+// Drift position in [0, 1] at `step` of `num_steps` states.
+double StepPosition(size_t step, size_t num_steps) {
+  if (num_steps <= 1) return 0.0;
+  return static_cast<double>(step) / static_cast<double>(num_steps - 1);
+}
+
+Dataset MaterializeStep(const DriftConfig& config, const Domain& domain,
+                        size_t step) {
+  // Each step seeds its own stream so a step's rows do not depend on how
+  // many queries the replay ran before reaching it.
+  Rng rng(config.seed ^ (0x9e3779b97f4a7c15ull * (step + 1)));
+  const double position = StepPosition(step, config.num_steps);
+  switch (config.scenario) {
+    case DriftScenario::kAbruptSwap: {
+      const bool swapped = position >= 0.5;
+      const NormalDistribution normal(swapped ? kEndMean : kStartMean,
+                                      swapped ? kEndSigma : kStartSigma);
+      return GenerateDataset("drift-abrupt", normal, config.rows, domain, rng);
+    }
+    case DriftScenario::kLinearShift: {
+      const double mean = kStartMean + position * (kEndMean - kStartMean);
+      const double sigma = kStartSigma + position * (kEndSigma - kStartSigma);
+      const NormalDistribution normal(mean, sigma);
+      return GenerateDataset("drift-linear", normal, config.rows, domain, rng);
+    }
+    case DriftScenario::kZipfSweep: {
+      const double skew = kStartSkew + position * (kEndSkew - kStartSkew);
+      const ZipfDistribution zipf(kZipfValues, skew);
+      return GenerateDataset("drift-zipf", zipf, config.rows, domain, rng);
+    }
+  }
+  Rng fallback(config.seed);
+  const UniformDistribution uniform(domain.lo, domain.hi);
+  return GenerateDataset("drift", uniform, config.rows, domain, fallback);
+}
+
+struct Track {
+  std::string name;
+  bool query_driven = false;
+  std::unique_ptr<SelectivityEstimator> estimator;
+  std::vector<double> rel_errors;  // NaN where the exact result was empty
+  std::vector<double> windowed;
+  double total_error = 0.0;
+  size_t valid_queries = 0;
+  double estimate_ns = 0.0;
+};
+
+Status ValidateConfig(const DriftConfig& config) {
+  if (config.rows < 100) {
+    return InvalidArgumentError("drift replay needs >= 100 rows per step");
+  }
+  if (config.num_queries < 1 || config.num_steps < 1 || config.window < 1) {
+    return InvalidArgumentError(
+        "drift replay needs >= 1 query, step, and window");
+  }
+  if (config.num_bins < 1) {
+    return InvalidArgumentError("drift replay needs >= 1 bin");
+  }
+  if (config.static_sample_size < 2) {
+    return InvalidArgumentError("drift replay needs a static sample >= 2");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* DriftScenarioName(DriftScenario scenario) {
+  switch (scenario) {
+    case DriftScenario::kAbruptSwap:
+      return "abrupt-swap";
+    case DriftScenario::kLinearShift:
+      return "linear-shift";
+    case DriftScenario::kZipfSweep:
+      return "zipf-sweep";
+  }
+  return "unknown";
+}
+
+StatusOr<DriftResult> RunDriftReplay(const DriftConfig& config) {
+  SELEST_RETURN_IF_ERROR(ValidateConfig(config));
+  const Domain domain = ScenarioDomain(config.scenario);
+
+  size_t current_step = 0;
+  Dataset current = MaterializeStep(config, domain, current_step);
+
+  // Static estimators freeze a sample of the *initial* data — exactly what
+  // a catalog that never re-analyzes would serve.
+  Rng sample_rng(config.seed + 1);
+  const size_t sample_size =
+      std::min(config.static_sample_size, current.size());
+  const std::vector<double> sample =
+      SampleWithoutReplacement(current.values(), sample_size, sample_rng);
+
+  std::vector<Track> tracks;
+  const auto add_static = [&](EstimatorConfig estimator_config) -> Status {
+    SELEST_ASSIGN_OR_RETURN(std::unique_ptr<SelectivityEstimator> built,
+                            BuildEstimator(sample, domain, estimator_config));
+    Track track;
+    track.name = built->name();
+    track.query_driven = false;
+    track.estimator = std::move(built);
+    tracks.push_back(std::move(track));
+    return Status::Ok();
+  };
+  {
+    EstimatorConfig equi_width;
+    equi_width.kind = EstimatorKind::kEquiWidth;
+    equi_width.smoothing = SmoothingRule::kFixed;
+    equi_width.fixed_smoothing = config.num_bins;
+    SELEST_RETURN_IF_ERROR(add_static(equi_width));
+    EstimatorConfig kernel;
+    kernel.kind = EstimatorKind::kKernel;
+    kernel.smoothing = SmoothingRule::kNormalScale;
+    SELEST_RETURN_IF_ERROR(add_static(kernel));
+    EstimatorConfig sampling;
+    sampling.kind = EstimatorKind::kSampling;
+    SELEST_RETURN_IF_ERROR(add_static(sampling));
+  }
+  const size_t num_static = tracks.size();
+
+  // Query-driven estimators start from the uniform prior: the curves then
+  // show pure learning from feedback, with no head start from the sample.
+  const auto add_feedback = [&](std::unique_ptr<SelectivityEstimator> built) {
+    Track track;
+    track.name = built->name();
+    track.query_driven = true;
+    track.estimator = std::move(built);
+    tracks.push_back(std::move(track));
+  };
+  {
+    FeedbackHistogramOptions feedback_options;
+    feedback_options.num_bins = config.num_bins;
+    SELEST_ASSIGN_OR_RETURN(FeedbackHistogram feedback,
+                            FeedbackHistogram::Create(domain,
+                                                      feedback_options));
+    add_feedback(std::make_unique<FeedbackHistogram>(std::move(feedback)));
+    ReconstructedDistributionOptions reconstructed_options;
+    reconstructed_options.num_bins = config.num_bins;
+    SELEST_ASSIGN_OR_RETURN(ReconstructedDistributionEstimator reconstructed,
+                            ReconstructedDistributionEstimator::Create(
+                                domain, reconstructed_options));
+    add_feedback(std::make_unique<ReconstructedDistributionEstimator>(
+        std::move(reconstructed)));
+    OnlineLearningOptions online_options;
+    online_options.num_bins = config.num_bins;
+    SELEST_ASSIGN_OR_RETURN(
+        OnlineLearningEstimator online,
+        OnlineLearningEstimator::Create(domain, online_options));
+    add_feedback(
+        std::make_unique<OnlineLearningEstimator>(std::move(online)));
+  }
+
+  // The replay: one seeded query stream shared by every estimator.
+  Rng query_rng(config.seed + 2);
+  const double width = domain.width();
+  for (size_t t = 0; t < config.num_queries; ++t) {
+    const size_t step = t * config.num_steps / config.num_queries;
+    if (step != current_step) {
+      current_step = step;
+      current = MaterializeStep(config, domain, current_step);
+    }
+    // Centers uniform over the domain, widths 2%–12% of it: the paper's
+    // low-selectivity band, where histogram decay is most visible.
+    const double center = domain.lo + query_rng.NextDouble() * width;
+    const double half =
+        (0.01 + 0.05 * query_rng.NextDouble()) * width;
+    const RangeQuery query{domain.Clamp(center - half),
+                           domain.Clamp(center + half)};
+    const GroundTruth truth(current);
+    const double exact = truth.Selectivity(query);
+
+    for (Track& track : tracks) {
+      const auto start = std::chrono::steady_clock::now();
+      const double estimate = track.estimator->EstimateSelectivity(query);
+      const auto stop = std::chrono::steady_clock::now();
+      track.estimate_ns +=
+          std::chrono::duration<double, std::nano>(stop - start).count();
+      if (exact > 0.0) {
+        const double rel = std::abs(estimate - exact) / exact;
+        track.rel_errors.push_back(rel);
+        track.total_error += rel;
+        ++track.valid_queries;
+      } else {
+        track.rel_errors.push_back(
+            std::numeric_limits<double>::quiet_NaN());
+      }
+      // Learn after predicting: the curve scores what the optimizer saw.
+      if (track.query_driven) {
+        (void)track.estimator->ObserveTrueSelectivity(query, exact);
+      }
+    }
+
+    for (Track& track : tracks) {
+      const size_t begin = t + 1 > config.window ? t + 1 - config.window : 0;
+      double sum = 0.0;
+      size_t count = 0;
+      for (size_t u = begin; u <= t; ++u) {
+        const double rel = track.rel_errors[u];
+        if (!std::isnan(rel)) {
+          sum += rel;
+          ++count;
+        }
+      }
+      // A window of only-empty queries carries the previous value forward.
+      track.windowed.push_back(count > 0 ? sum / count
+                               : track.windowed.empty()
+                                   ? 0.0
+                                   : track.windowed.back());
+    }
+  }
+
+  // Best static curve: the pointwise minimum over the static tracks — the
+  // strongest static competitor at every point of the replay.
+  std::vector<double> best_static_curve(config.num_queries, 0.0);
+  for (size_t t = 0; t < config.num_queries; ++t) {
+    double best = tracks[0].windowed[t];
+    for (size_t i = 1; i < num_static; ++i) {
+      best = std::min(best, tracks[i].windowed[t]);
+    }
+    best_static_curve[t] = best;
+  }
+
+  DriftResult result;
+  result.scenario = config.scenario;
+  result.num_queries = config.num_queries;
+  double best_final = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < num_static; ++i) {
+    const double final_mre = tracks[i].windowed.back();
+    if (final_mre < best_final) {
+      best_final = final_mre;
+      result.best_static = tracks[i].name;
+    }
+  }
+  result.best_static_final_mre = best_final;
+
+  for (Track& track : tracks) {
+    DriftCurve curve;
+    curve.estimator = track.name;
+    curve.query_driven = track.query_driven;
+    curve.final_mre = track.windowed.back();
+    curve.overall_mre = track.valid_queries > 0
+                            ? track.total_error / track.valid_queries
+                            : 0.0;
+    curve.mean_estimate_ns =
+        track.estimate_ns / static_cast<double>(config.num_queries);
+    // Last point where this curve sits above the best static curve; the
+    // query after it is the convergence point.
+    size_t last_violation = 0;
+    bool violated = false;
+    for (size_t t = 0; t < config.num_queries; ++t) {
+      if (track.windowed[t] > best_static_curve[t]) {
+        last_violation = t;
+        violated = true;
+      }
+    }
+    if (!violated) {
+      curve.convergence_query = 0;
+    } else if (last_violation == config.num_queries - 1) {
+      curve.convergence_query = config.num_queries + 1;  // never converged
+    } else {
+      curve.convergence_query = last_violation + 2;  // 1-based, next query
+    }
+    curve.windowed_mre = std::move(track.windowed);
+    result.curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
+Status WriteDriftJson(const std::vector<DriftResult>& results,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open " + path + " for writing");
+  out << "{\n  \"context\": {\"harness\": \"bench_feedback\"},\n"
+      << "  \"benchmarks\": [\n";
+  bool first = true;
+  for (const DriftResult& result : results) {
+    for (const DriftCurve& curve : result.curves) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"name\": \"drift/" << DriftScenarioName(result.scenario)
+          << "/" << curve.estimator
+          << "\", \"run_type\": \"iteration\", \"iterations\": "
+          << result.num_queries << ", \"real_time\": " << curve.mean_estimate_ns
+          << ", \"cpu_time\": " << curve.mean_estimate_ns
+          << ", \"time_unit\": \"ns\", \"final_mre\": " << curve.final_mre
+          << ", \"overall_mre\": " << curve.overall_mre
+          << ", \"convergence_query\": " << curve.convergence_query
+          << ", \"query_driven\": " << (curve.query_driven ? 1 : 0) << "}";
+    }
+  }
+  out << "\n  ],\n  \"drift\": [\n";
+  for (size_t r = 0; r < results.size(); ++r) {
+    const DriftResult& result = results[r];
+    out << "    {\"scenario\": \"" << DriftScenarioName(result.scenario)
+        << "\", \"num_queries\": " << result.num_queries
+        << ", \"best_static\": \"" << result.best_static
+        << "\", \"best_static_final_mre\": " << result.best_static_final_mre
+        << ", \"curves\": [\n";
+    // Downsample the curves so the artifact stays reviewable: at most 60
+    // points per curve, always keeping the final point.
+    const size_t stride = std::max<size_t>(1, result.num_queries / 60);
+    for (size_t c = 0; c < result.curves.size(); ++c) {
+      const DriftCurve& curve = result.curves[c];
+      out << "      {\"estimator\": \"" << curve.estimator
+          << "\", \"query_driven\": " << (curve.query_driven ? "true" : "false")
+          << ", \"convergence_query\": " << curve.convergence_query
+          << ", \"windowed_mre\": [";
+      bool first_point = true;
+      for (size_t t = 0; t < curve.windowed_mre.size(); ++t) {
+        if (t % stride != 0 && t + 1 != curve.windowed_mre.size()) continue;
+        if (!first_point) out << ", ";
+        first_point = false;
+        out << curve.windowed_mre[t];
+      }
+      out << "]}" << (c + 1 < result.curves.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (r + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out) return InternalError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace selest

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/est/estimator_snapshot.h"
+
 namespace selest {
 
 StatusOr<FeedbackHistogram> FeedbackHistogram::Create(
@@ -47,10 +49,12 @@ double FeedbackHistogram::Overlap(size_t i, double a, double b) const {
 }
 
 double FeedbackHistogram::EstimateSelectivity(double a, double b) const {
-  if (a > b) return 0.0;
   a = domain_.Clamp(a);
   b = domain_.Clamp(b);
-  if (a >= b) return 0.0;
+  // Clamp passes NaN through, so this single guard rejects NaN bounds as
+  // well as inverted and degenerate ranges — the bin walk below only ever
+  // sees finite in-domain endpoints (±inf clamps to the domain edges).
+  if (!(a < b)) return 0.0;
   const double bin_width = domain_.width() / masses_.size();
   const auto first = static_cast<size_t>((a - domain_.lo) / bin_width);
   double mass = 0.0;
@@ -65,10 +69,11 @@ double FeedbackHistogram::EstimateSelectivity(double a, double b) const {
 
 void FeedbackHistogram::Observe(const RangeQuery& query,
                                 double true_selectivity) {
+  if (std::isnan(true_selectivity)) return;
   true_selectivity = std::clamp(true_selectivity, 0.0, 1.0);
   const double a = domain_.Clamp(query.a);
   const double b = domain_.Clamp(query.b);
-  if (a >= b) return;
+  if (!(a < b)) return;  // rejects NaN, inverted, and degenerate queries
   ++observations_;
 
   // Current estimate restricted to the query, per overlapping bin.
@@ -84,6 +89,10 @@ void FeedbackHistogram::Observe(const RangeQuery& query,
 
   const double correction =
       options_.learning_rate * (true_selectivity - estimate);
+  // A zero-error observation is exactly a no-op (idempotence at the fixed
+  // point): even renormalization is skipped, since dividing by a total an
+  // ulp away from 1 would still perturb the masses.
+  if (correction == 0.0) return;
   if (estimate > 0.0) {
     // Distribute proportionally to each bin's current overlapped mass, and
     // scale the bin's full mass by the same relative factor (the overlapped
@@ -124,6 +133,60 @@ void FeedbackHistogram::Observe(const RangeQuery& query,
       for (double& m : masses_) m /= total;
     }
   }
+}
+
+Status FeedbackHistogram::ObserveTrueSelectivity(const RangeQuery& query,
+                                                 double true_selectivity) {
+  if (std::isnan(true_selectivity) || true_selectivity < 0.0 ||
+      true_selectivity > 1.0) {
+    return InvalidArgumentError("true selectivity must be in [0, 1]");
+  }
+  Observe(query, true_selectivity);
+  return Status::Ok();
+}
+
+void FeedbackHistogram::EstimateSelectivityBatch(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  BatchWith(queries, out, [this](const RangeQuery& q) {
+    return FeedbackHistogram::EstimateSelectivity(q.a, q.b);
+  });
+}
+
+Status FeedbackHistogram::SerializeState(ByteWriter& writer) const {
+  WriteDomain(writer, domain_);
+  writer.WriteDouble(options_.learning_rate);
+  writer.WriteU32(options_.renormalize ? 1 : 0);
+  writer.WriteDoubleVector(masses_);
+  writer.WriteU64(observations_);
+  return Status::Ok();
+}
+
+StatusOr<FeedbackHistogram> FeedbackHistogram::DeserializeState(
+    ByteReader& reader) {
+  SELEST_ASSIGN_OR_RETURN(const Domain domain, ReadDomain(reader));
+  FeedbackHistogramOptions options;
+  SELEST_ASSIGN_OR_RETURN(options.learning_rate, reader.ReadDouble());
+  SELEST_ASSIGN_OR_RETURN(const uint32_t renormalize, reader.ReadU32());
+  if (!(options.learning_rate > 0.0) || options.learning_rate > 1.0 ||
+      renormalize > 1) {
+    return InvalidArgumentError("feedback snapshot options are invalid");
+  }
+  options.renormalize = renormalize != 0;
+  SELEST_ASSIGN_OR_RETURN(std::vector<double> masses,
+                          reader.ReadDoubleVector());
+  SELEST_ASSIGN_OR_RETURN(const uint64_t observations, reader.ReadU64());
+  if (masses.empty() || masses.size() > (1u << 24)) {
+    return InvalidArgumentError("feedback snapshot bin count is invalid");
+  }
+  for (double m : masses) {
+    if (!std::isfinite(m) || m < 0.0) {
+      return InvalidArgumentError("feedback snapshot masses are invalid");
+    }
+  }
+  options.num_bins = static_cast<int>(masses.size());
+  FeedbackHistogram histogram(domain, options, std::move(masses));
+  histogram.observations_ = observations;
+  return histogram;
 }
 
 double FeedbackHistogram::total_mass() const {

@@ -8,9 +8,19 @@
 // moves the mass of the bins overlapping the query toward the value that
 // would have answered the query exactly, by a configurable learning rate —
 // so the estimator improves precisely where the workload queries.
+//
+// The update law (proportional error correction, DESIGN.md §14): when the
+// query region holds mass, the observed error is distributed over the
+// overlapping bins proportionally to their current overlapped mass; when it
+// holds none, the correction is seeded over the overlap ∝ covered fraction
+// (normalized by Σ fraction² so the post-observation estimate hits the
+// target exactly). An observation whose true selectivity equals the current
+// estimate is a no-op, so repeated identical feedback is idempotent at the
+// fixed point.
 #ifndef SELEST_FEEDBACK_FEEDBACK_HISTOGRAM_H_
 #define SELEST_FEEDBACK_FEEDBACK_HISTOGRAM_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -40,8 +50,16 @@ class FeedbackHistogram : public SelectivityEstimator {
       const FeedbackHistogramOptions& options);
 
   double EstimateSelectivity(double a, double b) const override;
+  void EstimateSelectivityBatch(std::span<const RangeQuery> queries,
+                                std::span<double> out) const override;
   size_t StorageBytes() const override;
   std::string name() const override;
+
+  EstimatorTag SnapshotTypeTag() const override {
+    return EstimatorTag::kFeedback;
+  }
+  Status SerializeState(ByteWriter& writer) const override;
+  static StatusOr<FeedbackHistogram> DeserializeState(ByteReader& reader);
 
   // Feeds back the true selectivity of an executed query. The mass of the
   // overlapping bins is adjusted toward `true_selectivity` by the learning
@@ -49,7 +67,13 @@ class FeedbackHistogram : public SelectivityEstimator {
   // the overlap when the current estimate there is zero).
   void Observe(const RangeQuery& query, double true_selectivity);
 
-  size_t observations() const { return observations_; }
+  // The common query-driven interface (SelectivityEstimator, DESIGN.md §14).
+  bool SupportsFeedback() const override { return true; }
+  Status ObserveTrueSelectivity(const RangeQuery& query,
+                                double true_selectivity) override;
+  uint64_t feedback_observations() const override { return observations_; }
+
+  size_t observations() const { return static_cast<size_t>(observations_); }
   const std::vector<double>& masses() const { return masses_; }
   // Total mass currently assigned (1 when renormalizing).
   double total_mass() const;
@@ -66,7 +90,7 @@ class FeedbackHistogram : public SelectivityEstimator {
   Domain domain_;
   FeedbackHistogramOptions options_;
   std::vector<double> masses_;  // mass per bin; intended to sum to ~1
-  size_t observations_ = 0;
+  uint64_t observations_ = 0;
 };
 
 }  // namespace selest

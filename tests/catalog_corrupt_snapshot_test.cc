@@ -138,7 +138,8 @@ TEST(CorruptSnapshotTest, EveryEstimatorKindSurvivesPayloadFlips) {
         EstimatorKind::kMaxDiff, EstimatorKind::kVOptimal,
         EstimatorKind::kWavelet, EstimatorKind::kAverageShifted,
         EstimatorKind::kKernel, EstimatorKind::kAdaptiveKernel,
-        EstimatorKind::kHybrid}) {
+        EstimatorKind::kHybrid, EstimatorKind::kFeedback,
+        EstimatorKind::kReconstructed, EstimatorKind::kOnlineLearning}) {
     const std::vector<uint8_t> bytes = MakeSnapshot(kind);
     auto view = UnwrapSnapshot(bytes);
     ASSERT_TRUE(view.ok());

@@ -112,6 +112,9 @@ std::vector<NamedConfig> AllConfigs() {
   add("adaptive_kernel", EstimatorKind::kAdaptiveKernel);
   add("hybrid", EstimatorKind::kHybrid,
       [](EstimatorConfig& c) { c.boundary = BoundaryPolicy::kBoundaryKernel; });
+  add("feedback", EstimatorKind::kFeedback);
+  add("reconstructed", EstimatorKind::kReconstructed);
+  add("online_learning", EstimatorKind::kOnlineLearning);
   return configs;
 }
 
@@ -198,6 +201,44 @@ TEST(SnapshotRoundTripTest, ContinuousDomainRoundTrips) {
     auto reloaded = RoundTrip(*built.value(), named.label);
     ASSERT_NE(reloaded, nullptr) << named.label;
     ExpectBitIdentical(*built.value(), *reloaded, domain, named.label);
+  }
+}
+
+// Feedback-family estimators must round-trip their *learned* state, not
+// just the sample-built prior: observations change the masses/weights and
+// the observation counters, and a reload must reproduce both bit-exactly
+// (otherwise the catalog write-back path would silently reset learning).
+TEST(SnapshotRoundTripTest, TrainedFeedbackStateRoundTrips) {
+  const Domain domain = ContinuousDomain(0.0, 100.0);
+  const std::vector<double> sample =
+      MakeSample(DataShape::kNormal, domain, 77);
+  Rng rng(41);
+  for (EstimatorKind kind :
+       {EstimatorKind::kFeedback, EstimatorKind::kReconstructed,
+        EstimatorKind::kOnlineLearning}) {
+    EstimatorConfig config;
+    config.kind = kind;
+    auto built = BuildEstimator(sample, domain, config);
+    ASSERT_TRUE(built.ok()) << EstimatorKindName(kind);
+    SelectivityEstimator& estimator = *built.value();
+    ASSERT_TRUE(estimator.SupportsFeedback()) << EstimatorKindName(kind);
+    for (int i = 0; i < 32; ++i) {
+      double a = domain.lo + rng.NextDouble() * domain.width();
+      double b = domain.lo + rng.NextDouble() * domain.width();
+      if (b < a) std::swap(a, b);
+      if (a == b) continue;
+      ASSERT_TRUE(
+          estimator.ObserveTrueSelectivity({a, b}, rng.NextDouble()).ok())
+          << EstimatorKindName(kind);
+    }
+    const std::string context =
+        std::string("trained/") + EstimatorKindName(kind);
+    auto reloaded = RoundTrip(estimator, context);
+    ASSERT_NE(reloaded, nullptr) << context;
+    ExpectBitIdentical(estimator, *reloaded, domain, context);
+    EXPECT_EQ(estimator.feedback_observations(),
+              reloaded->feedback_observations())
+        << context;
   }
 }
 

@@ -24,7 +24,8 @@ const EstimatorKind kAllKinds[] = {
     EstimatorKind::kMaxDiff,    EstimatorKind::kAverageShifted,
     EstimatorKind::kKernel,     EstimatorKind::kHybrid,
     EstimatorKind::kVOptimal,   EstimatorKind::kAdaptiveKernel,
-    EstimatorKind::kWavelet,
+    EstimatorKind::kWavelet,    EstimatorKind::kFeedback,
+    EstimatorKind::kReconstructed, EstimatorKind::kOnlineLearning,
 };
 
 class FactoryKindTest : public ::testing::TestWithParam<EstimatorKind> {};

@@ -182,7 +182,8 @@ const EstimatorKind kAllKinds[] = {
     EstimatorKind::kMaxDiff,    EstimatorKind::kAverageShifted,
     EstimatorKind::kKernel,     EstimatorKind::kHybrid,
     EstimatorKind::kVOptimal,   EstimatorKind::kAdaptiveKernel,
-    EstimatorKind::kWavelet,
+    EstimatorKind::kWavelet,    EstimatorKind::kFeedback,
+    EstimatorKind::kReconstructed, EstimatorKind::kOnlineLearning,
 };
 
 INSTANTIATE_TEST_SUITE_P(

@@ -31,7 +31,8 @@ constexpr EstimatorKind kAllKinds[] = {
     EstimatorKind::kMaxDiff,        EstimatorKind::kAverageShifted,
     EstimatorKind::kKernel,         EstimatorKind::kHybrid,
     EstimatorKind::kVOptimal,       EstimatorKind::kAdaptiveKernel,
-    EstimatorKind::kWavelet,
+    EstimatorKind::kWavelet,        EstimatorKind::kFeedback,
+    EstimatorKind::kReconstructed,  EstimatorKind::kOnlineLearning,
 };
 
 // 500 rows: a misaligned final chunk for every chunk size below that is
@@ -113,7 +114,8 @@ TEST(StreamingBuildTest, PathAssignmentMatchesContract) {
         EstimatorKind::kMaxDiff, EstimatorKind::kAverageShifted,
         EstimatorKind::kKernel, EstimatorKind::kHybrid,
         EstimatorKind::kVOptimal, EstimatorKind::kAdaptiveKernel,
-        EstimatorKind::kWavelet}) {
+        EstimatorKind::kWavelet, EstimatorKind::kFeedback,
+        EstimatorKind::kReconstructed, EstimatorKind::kOnlineLearning}) {
     EXPECT_EQ(StreamingPathFor(kind), StreamingBuildPath::kReservoirSample)
         << EstimatorKindName(kind);
   }

@@ -19,6 +19,13 @@ Counters are compared informationally (speedup_vs_scalar and friends);
 failure, because the SIMD exactness contract is part of what the perf
 trajectory certifies.
 
+BENCH_feedback.json rows carry a `convergence_query` counter: the number
+of observed queries after which a query-driven estimator's rolling error
+stays below the best static curve. A later convergence point means the
+estimator learns slower, so the diff fails when the new value exceeds
+old * 1.25 + 5 — the multiplicative slack absorbs windowing noise on
+large values, the additive slack absorbs jitter near zero.
+
 A missing or empty baseline is not a failure: the first run of a new
 bench (or a fresh checkout without committed baselines) has nothing to
 diff against, so the tool reports "no baseline" and exits 0 — the
@@ -83,6 +90,7 @@ def main():
 
     regressions = []
     identity_breaks = []
+    convergence_regressions = []
     shared = sorted(set(old) & set(new))
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
@@ -118,6 +126,15 @@ def main():
                     f"{'':<{width}}  speedup_vs_scalar: "
                     f"{old_speedup:.2f}x -> {new_speedup:.2f}x"
                 )
+            old_conv = old[name].get("convergence_query")
+            new_conv = new[name].get("convergence_query")
+            if old_conv is not None and new_conv is not None:
+                print(
+                    f"{'':<{width}}  convergence_query: "
+                    f"{old_conv:g} -> {new_conv:g}"
+                )
+                if new_conv > old_conv * 1.25 + 5:
+                    convergence_regressions.append((name, old_conv, new_conv))
 
     for name in only_old:
         print(f"removed: {name}")
@@ -140,6 +157,18 @@ def main():
             f"\nFAIL: bit_identical dropped to 0 in: {', '.join(identity_breaks)}",
             file=sys.stderr,
         )
+    if convergence_regressions:
+        ok = False
+        print(
+            f"\nFAIL: {len(convergence_regressions)} benchmark(s) converge "
+            "later than old * 1.25 + 5 queries:",
+            file=sys.stderr,
+        )
+        for name, old_conv, new_conv in convergence_regressions:
+            print(
+                f"  {name}: {old_conv:g} -> {new_conv:g} queries",
+                file=sys.stderr,
+            )
     if not shared:
         print("warning: no benchmarks in common", file=sys.stderr)
     return 0 if ok else 1
